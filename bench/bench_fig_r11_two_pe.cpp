@@ -1,0 +1,83 @@
+// Fig. R11 — Heterogeneous two-PE system (DVS + non-DVS PE) with rejection.
+//
+// Mirrors the source line's heterogeneous evaluation (their Figs. 7 and 8:
+// an ideal DVS PE plus an FPGA-like non-DVS PE, inverse and proportional
+// task models, the total non-DVS demand U2* swept) with rejection folded in.
+// Normalized to the exhaustive two-PE optimum (n = 10). Expected shape:
+// local search tracks the optimum closely; plain greedy degrades as U2*
+// grows (placement mistakes get costlier); DVS-ONLY quantifies how much the
+// second PE buys and is the worst column when the DVS side is overloaded.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace retask;
+
+  const PolynomialPowerModel model = PolynomialPowerModel::xscale();
+  const int instances = 12;
+
+  const struct {
+    Pe2EnergyModel energy;
+    Pe2Relation relation;
+    const char* label;
+  } panels[] = {
+      {Pe2EnergyModel::kWorkloadIndependent, Pe2Relation::kInverse,
+       "workload-independent PE, inverse model"},
+      {Pe2EnergyModel::kWorkloadIndependent, Pe2Relation::kProportional,
+       "workload-independent PE, proportional model"},
+      {Pe2EnergyModel::kWorkloadDependent, Pe2Relation::kInverse,
+       "workload-dependent PE, inverse model"},
+      {Pe2EnergyModel::kWorkloadDependent, Pe2Relation::kProportional,
+       "workload-dependent PE, proportional model"},
+  };
+
+  std::cout << "Fig. R11: two-PE rejection, mean objective ratio vs. exhaustive optimum\n"
+               "(n=10, DVS load 1.3, XScale DVS PE + 0.3 W non-DVS PE, " << instances
+            << " instances per point)\n\n";
+
+  const TwoPeGreedySolver greedy;
+  const TwoPeEGreedySolver e_greedy;
+  const TwoPeLocalSearchSolver ls;
+  const TwoPeOffloadDpSolver offload_dp(0.05);
+  const TwoPeDvsOnlySolver dvs_only;
+  const TwoPeExhaustiveSolver opt;
+
+  for (const auto& panel : panels) {
+    Table table(std::string("Fig R11 - ") + panel.label,
+                {"U2*", "2PE-GREEDY", "2PE-E-GREEDY", "2PE-LS", "2PE-DP(.05)", "DVS-ONLY"});
+    for (const double u2 : {0.8, 1.2, 1.6, 2.0, 2.4}) {
+      OnlineStats r_greedy;
+      OnlineStats r_egreedy;
+      OnlineStats r_ls;
+      OnlineStats r_dp;
+      OnlineStats r_dvs;
+      for (int k = 1; k <= instances; ++k) {
+        TwoPeWorkloadConfig config;
+        config.task_count = 10;
+        config.dvs_load = 1.3;
+        config.resolution = 400.0;
+        config.u2_total = u2;
+        config.relation = panel.relation;
+        config.penalty_scale = 1.5;
+        config.energy_per_cycle_ref = penalty_anchor(model);
+        Rng rng(static_cast<std::uint64_t>(k) * 613 + 11);
+        std::vector<TwoPeTask> tasks = generate_two_pe_tasks(config, rng);
+        EnergyCurve curve(model, 1.0, IdleDiscipline::kDormantEnable);
+        const TwoPeProblem p(std::move(tasks), std::move(curve), 1.0 / 400.0, 0.3,
+                             panel.energy);
+        const double best = opt.solve(p).objective();
+        r_greedy.add(greedy.solve(p).objective() / best);
+        r_egreedy.add(e_greedy.solve(p).objective() / best);
+        r_ls.add(ls.solve(p).objective() / best);
+        r_dp.add(offload_dp.solve(p).objective() / best);
+        r_dvs.add(dvs_only.solve(p).objective() / best);
+      }
+      table.add_row({u2, r_greedy.mean(), r_egreedy.mean(), r_ls.mean(), r_dp.mean(),
+                     r_dvs.mean()}, 4);
+    }
+    bench::print_table(table);
+    std::cout << '\n';
+  }
+  return 0;
+}

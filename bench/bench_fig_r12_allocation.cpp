@@ -1,0 +1,70 @@
+// Fig. R12 — Allocation-cost minimization under an energy constraint.
+//
+// Mirrors the source line's synthesis experiment (their Fig. 9(c): one ideal
+// processor type, First-Fit vs. the RS-LEUF-style balanced allocator, the
+// energy-constraint ratio gamma swept): the budget interpolates between the
+// workload's minimum energy (gamma = 0, everything at the critical speed on
+// many processors) and the energy of the tightest packing (gamma = 1).
+// Costs are normalized to the provable lower bound. Expected shape: the
+// balanced allocator stays near 1 everywhere; First-Fit needs extra
+// processors when the budget is tight-to-moderate and small task counts
+// leave it little room to balance — the gap closes as n grows.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace retask;
+
+  const PolynomialPowerModel model = PolynomialPowerModel::xscale();
+  const int instances = 12;
+
+  std::cout << "Fig. R12: normalized allocation cost vs. energy-constraint ratio gamma\n"
+               "(total work 3.2 processors' worth, XScale ideal DVS, " << instances
+            << " instances per point)\n\n";
+
+  for (const int n : {10, 20, 40}) {
+    Table table("Fig R12 - allocation cost, n = " + std::to_string(n),
+                {"gamma", "First-Fit", "Balanced (RS-LEUF)", "LB procs"});
+    for (const double gamma : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+      OnlineStats r_ff;
+      OnlineStats r_bal;
+      OnlineStats lb_procs;
+      for (int k = 1; k <= instances; ++k) {
+        FrameWorkloadConfig gen;
+        gen.task_count = n;
+        gen.target_load = 3.2;
+        gen.resolution = 1600.0;
+        Rng rng(static_cast<std::uint64_t>(k) * 409 + 3);
+        AllocationProblem problem{generate_frame_tasks(gen, rng),
+                                  EnergyCurve(model, 1.0, IdleDiscipline::kDormantEnable),
+                                  1.0 / 1600.0, 1.0, 1.0};
+        // Budget: interpolate between the integral minimum energy (one task
+        // per processor — by convexity of E no partition can do better) and
+        // the energy of the timing-floor packing.
+        double e_min = 0.0;
+        for (const FrameTask& task : problem.tasks.tasks()) {
+          e_min += problem.curve.energy(problem.work_per_cycle *
+                                        static_cast<double>(task.cycles));
+        }
+        const int m_timing = 4;  // ceil(3.2)
+        const double e_max = std::max(balanced_energy(problem, m_timing), e_min * 1.05);
+        problem.energy_budget = (e_min + gamma * (e_max - e_min)) * (1.0 + 1e-9);
+
+        const int lb = allocation_lower_bound(problem);
+        const AllocationResult ff = allocate_first_fit(problem);
+        const AllocationResult bal = allocate_balanced(problem);
+        check_allocation(problem, ff);
+        check_allocation(problem, bal);
+        r_ff.add(ff.cost / lb);
+        r_bal.add(bal.cost / lb);
+        lb_procs.add(lb);
+      }
+      table.add_row({gamma, r_ff.mean(), r_bal.mean(), lb_procs.mean()}, 4);
+    }
+    bench::print_table(table);
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Fig. R17 — Heterogeneous processor-type allocation under an energy budget.
+//
+// Mirrors the source line's synthesis experiments (their Fig. 9(a)/(b):
+// normalized allocation cost over the number of processor types and over the
+// energy-constraint ratio gamma, with E = Emin + gamma * (Emax - Emin)).
+// Panel (a): small instances, cost normalized to the exhaustive optimum.
+// Panel (b): gamma sweep, normalized to the fractional cost lower bound.
+//
+// Expected shape: the Lagrangian allocator (the LP-rounding surrogate) stays
+// within a modest factor of optimal; the normalized cost falls as the
+// budget loosens (cheap slow parts become usable) and grows mildly with the
+// type count (more rounding opportunities to miss).
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace retask;
+
+/// Catalogue of `m` types: type k costs more and runs faster/hungrier.
+std::vector<ProcessorType> make_catalogue(int m) {
+  std::vector<ProcessorType> types;
+  for (int k = 0; k < m; ++k) {
+    const double top = 0.4 + 0.6 * static_cast<double>(k) / std::max(1, m - 1);
+    std::vector<OperatingPoint> points;
+    for (const double frac : {0.5, 1.0}) {
+      const double s = top * frac;
+      points.push_back({s, 0.05 + 1.52 * s * s * s});
+    }
+    types.push_back({"type" + std::to_string(k), 1.0 + 0.8 * k,
+                     TablePowerModel(std::move(points), 0.05)});
+  }
+  return types;
+}
+
+HetAllocationProblem make_instance(int m, int n, std::uint64_t seed) {
+  HetAllocationProblem problem;
+  problem.types = make_catalogue(m);
+  problem.window = 100.0;
+  problem.energy_budget = 1.0;  // set by the caller
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const Cycles base = rng.uniform_int(8, 36);
+    HetTask task;
+    task.id = i;
+    for (int k = 0; k < m; ++k) {
+      // Faster types also decode the workload slightly more efficiently.
+      task.cycles_per_type.push_back(std::max<Cycles>(
+          1, static_cast<Cycles>(static_cast<double>(base) * rng.uniform(0.85, 1.1))));
+    }
+    problem.tasks.push_back(std::move(task));
+  }
+  return problem;
+}
+
+/// [Emin, Emax] across feasible single-task options.
+std::pair<double, double> energy_range(const HetAllocationProblem& problem) {
+  double e_min = 0.0;
+  double e_max = 0.0;
+  for (std::size_t i = 0; i < problem.tasks.size(); ++i) {
+    double lo = 1e300;
+    double hi = 0.0;
+    for (std::size_t j = 0; j < problem.types.size(); ++j) {
+      for (std::size_t l = 0; l < problem.types[j].model.available_speeds().size(); ++l) {
+        if (het_utilization(problem, i, j, l) <= 1.0) {
+          lo = std::min(lo, het_energy(problem, i, j, l));
+          hi = std::max(hi, het_energy(problem, i, j, l));
+        }
+      }
+    }
+    e_min += lo;
+    e_max += hi;
+  }
+  return {e_min, e_max};
+}
+
+}  // namespace
+
+int main() {
+  const int instances = 12;
+
+  std::cout << "Fig. R17(a): heterogeneous allocation, cost ratio vs exhaustive optimum\n"
+               "(n=6, gamma=0.3, " << instances << " instances per point)\n\n";
+  {
+    Table table("Fig R17a - cost ratio vs number of types", {"types", "LAGRANGIAN/opt"});
+    for (const int m : {2, 3, 4}) {
+      OnlineStats ratio;
+      for (int k = 1; k <= instances; ++k) {
+        HetAllocationProblem p = make_instance(m, 6, static_cast<std::uint64_t>(k) * 31 + 7);
+        const auto [e_min, e_max] = energy_range(p);
+        p.energy_budget = (e_min + 0.3 * (e_max - e_min)) * (1.0 + 1e-9);
+        const double opt = allocate_het_exhaustive(p).cost;
+        const HetAllocationResult heur = allocate_het_lagrangian(p);
+        check_het_allocation(p, heur);
+        ratio.add(heur.cost / opt);
+      }
+      table.add_row({static_cast<double>(m), ratio.mean()}, 4);
+    }
+    bench::print_table(table);
+  }
+
+  std::cout << "\nFig. R17(b): cost normalized to the fractional lower bound vs gamma\n"
+               "(m=4 types, n=20, " << instances << " instances per point)\n\n";
+  {
+    Table table("Fig R17b - normalized cost vs energy-constraint ratio",
+                {"gamma", "LAGRANGIAN/LB", "mean cost"});
+    for (const double gamma : {0.05, 0.2, 0.4, 0.7, 1.0}) {
+      OnlineStats ratio;
+      OnlineStats cost;
+      for (int k = 1; k <= instances; ++k) {
+        HetAllocationProblem p = make_instance(4, 20, static_cast<std::uint64_t>(k) * 57 + 3);
+        const auto [e_min, e_max] = energy_range(p);
+        p.energy_budget = (e_min + gamma * (e_max - e_min)) * (1.0 + 1e-9);
+        const HetAllocationResult heur = allocate_het_lagrangian(p);
+        check_het_allocation(p, heur);
+        ratio.add(heur.cost / het_cost_lower_bound(p));
+        cost.add(heur.cost);
+      }
+      table.add_row({gamma, ratio.mean(), cost.mean()}, 4);
+    }
+    bench::print_table(table);
+  }
+  return 0;
+}

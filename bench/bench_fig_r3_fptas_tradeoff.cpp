@@ -1,0 +1,56 @@
+// Fig. R3 — FPTAS quality/runtime trade-off.
+//
+// Epsilon swept from 1.0 down to 0.01 on overloaded instances (n = 40, load
+// 1.8). For each epsilon the table reports the mean and worst objective
+// ratio against the exact DP and the mean wall-clock time. The (1+eps)
+// guarantee must hold at every point; runtime grows roughly like 1/eps.
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace retask;
+  using Clock = std::chrono::steady_clock;
+
+  const PolynomialPowerModel model = PolynomialPowerModel::xscale();
+  const ExactDpSolver dp;
+  const int instances = 10;
+
+  const auto make_instance = [&model](std::uint64_t seed) {
+    ScenarioConfig config;
+    config.task_count = 40;
+    config.load = 1.8;
+    config.resolution = 8000.0;
+    config.penalty_scale = 1.0;
+    config.seed = seed;
+    return make_scenario(config, model);
+  };
+
+  std::cout << "Fig. R3: FPTAS quality and runtime vs. epsilon (n=40, load 1.8,\n"
+               "XScale ideal DVS, " << instances << " instances per point)\n\n";
+
+  Table table("Fig R3 - FPTAS epsilon trade-off",
+              {"epsilon", "mean ratio", "worst ratio", "1+eps bound", "mean ms"});
+  for (const double eps : {1.0, 0.5, 0.2, 0.1, 0.05, 0.02, 0.01}) {
+    const FptasSolver fptas(eps);
+    OnlineStats ratio;
+    OnlineStats millis;
+    for (int k = 0; k < instances; ++k) {
+      const RejectionProblem p = make_instance(static_cast<std::uint64_t>(k) + 1);
+      const double opt = dp.solve(p).objective();
+      const auto t0 = Clock::now();
+      const double approx = fptas.solve(p).objective();
+      const auto t1 = Clock::now();
+      ratio.add(opt > 0.0 ? approx / opt : 1.0);
+      millis.add(std::chrono::duration<double, std::milli>(t1 - t0).count());
+      if (approx > opt * (1.0 + eps) + 1e-9) {
+        std::cerr << "GUARANTEE VIOLATED at eps=" << eps << " seed=" << k + 1 << '\n';
+        return 1;
+      }
+    }
+    table.add_row({eps, ratio.mean(), ratio.max(), 1.0 + eps, millis.mean()}, 4);
+  }
+  bench::print_table(table);
+  return 0;
+}

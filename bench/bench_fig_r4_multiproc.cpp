@@ -1,0 +1,67 @@
+// Fig. R4 — Multiprocessor rejection scheduling.
+//
+// Panel (a), venue style "vs. exhaustive optimum": small instances where the
+// multiprocessor exhaustive search is tractable. Panel (b), venue style
+// "relaxed ratio vs. lower bound" (the group's Fig. 4(b) methodology):
+// larger instances normalized by the fractional lower bound — ratios above 1
+// include both the algorithm gap and the integrality gap of the bound.
+//
+// Expected shape: LTF+per-processor-DP stays close to optimal (the LTF
+// pedigree), the global greedy is comparable, and MP-RAND trails both,
+// degrading as M grows.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace retask;
+
+  const PolynomialPowerModel model = PolynomialPowerModel::xscale();
+  const auto lineup = standard_multiproc_lineup();
+
+  std::cout << "Fig. R4(a): average objective ratio vs. exhaustive optimum\n"
+               "(XScale ideal DVS, dormant-enable, per-system load 0.9*M, 10 instances)\n\n";
+  {
+    const auto reference = [](const RejectionProblem& p) {
+      return MultiProcExhaustiveSolver().solve(p).objective();
+    };
+    std::vector<bench::SweepPoint> sweep;
+    for (const int m : {2, 3, 4}) {
+      const int n = m == 2 ? 12 : (m == 3 ? 10 : 8);
+      sweep.push_back({static_cast<double>(m), [m, n, &model](std::uint64_t seed) {
+                         ScenarioConfig config;
+                         config.task_count = n;
+                         config.load = 0.9 * m;
+                         config.resolution = 400.0;
+                         config.penalty_scale = 1.0;
+                         config.processor_count = m;
+                         config.seed = seed;
+                         return make_scenario(config, model);
+                       }});
+    }
+    bench::run_sweep("Fig R4a - ratio vs optimal, processors M (n=12/10/8)", "M", sweep,
+                     lineup, reference, 10);
+  }
+
+  std::cout << "\nFig. R4(b): relaxed ratio vs. fractional lower bound\n"
+               "(n = 5*M tasks, per-system load 1.4*M, 15 instances per point)\n\n";
+  {
+    const auto reference = [](const RejectionProblem& p) { return fractional_lower_bound(p); };
+    std::vector<bench::SweepPoint> sweep;
+    for (const int m : {2, 4, 8}) {
+      sweep.push_back({static_cast<double>(m), [m, &model](std::uint64_t seed) {
+                         ScenarioConfig config;
+                         config.task_count = 5 * m;
+                         config.load = 1.4 * m;
+                         config.resolution = 1000.0;
+                         config.penalty_scale = 1.0;
+                         config.processor_count = m;
+                         config.seed = seed;
+                         return make_scenario(config, model);
+                       }});
+    }
+    bench::run_sweep("Fig R4b - relaxed ratio vs lower bound, processors M (n=5M)", "M",
+                     sweep, lineup, reference, 15);
+  }
+  return 0;
+}

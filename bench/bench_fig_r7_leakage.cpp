@@ -1,0 +1,60 @@
+// Fig. R7 — Leakage sweep: dormant-enable vs. dormant-disable.
+//
+// The speed-independent power beta1 swept from 0 to 0.4 W at fixed dynamic
+// power 1.52 s^3 (load 1.2, n = 12). For each beta1 the table reports the
+// critical speed, the optimal objective under both idle disciplines, and the
+// optimal acceptance ratios. Expected shape: the critical speed grows like
+// (beta1 / (2*1.52))^(1/3); the dormant-disable objective grows by about
+// beta1 * D (the unavoidable leakage of the whole window) and its optimum
+// rejects more tasks than dormant-enable at the same penalties, because
+// execution buys less when idle time still burns power.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace retask;
+
+  const ExactDpSolver dp;
+  const int instances = 15;
+
+  std::cout << "Fig. R7: leakage sweep (n=12, load 1.2, P(s) = beta1 + 1.52 s^3,\n"
+            << instances << " instances per point)\n\n";
+
+  Table table("Fig R7 - leakage: dormant-enable vs dormant-disable",
+              {"beta1", "s_crit", "obj enable", "obj disable", "accept enable",
+               "accept disable"});
+
+  for (const double beta1 : {0.0, 0.05, 0.1, 0.2, 0.3, 0.4}) {
+    const PolynomialPowerModel model(beta1, 1.52, 3.0, 0.0, 1.0);
+    OnlineStats obj_enable;
+    OnlineStats obj_disable;
+    OnlineStats acc_enable;
+    OnlineStats acc_disable;
+    for (int k = 0; k < instances; ++k) {
+      ScenarioConfig config;
+      config.task_count = 12;
+      config.load = 1.2;
+      config.resolution = 1200.0;
+      config.penalty_scale = 1.0;
+      config.seed = static_cast<std::uint64_t>(k) + 1;
+
+      config.idle = IdleDiscipline::kDormantEnable;
+      const RejectionSolution enable = dp.solve(make_scenario(config, model));
+      obj_enable.add(enable.objective());
+      acc_enable.add(enable.acceptance_ratio());
+
+      config.idle = IdleDiscipline::kDormantDisable;
+      const RejectionSolution disable = dp.solve(make_scenario(config, model));
+      obj_disable.add(disable.objective());
+      acc_disable.add(disable.acceptance_ratio());
+    }
+    table.add_row({beta1, critical_speed(model), obj_enable.mean(), obj_disable.mean(),
+                   acc_enable.mean(), acc_disable.mean()},
+                  4);
+  }
+  bench::print_table(table);
+  std::cout << "\n(obj disable >= obj enable at every beta1; the gap is the leakage the\n"
+               "processor cannot sleep away. s_crit = (beta1/(2*1.52))^(1/3) clamped.)\n";
+  return 0;
+}

@@ -1,0 +1,186 @@
+// Tab. R16 — Ablations of the library's design choices.
+//
+// (a) Two-speed hull emulation on non-ideal processors: energy of E(W) with
+//     the lower-convex-hull time-sharing vs. the naive "single next-higher
+//     speed" rule. Quantifies what the emulation buys per speed-table
+//     granularity.
+// (b) Exact marginal evaluation in the density greedy: the library's greedy
+//     evaluates the true energy delta E(W) - E(W - w_i) at the current
+//     load; the ablated variant uses a fixed per-work estimate (energy per
+//     cycle at the critical speed), as a cheaper implementation would.
+// (c) Local-search seeding: steepest descent from the density-greedy seed
+//     (the library's choice) vs. from the plain feasible all-accept seed.
+#include <algorithm>
+#include <iostream>
+#include <limits>
+#include <numeric>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace retask;
+
+// (a) helper: single-speed (no time-sharing) energy on a table model,
+// dormant-enable with free sleep.
+double no_mix_energy(const TablePowerModel& model, double window, double work) {
+  if (work <= 0.0) return 0.0;
+  const double s_req = work / window;
+  double best = std::numeric_limits<double>::infinity();
+  for (const double s : model.available_speeds()) {
+    if (s + 1e-12 < s_req) continue;
+    best = std::min(best, (work / s) * model.power(s));
+  }
+  return best;
+}
+
+// (b)/(c) helper: steepest-descent single-flip local search from a given
+// seed (mirrors MarginalGreedySolver's move loop).
+double local_search_from(const RejectionProblem& problem, std::vector<bool> accepted) {
+  Cycles load = problem.accepted_cycles(accepted);
+  double objective = problem.energy_of_cycles(load) + problem.rejected_penalty(accepted);
+  const std::size_t n = problem.size();
+  for (std::size_t move = 0; move < 4 * n * n + 16; ++move) {
+    double best_delta = -1e-12 * std::max(objective, 1.0);
+    std::size_t best_index = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const FrameTask& task = problem.tasks()[i];
+      double delta = 0.0;
+      if (accepted[i]) {
+        delta = task.penalty - (problem.energy_of_cycles(load) -
+                                problem.energy_of_cycles(load - task.cycles));
+      } else {
+        if (load + task.cycles > problem.cycle_capacity()) continue;
+        delta = (problem.energy_of_cycles(load + task.cycles) -
+                 problem.energy_of_cycles(load)) -
+                task.penalty;
+      }
+      if (delta < best_delta) {
+        best_delta = delta;
+        best_index = i;
+      }
+    }
+    if (best_index == n) break;
+    if (accepted[best_index]) {
+      accepted[best_index] = false;
+      load -= problem.tasks()[best_index].cycles;
+    } else {
+      accepted[best_index] = true;
+      load += problem.tasks()[best_index].cycles;
+    }
+    objective += best_delta;
+  }
+  return problem.energy_of_cycles(load) + problem.rejected_penalty(accepted);
+}
+
+}  // namespace
+
+int main() {
+  using namespace retask;
+  const PolynomialPowerModel ideal = PolynomialPowerModel::xscale();
+  const int instances = 15;
+
+  // ------------------------------------------------------------------ (a)
+  std::cout << "Tab. R16(a): two-speed hull emulation vs single-speed rule\n"
+               "(mean E_nomix / E_hull over the feasible load range)\n\n";
+  {
+    Table table("Tab R16a - what two-speed emulation buys",
+                {"speed levels", "mean ratio", "worst ratio"});
+    for (const int levels : {2, 3, 5, 9}) {
+      const TablePowerModel model =
+          TablePowerModel::sampled(0.08, 1.52, 3.0, 0.15, 1.0, levels);
+      const EnergyCurve hull(model, 1.0, IdleDiscipline::kDormantEnable);
+      OnlineStats ratio;
+      for (int k = 1; k <= 40; ++k) {
+        const double w = static_cast<double>(k) / 40.0;
+        const double with_hull = hull.energy(w);
+        const double without = no_mix_energy(model, 1.0, w);
+        if (with_hull > 0.0) ratio.add(without / with_hull);
+      }
+      table.add_row({static_cast<double>(levels), ratio.mean(), ratio.max()}, 4);
+    }
+    bench::print_table(table);
+  }
+
+  // ------------------------------------------------------------------ (b)
+  std::cout << "\nTab. R16(b): exact vs estimated marginal in the density greedy\n"
+               "(objective ratio vs OPT-DP, n=12, " << instances << " instances per point)\n\n";
+  {
+    const ExactDpSolver dp;
+    const DensityGreedySolver exact_greedy;
+    Table table("Tab R16b - marginal evaluation ablation",
+                {"load", "exact marginal", "estimated marginal"});
+    for (const double load : {0.8, 1.2, 1.6, 2.2, 3.0}) {
+      OnlineStats r_exact;
+      OnlineStats r_estimated;
+      for (int k = 1; k <= instances; ++k) {
+        ScenarioConfig config;
+        config.task_count = 12;
+        config.load = load;
+        config.resolution = 1200.0;
+        config.seed = static_cast<std::uint64_t>(k);
+        const RejectionProblem p = make_scenario(config, ideal);
+        const double opt = dp.solve(p).objective();
+
+        r_exact.add(exact_greedy.solve(p).objective() / opt);
+
+        // Estimated variant: reject every task whose penalty density is
+        // below the critical-speed energy per work unit (after restoring
+        // feasibility by density).
+        const double e_star =
+            ideal.energy_per_cycle(std::max(ideal.analytic_critical_speed(), 0.1));
+        std::vector<std::size_t> order(p.size());
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+          return p.tasks()[a].penalty * static_cast<double>(p.tasks()[b].cycles) <
+                 p.tasks()[b].penalty * static_cast<double>(p.tasks()[a].cycles);
+        });
+        std::vector<bool> accepted(p.size(), true);
+        Cycles current = p.accepted_cycles(accepted);
+        for (const std::size_t i : order) {
+          const FrameTask& task = p.tasks()[i];
+          const double density = task.penalty / (p.work_of(i));
+          const bool overloaded = current > p.cycle_capacity();
+          if (overloaded || density < e_star) {
+            accepted[i] = false;
+            current -= task.cycles;
+          }
+        }
+        const RejectionSolution estimated = make_solution_on_one(p, std::move(accepted));
+        r_estimated.add(estimated.objective() / opt);
+      }
+      table.add_row({load, r_exact.mean(), r_estimated.mean()}, 4);
+    }
+    bench::print_table(table);
+  }
+
+  // ------------------------------------------------------------------ (c)
+  std::cout << "\nTab. R16(c): local-search seeding (objective ratio vs OPT-DP)\n\n";
+  {
+    const ExactDpSolver dp;
+    const DensityGreedySolver greedy;
+    const AllAcceptSolver all_accept;
+    Table table("Tab R16c - LS seeding ablation",
+                {"load", "LS(greedy seed)", "LS(all-accept seed)"});
+    for (const double load : {1.2, 1.8, 2.6}) {
+      OnlineStats from_greedy;
+      OnlineStats from_all;
+      for (int k = 1; k <= instances; ++k) {
+        ScenarioConfig config;
+        config.task_count = 12;
+        config.load = load;
+        config.resolution = 1200.0;
+        config.seed = static_cast<std::uint64_t>(k);
+        const RejectionProblem p = make_scenario(config, ideal);
+        const double opt = dp.solve(p).objective();
+        from_greedy.add(local_search_from(p, greedy.solve(p).accepted) / opt);
+        from_all.add(local_search_from(p, all_accept.solve(p).accepted) / opt);
+      }
+      table.add_row({load, from_greedy.mean(), from_all.mean()}, 4);
+    }
+    bench::print_table(table);
+    std::cout << "\n(Single-flip steepest descent reaches near-optimal points from either\n"
+                 "seed on these instances; the greedy seed mainly saves moves.)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Tab. R8 — Solver runtime scaling (google-benchmark).
+//
+// Wall-clock scaling of every algorithm along its natural axis:
+// * greedy / local search / lower bound vs. task count n,
+// * exact DP vs. cycle capacity (pseudo-polynomial),
+// * FPTAS vs. 1/epsilon,
+// * exhaustive search vs. n (exponential, small range).
+#include <benchmark/benchmark.h>
+
+#include "retask/retask.hpp"
+
+namespace {
+
+using namespace retask;
+
+RejectionProblem instance(int n, double resolution, std::uint64_t seed = 1) {
+  ScenarioConfig config;
+  config.task_count = n;
+  config.load = 1.6;
+  config.resolution = resolution;
+  config.penalty_scale = 1.0;
+  config.seed = seed;
+  const PolynomialPowerModel model = PolynomialPowerModel::xscale();
+  return make_scenario(config, model);
+}
+
+void BM_DensityGreedy(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const RejectionProblem p = instance(n, 50.0 * n);
+  const DensityGreedySolver solver;
+  for (auto _ : state) benchmark::DoNotOptimize(solver.solve(p).objective());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DensityGreedy)->RangeMultiplier(4)->Range(16, 4096)->Complexity();
+
+void BM_LocalSearch(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const RejectionProblem p = instance(n, 50.0 * n);
+  const MarginalGreedySolver solver;
+  for (auto _ : state) benchmark::DoNotOptimize(solver.solve(p).objective());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LocalSearch)->RangeMultiplier(4)->Range(16, 256)->Complexity();
+
+void BM_LowerBound(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const RejectionProblem p = instance(n, 50.0 * n);
+  for (auto _ : state) benchmark::DoNotOptimize(fractional_lower_bound(p));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LowerBound)->RangeMultiplier(4)->Range(16, 4096)->Complexity();
+
+void BM_ExactDpVsCapacity(benchmark::State& state) {
+  // n fixed at 24; the capacity (= resolution) is the pseudo-polynomial axis.
+  const auto resolution = static_cast<double>(state.range(0));
+  const RejectionProblem p = instance(24, resolution);
+  const ExactDpSolver solver;
+  for (auto _ : state) benchmark::DoNotOptimize(solver.solve(p).objective());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ExactDpVsCapacity)->RangeMultiplier(4)->Range(512, 32768)->Complexity();
+
+void BM_FptasVsEpsilon(benchmark::State& state) {
+  // state.range(0) = 1/epsilon.
+  const double eps = 1.0 / static_cast<double>(state.range(0));
+  const RejectionProblem p = instance(32, 100000.0);
+  const FptasSolver solver(eps);
+  for (auto _ : state) benchmark::DoNotOptimize(solver.solve(p).objective());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FptasVsEpsilon)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+
+void BM_Exhaustive(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const RejectionProblem p = instance(n, 30.0 * n);
+  const ExhaustiveSolver solver;
+  for (auto _ : state) benchmark::DoNotOptimize(solver.solve(p).objective());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Exhaustive)->DenseRange(10, 18, 2)->Complexity();
+
+void BM_EnergyCurveEval(benchmark::State& state) {
+  const PolynomialPowerModel model = PolynomialPowerModel::xscale();
+  const EnergyCurve curve(model, 1.0, IdleDiscipline::kDormantEnable);
+  double w = 0.0;
+  for (auto _ : state) {
+    w += 0.001;
+    if (w > 1.0) w = 0.0;
+    benchmark::DoNotOptimize(curve.energy(w));
+  }
+}
+BENCHMARK(BM_EnergyCurveEval);
+
+void BM_EdfSimHyperPeriod(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  PeriodicWorkloadConfig config;
+  config.task_count = n;
+  config.total_rate = 0.9;
+  Rng rng(5);
+  const PeriodicTaskSet tasks = generate_periodic_tasks(config, rng);
+  const PolynomialPowerModel model = PolynomialPowerModel::xscale();
+  const EnergyCurve curve(model, static_cast<double>(tasks.hyper_period()),
+                          IdleDiscipline::kDormantEnable);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate_edf(tasks, {}, {1.0, 1.0, 0.0}, curve).busy_time);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EdfSimHyperPeriod)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Shared helpers for the experiment binaries: print a comparison table for a
+// one-dimensional sweep in the house style (pretty table on stdout, with the
+// sweep variable in the first column and one mean-ratio column per
+// algorithm).
+#ifndef RETASK_BENCH_BENCH_UTIL_HPP
+#define RETASK_BENCH_BENCH_UTIL_HPP
+
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "retask/retask.hpp"
+
+namespace retask::bench {
+
+/// Prints a table in the house style: pretty on stdout, plus CSV when the
+/// RETASK_BENCH_CSV environment variable is set (for scripting/plotting).
+inline void print_table(const Table& table) {
+  table.write_pretty(std::cout);
+  if (std::getenv("RETASK_BENCH_CSV") != nullptr) {
+    std::cout << "\n[csv] " << table.title() << "\n";
+    table.write_csv(std::cout);
+  }
+}
+
+/// One sweep point: a label (e.g. the load value) and the factory/reference
+/// pair that defines the instance family at that point.
+struct SweepPoint {
+  double value = 0.0;
+  ProblemFactory factory;
+};
+
+/// Runs `lineup` over every sweep point (instances per point) and prints a
+/// table: value | mean ratio per algorithm. Returns the table for callers
+/// that also want CSV.
+inline Table run_sweep(const std::string& title, const std::string& axis,
+                       const std::vector<SweepPoint>& sweep,
+                       const std::vector<std::unique_ptr<RejectionSolver>>& lineup,
+                       const ReferenceObjective& reference, int instances,
+                       std::uint64_t seed0 = 1) {
+  std::vector<std::string> columns{axis};
+  for (const auto& solver : lineup) columns.push_back(solver->name());
+  Table table(title, columns);
+  for (const SweepPoint& point : sweep) {
+    const auto stats = run_comparison(point.factory, lineup, reference, instances, seed0);
+    std::vector<double> row{point.value};
+    for (const AlgoStats& s : stats) row.push_back(s.ratio.mean());
+    table.add_row(row, 4);
+  }
+  print_table(table);
+  return table;
+}
+
+}  // namespace retask::bench
+
+#endif  // RETASK_BENCH_BENCH_UTIL_HPP

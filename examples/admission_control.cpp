@@ -1,0 +1,63 @@
+// Example: online admission control at a request-serving edge node.
+//
+// Requests (transcoding jobs, inference calls...) arrive unpredictably, each
+// with a deadline and a business value; the node cannot see the future and
+// must accept or decline at arrival. This example runs the same request
+// trace through three admission policies on an OA-speed DVS core and shows
+// why "admit everything that fits" is the wrong instinct once the node
+// saturates: the combined cost (energy burned + value declined) is governed
+// by WHICH work you take, not how much.
+//
+//   build/examples/admission_control
+#include <cstdio>
+
+#include "retask/retask.hpp"
+
+int main() {
+  using namespace retask;
+
+  const PolynomialPowerModel core = PolynomialPowerModel::xscale();
+
+  // A bursty afternoon: 2.2x more work offered than the core can serve.
+  AperiodicWorkloadConfig trace;
+  trace.duration = 200.0;
+  trace.mean_work = 0.5;
+  trace.arrival_rate = 2.2 / trace.mean_work;
+  trace.penalty_scale = 0.8;
+  trace.energy_per_work_ref = penalty_anchor(core);
+  Rng rng(4242);
+  const std::vector<AperiodicJob> jobs = generate_aperiodic_jobs(trace, core.max_speed(), rng);
+  std::printf("trace: %zu requests over %.0f time units (offered load ~2.2)\n\n", jobs.size(),
+              trace.duration);
+
+  OnlineSimConfig config;
+  config.work_per_cycle = 1.0 / trace.resolution;
+  config.horizon = trace.duration + 20.0;
+
+  struct PolicyRow {
+    const char* label;
+    AdmissionRule rule;
+    double threshold;
+  };
+  const PolicyRow policies[] = {
+      {"admit-all-feasible", AdmissionRule::kFeasibleOnly, 0.0},
+      {"value >= 0.5x energy", AdmissionRule::kValueDensity, 0.5},
+      {"value >= 1.0x energy", AdmissionRule::kValueDensity, 1.0},
+      {"value >= 2.0x energy", AdmissionRule::kValueDensity, 2.0},
+  };
+
+  std::printf("%-22s %9s %9s %11s %11s %9s\n", "policy", "admitted", "misses", "energy",
+              "declined", "objective");
+  for (const PolicyRow& policy : policies) {
+    config.rule = policy.rule;
+    config.value_threshold = policy.threshold;
+    const OnlineSimResult r = simulate_online(jobs, config, core);
+    std::printf("%-22s %8.1f%% %9lld %11.2f %11.2f %9.2f\n", policy.label,
+                100.0 * r.admission_ratio(), static_cast<long long>(r.deadline_misses),
+                r.energy, r.rejected_penalty, r.objective());
+  }
+
+  std::printf("\n(The OA speed rule guarantees zero misses for admitted requests; the\n"
+              "threshold trades declined value against energy burned on marginal work.)\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Example: capacity planning — how many processors, and which kind?
+//
+// A platform architect has a fixed per-frame energy envelope (battery/
+// thermal) and a workload that must all run. Two questions:
+//   1. On ONE processor type: how many parts does each energy envelope cost,
+//      and how much does load balancing (RS-LEUF-style) save over naive
+//      first-fit?
+//   2. Given a CATALOGUE of processor types (cheap/slow ... fast/hungry):
+//      which mix minimizes the bill of materials at each envelope?
+//
+//   build/examples/capacity_planning
+#include <cstdio>
+
+#include "retask/retask.hpp"
+
+int main() {
+  using namespace retask;
+
+  // ---------------------------------------------------------------- Q1
+  std::printf("Q1: single type — processors needed per energy envelope\n");
+  std::printf("    %-10s %-10s %-10s %-12s\n", "envelope", "first-fit", "balanced", "LB procs");
+  {
+    const PolynomialPowerModel cpu = PolynomialPowerModel::xscale();
+    FrameWorkloadConfig gen;
+    gen.task_count = 18;
+    gen.target_load = 3.4;  // 3.4 processors' worth of work at top speed
+    gen.resolution = 1700.0;
+    Rng rng(77);
+    AllocationProblem problem{generate_frame_tasks(gen, rng),
+                              EnergyCurve(cpu, 1.0, IdleDiscipline::kDormantEnable),
+                              1.0 / 1700.0, 1.0, 1.0};
+    double e_min = 0.0;
+    for (const FrameTask& task : problem.tasks.tasks()) {
+      e_min += problem.curve.energy(problem.work_per_cycle * static_cast<double>(task.cycles));
+    }
+    for (const double factor : {1.05, 1.3, 1.8, 3.0}) {
+      problem.energy_budget = e_min * factor;
+      const AllocationResult ff = allocate_first_fit(problem);
+      const AllocationResult bal = allocate_balanced(problem);
+      std::printf("    %-10.2f %-10d %-10d %-12d\n", factor, ff.processors, bal.processors,
+                  allocation_lower_bound(problem));
+    }
+  }
+
+  // ---------------------------------------------------------------- Q2
+  std::printf("\nQ2: heterogeneous catalogue — cheapest mix per envelope\n");
+  {
+    HetAllocationProblem problem;
+    problem.window = 100.0;
+    problem.types = {
+        {"eco", 1.0, TablePowerModel({{0.2, 0.03}, {0.4, 0.18}}, 0.0)},
+        {"mid", 2.0, TablePowerModel({{0.35, 0.1}, {0.7, 0.6}}, 0.0)},
+        {"turbo", 4.0, TablePowerModel({{0.5, 0.25}, {1.0, 1.7}}, 0.0)},
+    };
+    Rng rng(99);
+    for (int i = 0; i < 16; ++i) {
+      const Cycles base = rng.uniform_int(8, 34);
+      HetTask task;
+      task.id = i;
+      for (std::size_t j = 0; j < problem.types.size(); ++j) {
+        task.cycles_per_type.push_back(std::max<Cycles>(
+            1, static_cast<Cycles>(static_cast<double>(base) * rng.uniform(0.85, 1.1))));
+      }
+      problem.tasks.push_back(std::move(task));
+    }
+    // Energy range across single-task options.
+    double e_min = 0.0;
+    problem.energy_budget = 1.0;
+    for (std::size_t i = 0; i < problem.tasks.size(); ++i) {
+      double lo = 1e300;
+      for (std::size_t j = 0; j < problem.types.size(); ++j) {
+        for (std::size_t l = 0; l < problem.types[j].model.available_speeds().size(); ++l) {
+          if (het_utilization(problem, i, j, l) <= 1.0) {
+            lo = std::min(lo, het_energy(problem, i, j, l));
+          }
+        }
+      }
+      e_min += lo;
+    }
+    std::printf("    %-10s %-8s %-22s %-8s\n", "envelope", "cost", "mix (eco/mid/turbo)", "LB");
+    for (const double factor : {1.05, 1.5, 3.0, 10.0}) {
+      problem.energy_budget = e_min * factor;
+      const HetAllocationResult plan = allocate_het_lagrangian(problem);
+      check_het_allocation(problem, plan);
+      std::printf("    %-10.2f %-8.1f %d / %d / %-14d %-8.2f\n", factor, plan.cost,
+                  plan.processors_per_type[0], plan.processors_per_type[1],
+                  plan.processors_per_type[2], het_cost_lower_bound(problem));
+    }
+  }
+  std::printf("\n(Loose envelopes buy cheap slow parts; tight ones force the efficient\n"
+              "operating points wherever they live in the catalogue.)\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Example: design-space exploration for a system architect.
+//
+// Three questions a platform designer asks before committing silicon:
+//  1. How much solution quality does each scheduler tier buy (RAND -> greedy
+//     -> local search -> FPTAS -> exact), and at what runtime?
+//  2. How many discrete speed levels does the voltage regulator need before
+//     the non-ideal processor is "close enough" to ideal?
+//  3. How many cores until nothing worth keeping is rejected?
+//
+//   build/examples/design_space
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "retask/retask.hpp"
+
+int main() {
+  using namespace retask;
+  using Clock = std::chrono::steady_clock;
+
+  const PolynomialPowerModel ideal = PolynomialPowerModel::xscale();
+  const int instances = 10;
+
+  // --- Question 1: scheduler tiers ---------------------------------------
+  std::printf("Q1: scheduler tiers (n=60, load 1.8, %d instances)\n", instances);
+  std::printf("    %-12s %-12s %-10s\n", "algorithm", "mean ratio", "mean ms");
+  {
+    const ExactDpSolver reference;
+    std::vector<std::unique_ptr<RejectionSolver>> tiers;
+    tiers.push_back(std::make_unique<RandomRejectSolver>());
+    tiers.push_back(std::make_unique<DensityGreedySolver>());
+    tiers.push_back(std::make_unique<MarginalGreedySolver>());
+    tiers.push_back(std::make_unique<FptasSolver>(0.05));
+    tiers.push_back(std::make_unique<ExactDpSolver>());
+
+    const auto factory = [&ideal](std::uint64_t seed) {
+      ScenarioConfig config;
+      config.task_count = 60;
+      config.load = 1.8;
+      config.resolution = 6000.0;
+      config.seed = seed;
+      return make_scenario(config, ideal);
+    };
+    for (const auto& tier : tiers) {
+      OnlineStats ratio;
+      OnlineStats ms;
+      for (int k = 1; k <= instances; ++k) {
+        const RejectionProblem p = factory(static_cast<std::uint64_t>(k));
+        const double opt = reference.solve(p).objective();
+        const auto t0 = Clock::now();
+        const double obj = tier->solve(p).objective();
+        const auto t1 = Clock::now();
+        ratio.add(opt > 0.0 ? obj / opt : 1.0);
+        ms.add(std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+      std::printf("    %-12s %-12.4f %-10.3f\n", tier->name().c_str(), ratio.mean(), ms.mean());
+    }
+  }
+
+  // --- Question 2: regulator levels ---------------------------------------
+  std::printf("\nQ2: speed levels needed (optimal objective vs ideal, load 1.4)\n");
+  std::printf("    %-8s %-12s\n", "levels", "mean ratio");
+  {
+    const ExactDpSolver dp;
+    const auto base = [&ideal](std::uint64_t seed) {
+      ScenarioConfig config;
+      config.task_count = 12;
+      config.load = 1.4;
+      config.resolution = 1200.0;
+      config.seed = seed;
+      return make_scenario(config, ideal);
+    };
+    for (const int levels : {2, 3, 4, 6, 8, 12}) {
+      const TablePowerModel table = TablePowerModel::sampled(0.08, 1.52, 3.0, 0.15, 1.0, levels);
+      OnlineStats ratio;
+      for (int k = 1; k <= instances; ++k) {
+        const RejectionProblem p0 = base(static_cast<std::uint64_t>(k));
+        const RejectionProblem pk(p0.tasks(),
+                                  EnergyCurve(table, p0.curve().window(), p0.curve().idle()),
+                                  p0.work_per_cycle(), 1);
+        const double a = dp.solve(p0).objective();
+        const double b = dp.solve(pk).objective();
+        ratio.add(a > 0.0 ? b / a : 1.0);
+      }
+      std::printf("    %-8d %-12.4f\n", levels, ratio.mean());
+    }
+  }
+
+  // --- Question 3: core count ---------------------------------------------
+  std::printf("\nQ3: cores until nothing worth keeping is rejected (system load 2.4)\n");
+  std::printf("    %-6s %-12s %-12s\n", "cores", "acceptance", "objective");
+  {
+    const MultiProcGreedySolver solver;
+    for (const int m : {1, 2, 3, 4, 6}) {
+      OnlineStats acceptance;
+      OnlineStats objective;
+      for (int k = 1; k <= instances; ++k) {
+        ScenarioConfig config;
+        config.task_count = 24;
+        config.load = 2.4;  // fixed system demand, spread over m cores
+        config.resolution = 1200.0;
+        config.processor_count = m;
+        config.seed = static_cast<std::uint64_t>(k);
+        const RejectionProblem p = make_scenario(config, ideal);
+        const RejectionSolution s = solver.solve(p);
+        acceptance.add(s.acceptance_ratio());
+        objective.add(s.objective());
+      }
+      std::printf("    %-6d %-12.4f %-12.4f\n", m, acceptance.mean(), objective.mean());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: the smallest end-to-end use of the retask public API.
+//
+// Five frame-based tasks on one XScale-normalized DVS processor whose frame
+// is too small for all of them — the scheduler must reject something. We
+// solve with the exact DP, print the decision, and verify the schedule by
+// actually executing it in the frame simulator.
+//
+//   build/examples/quickstart
+#include <cstdio>
+
+#include "retask/retask.hpp"
+
+int main() {
+  using namespace retask;
+
+  // 1. A DVS processor: P(s) = 0.08 + 1.52 s^3 W, speeds in (0, 1], able to
+  //    sleep when idle.
+  const PolynomialPowerModel processor = PolynomialPowerModel::xscale();
+  const double frame = 1.0;  // common deadline D = 1 s
+  EnergyCurve curve(processor, frame, IdleDiscipline::kDormantEnable);
+
+  // 2. Five tasks: cycles (at 100 cycles == one full-speed frame) and the
+  //    penalty paid if the task is rejected.
+  const FrameTaskSet tasks({
+      {0, 40, 0.30},  // big but modest value
+      {1, 35, 0.60},  // big and valuable
+      {2, 25, 0.25},
+      {3, 20, 0.35},
+      {4, 15, 0.02},  // small and nearly worthless
+  });  // 135 cycles demanded, 100 fit at top speed -> someone must go
+
+  const RejectionProblem problem(tasks, curve, /*work_per_cycle=*/0.01);
+
+  // 3. Solve optimally (pseudo-polynomial DP).
+  const RejectionSolution solution = ExactDpSolver().solve(problem);
+
+  std::printf("objective      : %.4f J (energy %.4f + penalty %.4f)\n", solution.objective(),
+              solution.energy, solution.penalty);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    std::printf("  task %zu (%3lld cycles, penalty %.2f): %s\n", i,
+                static_cast<long long>(tasks[i].cycles), tasks[i].penalty,
+                solution.accepted[i] ? "ACCEPT" : "reject");
+  }
+
+  // 4. Trust nothing: execute the accepted set in the frame simulator.
+  std::vector<FrameTask> accepted;
+  double work = 0.0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (solution.accepted[i]) {
+      accepted.push_back(tasks[i]);
+      work += problem.work_of(i);
+    }
+  }
+  const SpeedSchedule schedule = SpeedSchedule::from_plan(curve.plan(work));
+  const FrameSimResult sim = simulate_frame(accepted, problem.work_per_cycle(), schedule, curve);
+  std::printf("simulated      : deadline %s, completion %.4f s, energy %.4f J\n",
+              sim.deadline_met ? "MET" : "MISSED", sim.completion_time, sim.energy);
+  return sim.deadline_met ? 0 : 1;
+}

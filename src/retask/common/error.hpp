@@ -1,0 +1,43 @@
+// Error handling primitives for the retask library.
+//
+// The library reports contract violations (bad arguments, impossible
+// configurations) by throwing `retask::Error`; numeric results are never
+// silently clamped into validity. Internal invariants that should be
+// unreachable use `RETASK_ASSERT`, which is active in all build types —
+// scheduling results feed energy claims, so a wrong answer is worse than an
+// abort.
+#ifndef RETASK_COMMON_ERROR_HPP
+#define RETASK_COMMON_ERROR_HPP
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace retask {
+
+/// Exception type thrown on any precondition or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+/// Throws `retask::Error` with `message` when `condition` is false.
+/// Used for checking user-facing preconditions.
+inline void require(bool condition, std::string_view message) {
+  if (!condition) throw Error(std::string(message));
+}
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  throw Error(std::string("internal invariant violated: ") + expr + " at " + file + ":" +
+              std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace retask
+
+/// Always-on internal invariant check (throws retask::Error on failure).
+#define RETASK_ASSERT(expr) \
+  ((expr) ? static_cast<void>(0) : ::retask::detail::assert_fail(#expr, __FILE__, __LINE__))
+
+#endif  // RETASK_COMMON_ERROR_HPP

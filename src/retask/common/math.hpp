@@ -1,0 +1,45 @@
+// Small numeric toolbox shared across the library: tolerant comparisons,
+// one-dimensional convex minimization, and integer lcm with overflow checks.
+//
+// The rejection schedulers repeatedly minimize convex single-variable
+// functions (energy-per-cycle over speed, frame energy over execution time),
+// so the minimizers here are written once, tested once, and reused.
+#ifndef RETASK_COMMON_MATH_HPP
+#define RETASK_COMMON_MATH_HPP
+
+#include <cstdint>
+#include <functional>
+
+namespace retask {
+
+/// Default relative tolerance used by the tolerant comparisons below.
+inline constexpr double kRelTol = 1e-9;
+
+/// True when `a` and `b` agree within `tol` relative to their magnitude
+/// (falls back to an absolute comparison near zero).
+bool almost_equal(double a, double b, double tol = kRelTol);
+
+/// True when `a <= b` up to the tolerant comparison above. Used by the
+/// feasibility checks so that analytically tight solutions (e.g. running
+/// exactly at `smax`) are not rejected for rounding noise.
+bool leq_tol(double a, double b, double tol = kRelTol);
+
+/// Clamps `x` into `[lo, hi]`; requires `lo <= hi`.
+double clamp(double x, double lo, double hi);
+
+/// Minimizes a strictly unimodal (e.g. convex) function `f` over `[lo, hi]`
+/// by golden-section search until the bracket is below `x_tol` wide.
+/// Returns the abscissa of the minimum; requires `lo <= hi`.
+double minimize_unimodal(const std::function<double(double)>& f, double lo, double hi,
+                         double x_tol = 1e-12, int max_iter = 200);
+
+/// Least common multiple with overflow detection (throws retask::Error).
+/// Arguments must be positive.
+std::int64_t checked_lcm(std::int64_t a, std::int64_t b);
+
+/// Integer power with overflow detection (throws retask::Error on overflow).
+std::int64_t checked_mul(std::int64_t a, std::int64_t b);
+
+}  // namespace retask
+
+#endif  // RETASK_COMMON_MATH_HPP

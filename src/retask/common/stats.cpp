@@ -1,0 +1,57 @@
+#include "retask/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "retask/common/error.hpp"
+
+namespace retask {
+
+void OnlineStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::mean() const {
+  require(count_ > 0, "OnlineStats::mean: no observations");
+  return mean_;
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::min() const {
+  require(count_ > 0, "OnlineStats::min: no observations");
+  return min_;
+}
+
+double OnlineStats::max() const {
+  require(count_ > 0, "OnlineStats::max: no observations");
+  return max_;
+}
+
+double quantile(std::vector<double> values, double q) {
+  require(!values.empty(), "quantile: empty input");
+  require(q >= 0.0 && q <= 1.0, "quantile: q must be in [0, 1]");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace retask

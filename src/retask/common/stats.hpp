@@ -1,0 +1,50 @@
+// Descriptive statistics used by the experiment harness to aggregate
+// per-instance results (normalized objective ratios, acceptance ratios,
+// runtimes) into the rows the reconstructed figures report.
+#ifndef RETASK_COMMON_STATS_HPP
+#define RETASK_COMMON_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace retask {
+
+/// Streaming mean/variance/extrema accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Number of observations so far.
+  std::size_t count() const { return count_; }
+
+  /// Arithmetic mean; requires count() > 0.
+  double mean() const;
+
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  double variance() const;
+
+  /// Sample standard deviation.
+  double stddev() const;
+
+  /// Smallest observation; requires count() > 0.
+  double min() const;
+
+  /// Largest observation; requires count() > 0.
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `values` by linear interpolation
+/// between order statistics; requires a non-empty input.
+double quantile(std::vector<double> values, double q);
+
+}  // namespace retask
+
+#endif  // RETASK_COMMON_STATS_HPP

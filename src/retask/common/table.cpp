@@ -1,0 +1,86 @@
+#include "retask/common/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "retask/common/error.hpp"
+
+namespace retask {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  require(!columns_.empty(), "Table: at least one column required");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  require(cells.size() == columns_.size(), "Table::add_row: cell count mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (const double value : cells) formatted.push_back(format_double(value, precision));
+  add_row(std::move(formatted));
+}
+
+void Table::write_pretty(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  os << "== " << title_ << " ==\n";
+  auto write_line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  std::size_t total = 1;
+  for (const std::size_t w : widths) total += w + 3;
+  const std::string rule(total, '-');
+  os << rule << '\n';
+  write_line(columns_);
+  os << rule << '\n';
+  for (const auto& row : rows_) write_line(row);
+  os << rule << '\n';
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  auto write_line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      os << csv_escape(cells[c]);
+    }
+    os << '\n';
+  };
+  write_line(columns_);
+  for (const auto& row : rows_) write_line(row);
+}
+
+}  // namespace retask

@@ -1,0 +1,51 @@
+// Table emission for the benchmark binaries.
+//
+// Every reconstructed figure/table in bench/ prints its data series through
+// this writer so that the output is simultaneously human-readable (aligned
+// columns on stdout) and machine-parsable (the same rows are valid CSV when
+// requested). Keeping emission in one place guarantees every experiment
+// reports in the same format.
+#ifndef RETASK_COMMON_TABLE_HPP
+#define RETASK_COMMON_TABLE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace retask {
+
+/// Column-oriented results table with a title and named columns.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Appends one row; the cell count must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` significant digits and
+  /// appends the row.
+  void add_row(const std::vector<double>& cells, int precision = 6);
+
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Writes an aligned, boxed, human-readable rendering.
+  void write_pretty(std::ostream& os) const;
+
+  /// Writes RFC-4180-style CSV (header row + data rows).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `precision` significant digits (shared by callers
+/// that assemble mixed string/number rows).
+std::string format_double(double value, int precision = 6);
+
+}  // namespace retask
+
+#endif  // RETASK_COMMON_TABLE_HPP

@@ -1,0 +1,57 @@
+#include "retask/core/algorithm_registry.hpp"
+
+#include <cstdlib>
+
+#include "retask/common/error.hpp"
+#include "retask/core/exact_dp.hpp"
+#include "retask/core/exhaustive.hpp"
+#include "retask/core/fptas.hpp"
+#include "retask/core/greedy.hpp"
+#include "retask/core/leakage_aware.hpp"
+#include "retask/core/multiproc.hpp"
+
+namespace retask {
+
+std::unique_ptr<RejectionSolver> make_solver(const std::string& name) {
+  if (name == "opt-dp") return std::make_unique<ExactDpSolver>();
+  if (name == "opt-exh") return std::make_unique<ExhaustiveSolver>();
+  if (name == "greedy") return std::make_unique<DensityGreedySolver>();
+  if (name == "ls-greedy") return std::make_unique<MarginalGreedySolver>();
+  if (name == "all-accept") return std::make_unique<AllAcceptSolver>();
+  if (name == "rand") return std::make_unique<RandomRejectSolver>();
+  if (name == "mp-ltf-dp") return std::make_unique<MultiProcLtfRejectSolver>();
+  if (name == "la-ltf-ff") return std::make_unique<LeakageAwareLtfFfSolver>();
+  if (name == "mp-greedy") return std::make_unique<MultiProcGreedySolver>();
+  if (name == "mp-rand") return std::make_unique<MultiProcRandSolver>();
+  if (name == "mp-opt-exh") return std::make_unique<MultiProcExhaustiveSolver>();
+  if (name.rfind("fptas:", 0) == 0) {
+    const std::string arg = name.substr(6);
+    char* end = nullptr;
+    const double eps = std::strtod(arg.c_str(), &end);
+    require(end != nullptr && *end == '\0' && eps > 0.0,
+            "make_solver: fptas epsilon must be a positive number, e.g. fptas:0.1");
+    return std::make_unique<FptasSolver>(eps);
+  }
+  throw Error("make_solver: unknown solver name '" + name + "'");
+}
+
+std::vector<std::unique_ptr<RejectionSolver>> standard_uniproc_lineup() {
+  std::vector<std::unique_ptr<RejectionSolver>> lineup;
+  lineup.push_back(make_solver("opt-dp"));
+  lineup.push_back(make_solver("fptas:0.1"));
+  lineup.push_back(make_solver("ls-greedy"));
+  lineup.push_back(make_solver("greedy"));
+  lineup.push_back(make_solver("all-accept"));
+  lineup.push_back(make_solver("rand"));
+  return lineup;
+}
+
+std::vector<std::unique_ptr<RejectionSolver>> standard_multiproc_lineup() {
+  std::vector<std::unique_ptr<RejectionSolver>> lineup;
+  lineup.push_back(make_solver("mp-ltf-dp"));
+  lineup.push_back(make_solver("mp-greedy"));
+  lineup.push_back(make_solver("mp-rand"));
+  return lineup;
+}
+
+}  // namespace retask

@@ -1,0 +1,33 @@
+// Registry of rejection-scheduling algorithms by name.
+//
+// Benches, examples and tests iterate over the same algorithm lineup; the
+// registry is the single place that lineup is defined, so adding an
+// algorithm automatically adds it to every comparison.
+#ifndef RETASK_CORE_ALGORITHM_REGISTRY_HPP
+#define RETASK_CORE_ALGORITHM_REGISTRY_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "retask/core/solver.hpp"
+
+namespace retask {
+
+/// Creates a solver by name. Known names: "opt-dp", "opt-exh", "fptas:<eps>"
+/// (e.g. "fptas:0.1"), "greedy", "ls-greedy", "all-accept", "rand",
+/// "mp-ltf-dp", "la-ltf-ff", "mp-greedy", "mp-rand", "mp-opt-exh". Throws
+/// retask::Error for unknown names.
+std::unique_ptr<RejectionSolver> make_solver(const std::string& name);
+
+/// The standard single-processor comparison lineup used across the
+/// reconstructed evaluation (exact DP, FPTAS(0.1), both greedies, both
+/// baselines).
+std::vector<std::unique_ptr<RejectionSolver>> standard_uniproc_lineup();
+
+/// The standard multiprocessor lineup (LTF+DP, global greedy, RAND).
+std::vector<std::unique_ptr<RejectionSolver>> standard_multiproc_lineup();
+
+}  // namespace retask
+
+#endif  // RETASK_CORE_ALGORITHM_REGISTRY_HPP

@@ -1,0 +1,185 @@
+#include "retask/core/allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "retask/common/error.hpp"
+#include "retask/common/math.hpp"
+#include "retask/power/critical_speed.hpp"
+#include "retask/sched/partition.hpp"
+
+namespace retask {
+namespace {
+
+double capacity_work(const AllocationProblem& problem) { return problem.curve.max_workload(); }
+
+double task_work(const AllocationProblem& problem, std::size_t i) {
+  return problem.work_per_cycle * static_cast<double>(problem.tasks[i].cycles);
+}
+
+double total_work(const AllocationProblem& problem) {
+  return problem.work_per_cycle * static_cast<double>(problem.tasks.total_cycles());
+}
+
+/// Energy of a concrete partition; infinity when any bin overflows.
+double partition_energy(const AllocationProblem& problem, const Partition& partition) {
+  for (const double load : partition.loads) {
+    if (!problem.curve.feasible(load)) return std::numeric_limits<double>::infinity();
+  }
+  double energy = 0.0;
+  for (const double load : partition.loads) energy += problem.curve.energy(load);
+  return energy;
+}
+
+/// Grows the processor count from the lower bound until `make_partition`
+/// yields a packing within budget. The count is capped at one processor per
+/// task plus slack processors for energy (idle processors cost E(0), which
+/// can matter for dormant-disable curves, so growth stops when adding
+/// processors stops helping).
+template <typename MakePartition>
+AllocationResult grow_until_within_budget(const AllocationProblem& problem,
+                                          MakePartition make_partition) {
+  const int lb = allocation_lower_bound(problem);
+  const int hard_cap = static_cast<int>(problem.tasks.size()) + lb + 4;
+  for (int m = lb; m <= hard_cap; ++m) {
+    const Partition partition = make_partition(m);
+    bool all_placed = true;
+    for (const int b : partition.bin_of) all_placed = all_placed && b >= 0;
+    if (!all_placed) continue;
+    const double energy = partition_energy(problem, partition);
+    if (leq_tol(energy, problem.energy_budget)) {
+      AllocationResult result;
+      result.processors = m;
+      result.processor_of = partition.bin_of;
+      result.energy = energy;
+      result.cost = m * problem.cost_per_processor;
+      return result;
+    }
+  }
+  throw Error("allocation: no processor count within the search cap meets the energy budget");
+}
+
+}  // namespace
+
+void validate(const AllocationProblem& problem) {
+  require(problem.work_per_cycle > 0.0, "AllocationProblem: work_per_cycle must be positive");
+  require(problem.energy_budget > 0.0, "AllocationProblem: energy budget must be positive");
+  require(problem.cost_per_processor > 0.0,
+          "AllocationProblem: processor cost must be positive");
+  require(!problem.tasks.empty(), "AllocationProblem: task set must not be empty");
+  for (std::size_t i = 0; i < problem.tasks.size(); ++i) {
+    require(leq_tol(task_work(problem, i), capacity_work(problem)),
+            "AllocationProblem: a task exceeds one processor's capacity");
+  }
+}
+
+double balanced_energy(const AllocationProblem& problem, int m) {
+  require(m >= 1, "balanced_energy: processor count must be positive");
+  const double share = total_work(problem) / m;
+  if (!problem.curve.feasible(share)) return std::numeric_limits<double>::infinity();
+  return m * problem.curve.energy(share);
+}
+
+int allocation_lower_bound(const AllocationProblem& problem) {
+  validate(problem);
+  const auto m_timing = static_cast<int>(
+      std::ceil(total_work(problem) / capacity_work(problem) - 1e-9));
+  int m = std::max(1, m_timing);
+  // Balanced energy is non-increasing in m for dormant-enable curves but can
+  // grow again for dormant-disable ones (idle processors leak); scan up to a
+  // generous cap and keep the first m within budget.
+  const int hard_cap = static_cast<int>(problem.tasks.size()) + m + 4;
+  while (m <= hard_cap && !leq_tol(balanced_energy(problem, m), problem.energy_budget)) {
+    ++m;
+  }
+  require(m <= hard_cap,
+          "allocation_lower_bound: the energy budget is below the workload's minimum energy");
+  return m;
+}
+
+AllocationResult allocate_first_fit(const AllocationProblem& problem) {
+  validate(problem);
+  std::vector<double> weights(problem.tasks.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = task_work(problem, i);
+  }
+  // First-fit decreasing: sort once, let first-fit scan in that order.
+  std::vector<std::size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return weights[a] > weights[b]; });
+  std::vector<double> sorted(weights.size());
+  for (std::size_t k = 0; k < order.size(); ++k) sorted[k] = weights[order[k]];
+
+  // Estimated-utilization packing (the RS-LEUF baseline's first-fit): for a
+  // candidate count m, the relaxation speed is max(W/(m*D), s*) per window,
+  // each task's estimated utilization is its work over the larger of that
+  // relaxation budget and its own single-processor demand, and bins have
+  // unit utilization capacity. Small m -> high speeds -> small utilizations
+  // -> few bins; large m -> critical-speed bins -> minimum energy.
+  const double crit_cap = std::min(
+      critical_speed(problem.curve.model()) * problem.curve.window(), capacity_work(problem));
+  const double total = total_work(problem);
+
+  AllocationResult result = grow_until_within_budget(problem, [&](int m) {
+    // One bin of headroom: sizing utilizations for the (m-1)-relaxation
+    // leaves first-fit the slack it needs to actually place everything in m
+    // bins (with exact-fit sizing the packing degenerates and first-fit
+    // always overflows into the critical-speed regime).
+    const double relax_budget = clamp(std::max(total / std::max(1, m - 1), crit_cap), crit_cap,
+                                      capacity_work(problem));
+    std::vector<double> util(sorted.size());
+    for (std::size_t k = 0; k < sorted.size(); ++k) {
+      util[k] = sorted[k] / std::max(relax_budget, sorted[k]);
+    }
+    const Partition util_partition =
+        partition_items(util, m, PartitionPolicy::kFirstFit, 1.0);
+    Partition partition;
+    partition.loads.assign(static_cast<std::size_t>(m), 0.0);
+    partition.bin_of.assign(weights.size(), -1);
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      partition.bin_of[order[k]] = util_partition.bin_of[k];
+      if (util_partition.bin_of[k] >= 0) {
+        partition.loads[static_cast<std::size_t>(util_partition.bin_of[k])] += sorted[k];
+      }
+    }
+    return partition;
+  });
+  return result;
+}
+
+AllocationResult allocate_balanced(const AllocationProblem& problem) {
+  validate(problem);
+  std::vector<double> weights(problem.tasks.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) weights[i] = task_work(problem, i);
+  return grow_until_within_budget(problem, [&](int m) {
+    return partition_items(weights, m, PartitionPolicy::kLargestFirst);
+  });
+}
+
+void check_allocation(const AllocationProblem& problem, const AllocationResult& result) {
+  validate(problem);
+  require(result.processors >= 1, "check_allocation: no processors allocated");
+  require(result.processor_of.size() == problem.tasks.size(),
+          "check_allocation: assignment size mismatch");
+  std::vector<double> loads(static_cast<std::size_t>(result.processors), 0.0);
+  for (std::size_t i = 0; i < result.processor_of.size(); ++i) {
+    const int p = result.processor_of[i];
+    require(p >= 0 && p < result.processors, "check_allocation: task placed out of range");
+    loads[static_cast<std::size_t>(p)] += task_work(problem, i);
+  }
+  double energy = 0.0;
+  for (const double load : loads) {
+    require(problem.curve.feasible(load), "check_allocation: a processor exceeds capacity");
+    energy += problem.curve.energy(load);
+  }
+  require(leq_tol(energy, problem.energy_budget), "check_allocation: energy budget exceeded");
+  require(almost_equal(energy, result.energy, 1e-6),
+          "check_allocation: recorded energy does not match recomputation");
+  require(almost_equal(result.cost, result.processors * problem.cost_per_processor, 1e-9),
+          "check_allocation: recorded cost does not match processor count");
+}
+
+}  // namespace retask

@@ -1,0 +1,76 @@
+// Allocation-cost minimization under an energy constraint.
+//
+// The synthesis-side sibling of the rejection problem: instead of a fixed
+// platform, the designer buys processors (each at a fixed allocation cost)
+// and must schedule the whole frame-based task set within both the timing
+// constraint and a total energy budget. The knobs interact: fewer
+// processors force higher speeds, which costs energy; a generous energy
+// budget lets the workload squeeze onto fewer processors.
+//
+// Two allocators are provided, mirroring the source line's comparison:
+//  * allocate_first_fit — the bin-packing baseline: first-fit decreasing at
+//    the timing capacity, growing the processor count until the energy
+//    budget holds. Packing bins full drives speeds up, so it wastes energy
+//    and needs more processors when the budget is tight.
+//  * allocate_balanced  — the RS-LEUF-style allocator: largest-task-first
+//    onto the least-loaded processor (balances loads, hence speeds), again
+//    growing the count until the budget holds.
+// `allocation_lower_bound` gives the provable minimum processor count
+// (timing: ceil(W / capacity); energy: the balanced relaxation
+// m * E(W/m) <= budget, valid because sum E(W_p) >= m * E(W/m) by
+// convexity), so results can be normalized the venue's way.
+#ifndef RETASK_CORE_ALLOCATION_HPP
+#define RETASK_CORE_ALLOCATION_HPP
+
+#include <vector>
+
+#include "retask/power/energy_curve.hpp"
+#include "retask/task/task_set.hpp"
+
+namespace retask {
+
+/// An allocation-synthesis instance.
+struct AllocationProblem {
+  FrameTaskSet tasks;
+  EnergyCurve curve;          ///< per-processor energy curve (one window)
+  double work_per_cycle = 1;  ///< task cycles -> curve work units
+  double energy_budget = 0;   ///< total energy allowed over the window
+  double cost_per_processor = 1.0;
+};
+
+/// A validated allocation.
+struct AllocationResult {
+  int processors = 0;
+  std::vector<int> processor_of;  ///< per task
+  double energy = 0.0;            ///< sum over processors of E(load)
+  double cost = 0.0;              ///< processors * cost_per_processor
+};
+
+/// Validates the instance (positive budget/cost, every task individually
+/// schedulable on one processor); throws retask::Error.
+void validate(const AllocationProblem& problem);
+
+/// Energy of the ideal balanced relaxation with `m` processors,
+/// m * E(W / m); infinity when W / m exceeds the per-processor capacity.
+double balanced_energy(const AllocationProblem& problem, int m);
+
+/// Provable minimum processor count (timing + balanced energy bound).
+/// Throws when no processor count can satisfy the budget (budget below the
+/// workload's minimum energy).
+int allocation_lower_bound(const AllocationProblem& problem);
+
+/// First-fit-decreasing baseline; returns the first processor count at or
+/// above the lower bound whose packing meets the energy budget.
+AllocationResult allocate_first_fit(const AllocationProblem& problem);
+
+/// Balanced (largest-task-first) allocator in the RS-LEUF tradition.
+AllocationResult allocate_balanced(const AllocationProblem& problem);
+
+/// Recomputes and checks an allocation against the instance (loads within
+/// capacity, energy within budget, every task placed); throws on mismatch
+/// with the recorded energy/cost.
+void check_allocation(const AllocationProblem& problem, const AllocationResult& result);
+
+}  // namespace retask
+
+#endif  // RETASK_CORE_ALLOCATION_HPP

@@ -1,0 +1,160 @@
+#include "retask/core/budgeted.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "retask/common/error.hpp"
+#include "retask/common/math.hpp"
+
+namespace retask {
+namespace {
+
+Cycles cycle_capacity(const BudgetedProblem& problem) {
+  return static_cast<Cycles>(
+      std::floor(problem.curve.max_workload() / problem.work_per_cycle * (1.0 + 1e-12) + 1e-9));
+}
+
+double energy_of(const BudgetedProblem& problem, Cycles cycles) {
+  return problem.curve.energy(problem.work_per_cycle * static_cast<double>(cycles));
+}
+
+/// Largest cycle count whose energy fits the budget (E is increasing).
+Cycles budget_cycle_cap(const BudgetedProblem& problem) {
+  Cycles lo = 0;
+  Cycles hi = std::min(cycle_capacity(problem), problem.tasks.total_cycles());
+  if (!leq_tol(energy_of(problem, 0), problem.energy_budget)) return -1;
+  while (lo < hi) {
+    const Cycles mid = lo + (hi - lo + 1) / 2;
+    if (leq_tol(energy_of(problem, mid), problem.energy_budget)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+std::vector<std::size_t> by_density_desc(const BudgetedProblem& problem) {
+  std::vector<std::size_t> order(problem.tasks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const FrameTask& ta = problem.tasks[a];
+    const FrameTask& tb = problem.tasks[b];
+    return ta.penalty * static_cast<double>(tb.cycles) >
+           tb.penalty * static_cast<double>(ta.cycles);
+  });
+  return order;
+}
+
+}  // namespace
+
+void validate(const BudgetedProblem& problem) {
+  require(problem.work_per_cycle > 0.0, "BudgetedProblem: work_per_cycle must be positive");
+  require(problem.energy_budget > 0.0, "BudgetedProblem: energy budget must be positive");
+}
+
+BudgetedSolution make_budgeted_solution(const BudgetedProblem& problem,
+                                        std::vector<bool> accepted) {
+  validate(problem);
+  require(accepted.size() == problem.tasks.size(),
+          "make_budgeted_solution: accept mask size mismatch");
+  Cycles cycles = 0;
+  double value = 0.0;
+  for (std::size_t i = 0; i < accepted.size(); ++i) {
+    if (accepted[i]) {
+      cycles += problem.tasks[i].cycles;
+      value += problem.tasks[i].penalty;
+    }
+  }
+  require(cycles <= cycle_capacity(problem), "make_budgeted_solution: capacity exceeded");
+  const double energy = energy_of(problem, cycles);
+  require(leq_tol(energy, problem.energy_budget), "make_budgeted_solution: budget exceeded");
+
+  BudgetedSolution solution;
+  solution.accepted = std::move(accepted);
+  solution.value = value;
+  solution.energy = energy;
+  return solution;
+}
+
+BudgetedSolution solve_budgeted_dp(const BudgetedProblem& problem) {
+  validate(problem);
+  const std::size_t n = problem.tasks.size();
+  const Cycles cap = budget_cycle_cap(problem);
+  require(cap >= 0, "solve_budgeted_dp: even an empty accept set exceeds the budget");
+
+  const auto width = static_cast<std::size_t>(cap) + 1;
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> best(width, kNegInf);
+  best[0] = 0.0;
+  std::vector<std::vector<bool>> take(n, std::vector<bool>(width, false));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const FrameTask& task = problem.tasks[i];
+    if (task.cycles > cap) continue;
+    const auto ci = static_cast<std::size_t>(task.cycles);
+    for (std::size_t w = width; w-- > ci;) {
+      const double candidate = best[w - ci] == kNegInf ? kNegInf : best[w - ci] + task.penalty;
+      if (candidate > best[w]) {
+        best[w] = candidate;
+        take[i][w] = true;
+      }
+    }
+  }
+
+  double best_value = 0.0;
+  std::size_t best_w = 0;
+  for (std::size_t w = 0; w < width; ++w) {
+    if (best[w] > best_value) {
+      best_value = best[w];
+      best_w = w;
+    }
+  }
+
+  std::vector<bool> accepted(n, false);
+  std::size_t w = best_w;
+  for (std::size_t i = n; i-- > 0;) {
+    if (take[i][w]) {
+      accepted[i] = true;
+      w -= static_cast<std::size_t>(problem.tasks[i].cycles);
+    }
+  }
+  RETASK_ASSERT(w == 0);
+  return make_budgeted_solution(problem, std::move(accepted));
+}
+
+BudgetedSolution solve_budgeted_greedy(const BudgetedProblem& problem) {
+  validate(problem);
+  const Cycles cap = budget_cycle_cap(problem);
+  require(cap >= 0, "solve_budgeted_greedy: even an empty accept set exceeds the budget");
+  std::vector<bool> accepted(problem.tasks.size(), false);
+  Cycles load = 0;
+  for (const std::size_t i : by_density_desc(problem)) {
+    const Cycles c = problem.tasks[i].cycles;
+    if (load + c <= cap) {
+      accepted[i] = true;
+      load += c;
+    }
+  }
+  return make_budgeted_solution(problem, std::move(accepted));
+}
+
+double budgeted_fractional_upper_bound(const BudgetedProblem& problem) {
+  validate(problem);
+  const Cycles cap = budget_cycle_cap(problem);
+  require(cap >= 0, "budgeted_fractional_upper_bound: budget below the idle energy");
+  double remaining = static_cast<double>(cap);
+  double value = 0.0;
+  for (const std::size_t i : by_density_desc(problem)) {
+    if (remaining <= 0.0) break;
+    const FrameTask& task = problem.tasks[i];
+    const double used = std::min(remaining, static_cast<double>(task.cycles));
+    value += task.penalty * used / static_cast<double>(task.cycles);
+    remaining -= used;
+  }
+  return value;
+}
+
+}  // namespace retask

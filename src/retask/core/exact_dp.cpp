@@ -1,0 +1,67 @@
+#include "retask/core/exact_dp.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "retask/common/error.hpp"
+
+namespace retask {
+
+RejectionSolution ExactDpSolver::solve(const RejectionProblem& problem) const {
+  require(problem.processor_count() == 1, "ExactDpSolver: single-processor algorithm");
+  const std::size_t n = problem.size();
+  const Cycles cap = std::min(problem.cycle_capacity(), problem.tasks().total_cycles());
+  require(cap >= 0, "ExactDpSolver: negative capacity");
+
+  const auto width = static_cast<std::size_t>(cap) + 1;
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+  // kept[w]: maximum total penalty of accepted tasks whose cycles sum to
+  // exactly w. take[i][w]: the update at task i improved state w.
+  std::vector<double> kept(width, kNegInf);
+  kept[0] = 0.0;
+  std::vector<std::vector<bool>> take(n, std::vector<bool>(width, false));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const FrameTask& task = problem.tasks()[i];
+    if (task.cycles > cap) continue;  // can never be accepted
+    const auto ci = static_cast<std::size_t>(task.cycles);
+    for (std::size_t w = width; w-- > ci;) {
+      const double candidate = kept[w - ci] == kNegInf ? kNegInf : kept[w - ci] + task.penalty;
+      if (candidate > kept[w]) {
+        kept[w] = candidate;
+        take[i][w] = true;
+      }
+    }
+  }
+
+  // Sweep achievable accepted-cycle totals for the best objective.
+  const double total_penalty = problem.tasks().total_penalty();
+  double best_objective = std::numeric_limits<double>::infinity();
+  std::size_t best_w = 0;
+  for (std::size_t w = 0; w < width; ++w) {
+    if (kept[w] == kNegInf) continue;
+    const double objective =
+        problem.energy_of_cycles(static_cast<Cycles>(w)) + (total_penalty - kept[w]);
+    if (objective < best_objective) {
+      best_objective = objective;
+      best_w = w;
+    }
+  }
+  RETASK_ASSERT(best_objective < std::numeric_limits<double>::infinity());
+
+  // Reconstruct the accept set backwards through the per-task choice bits.
+  std::vector<bool> accepted(n, false);
+  std::size_t w = best_w;
+  for (std::size_t i = n; i-- > 0;) {
+    if (take[i][w]) {
+      accepted[i] = true;
+      w -= static_cast<std::size_t>(problem.tasks()[i].cycles);
+    }
+  }
+  RETASK_ASSERT(w == 0);
+  return make_solution_on_one(problem, std::move(accepted));
+}
+
+}  // namespace retask

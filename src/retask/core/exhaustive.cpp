@@ -1,0 +1,150 @@
+#include "retask/core/exhaustive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "retask/common/error.hpp"
+
+namespace retask {
+
+RejectionSolution ExhaustiveSolver::solve(const RejectionProblem& problem) const {
+  require(problem.processor_count() == 1, "ExhaustiveSolver: single-processor algorithm");
+  const std::size_t n = problem.size();
+  require(n <= 24, "ExhaustiveSolver: instance too large (n > 24)");
+
+  std::unordered_map<Cycles, double> energy_memo;
+  const auto energy_of = [&](Cycles load) {
+    const auto it = energy_memo.find(load);
+    if (it != energy_memo.end()) return it->second;
+    const double e = problem.energy_of_cycles(load);
+    energy_memo.emplace(load, e);
+    return e;
+  };
+
+  double best_objective = std::numeric_limits<double>::infinity();
+  std::uint32_t best_mask = 0;
+
+  const auto mask_count = std::uint32_t{1} << n;
+  for (std::uint32_t mask = 0; mask < mask_count; ++mask) {
+    Cycles load = 0;
+    double rejected = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::uint32_t{1} << i)) {
+        load += problem.tasks()[i].cycles;
+      } else {
+        rejected += problem.tasks()[i].penalty;
+      }
+    }
+    if (load > problem.cycle_capacity()) continue;
+    const double objective = energy_of(load) + rejected;
+    if (objective < best_objective) {
+      best_objective = objective;
+      best_mask = mask;
+    }
+  }
+  RETASK_ASSERT(best_objective < std::numeric_limits<double>::infinity());
+
+  std::vector<bool> accepted(n, false);
+  for (std::size_t i = 0; i < n; ++i) accepted[i] = (best_mask & (std::uint32_t{1} << i)) != 0;
+  return make_solution_on_one(problem, std::move(accepted));
+}
+
+namespace {
+
+/// DFS state for the multiprocessor enumeration.
+struct MpSearch {
+  const RejectionProblem* problem = nullptr;
+  int proc_count = 0;
+  std::vector<std::size_t> order;    // tasks by descending cycles
+  std::vector<int> choice;           // per order position: -1 reject, else proc
+  std::vector<Cycles> loads;         // per processor
+  double idle_energy_each = 0.0;     // E(0) per processor
+  double best_objective = std::numeric_limits<double>::infinity();
+  std::vector<int> best_choice;
+
+  void run(std::size_t pos, double rejected_penalty, double busy_energy_sum, int used_procs) {
+    // busy_energy_sum tracks sum over processors of E(load) - E(0); the full
+    // energy is busy_energy_sum + M * E(0).
+    const double committed =
+        rejected_penalty + busy_energy_sum + idle_energy_each * static_cast<double>(proc_count);
+    if (pos == order.size()) {
+      if (committed < best_objective) {
+        best_objective = committed;
+        best_choice = choice;
+      }
+      return;
+    }
+    // Every remaining decision adds a non-negative amount (penalties are
+    // non-negative and E is increasing), so the committed cost is a valid
+    // lower bound on any completion.
+    if (committed >= best_objective) return;
+
+    const std::size_t task_index = order[pos];
+    const FrameTask& task = problem->tasks()[task_index];
+
+    // Option 1: reject.
+    choice[pos] = -1;
+    run(pos + 1, rejected_penalty + task.penalty, busy_energy_sum, used_procs);
+
+    // Option 2: one of the used processors, plus the first unused one
+    // (identical processors: trying more than one empty processor only
+    // repeats symmetric schedules).
+    const int tryable = std::min(used_procs + 1, proc_count);
+    for (int p = 0; p < tryable; ++p) {
+      const auto pi = static_cast<std::size_t>(p);
+      if (loads[pi] + task.cycles > problem->cycle_capacity()) continue;
+      const double before = problem->energy_of_cycles(loads[pi]);
+      loads[pi] += task.cycles;
+      const double after = problem->energy_of_cycles(loads[pi]);
+      choice[pos] = p;
+      run(pos + 1, rejected_penalty, busy_energy_sum + (after - before),
+          std::max(used_procs, p + 1));
+      loads[pi] -= task.cycles;
+    }
+    choice[pos] = -2;
+  }
+};
+
+}  // namespace
+
+RejectionSolution MultiProcExhaustiveSolver::solve(const RejectionProblem& problem) const {
+  const std::size_t n = problem.size();
+  const int m = problem.processor_count();
+  // Guard the state space (before symmetry pruning).
+  double states = 1.0;
+  for (std::size_t i = 0; i < n; ++i) states *= static_cast<double>(m + 1);
+  require(states <= 64e6, "MultiProcExhaustiveSolver: instance too large ((M+1)^n > 64e6)");
+
+  MpSearch search;
+  search.problem = &problem;
+  search.proc_count = m;
+  search.order.resize(n);
+  std::iota(search.order.begin(), search.order.end(), std::size_t{0});
+  std::stable_sort(search.order.begin(), search.order.end(), [&](std::size_t a, std::size_t b) {
+    return problem.tasks()[a].cycles > problem.tasks()[b].cycles;
+  });
+  search.choice.assign(n, -2);
+  search.loads.assign(static_cast<std::size_t>(m), 0);
+  search.idle_energy_each = problem.energy_of_cycles(0);
+
+  search.run(0, 0.0, 0.0, 0);
+  RETASK_ASSERT(search.best_objective < std::numeric_limits<double>::infinity());
+
+  std::vector<bool> accepted(n, false);
+  std::vector<int> processor_of(n, -1);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const int c = search.best_choice[pos];
+    const std::size_t task_index = search.order[pos];
+    if (c >= 0) {
+      accepted[task_index] = true;
+      processor_of[task_index] = c;
+    }
+  }
+  return make_solution(problem, std::move(accepted), std::move(processor_of));
+}
+
+}  // namespace retask

@@ -1,0 +1,31 @@
+// Exhaustive optimal solvers, used as the normalization baseline for the
+// small instances of the evaluation (the venue's standard methodology:
+// "relative ratio to the optimal solution obtained by exhaustive search")
+// and as an independent oracle for testing the DP/FPTAS.
+#ifndef RETASK_CORE_EXHAUSTIVE_HPP
+#define RETASK_CORE_EXHAUSTIVE_HPP
+
+#include "retask/core/solver.hpp"
+
+namespace retask {
+
+/// Optimal single-processor solver by subset enumeration with per-load
+/// energy memoization. Guarded to n <= 24.
+class ExhaustiveSolver final : public RejectionSolver {
+ public:
+  RejectionSolution solve(const RejectionProblem& problem) const override;
+  std::string name() const override { return "OPT-EXH"; }
+};
+
+/// Optimal multiprocessor solver: depth-first enumeration of per-task
+/// choices (reject, or one of the processors) with processor-symmetry
+/// breaking and a lower-bound prune. Guarded to (M+1)^n <= 64e6 states.
+class MultiProcExhaustiveSolver final : public RejectionSolver {
+ public:
+  RejectionSolution solve(const RejectionProblem& problem) const override;
+  std::string name() const override { return "MP-OPT-EXH"; }
+};
+
+}  // namespace retask
+
+#endif  // RETASK_CORE_EXHAUSTIVE_HPP

@@ -1,0 +1,128 @@
+#include "retask/core/fptas.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "retask/common/error.hpp"
+#include "retask/core/greedy.hpp"
+
+namespace retask {
+namespace {
+
+/// One scaled-DP round under the guess G. Returns the best solution found
+/// (always a genuine feasible solution) or an empty optional-like flag via
+/// `found`.
+RejectionSolution scaled_round(const RejectionProblem& problem, double guess, double eps_int,
+                               bool& found) {
+  const std::size_t n = problem.size();
+  const double delta = eps_int * guess / static_cast<double>(n);
+  RETASK_ASSERT(delta > 0.0);
+
+  // Tasks with penalty above the guess cannot be rejected by any solution of
+  // value <= guess: force-accept them.
+  std::vector<std::size_t> movable;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (problem.tasks()[i].penalty <= guess) movable.push_back(i);
+  }
+
+  const auto r_max = static_cast<std::size_t>(std::ceil(guess / delta)) + movable.size();
+  const auto width = r_max + 1;
+
+  constexpr Cycles kNone = -1;
+  // rej[r]: max cycles rejectable at scaled penalty exactly r; true_pen[r]
+  // carries the exact penalty of that set so candidates are evaluated
+  // without rounding error.
+  std::vector<Cycles> rej(width, kNone);
+  std::vector<double> true_pen(width, 0.0);
+  rej[0] = 0;
+  std::vector<std::vector<bool>> take(movable.size(), std::vector<bool>(width, false));
+
+  for (std::size_t k = 0; k < movable.size(); ++k) {
+    const FrameTask& task = problem.tasks()[movable[k]];
+    const auto q = static_cast<std::size_t>(std::floor(task.penalty / delta));
+    if (q >= width) continue;  // cannot fit any budget row
+    for (std::size_t r = width; r-- > q;) {
+      if (rej[r - q] == kNone) continue;
+      const Cycles candidate = rej[r - q] + task.cycles;
+      if (candidate > rej[r]) {
+        rej[r] = candidate;
+        true_pen[r] = true_pen[r - q] + task.penalty;
+        take[k][r] = true;
+      }
+    }
+  }
+
+  // Sweep rows: accepted cycles = total - rejected; keep the best feasible
+  // candidate by its TRUE objective.
+  const Cycles total = problem.tasks().total_cycles();
+  double best_objective = std::numeric_limits<double>::infinity();
+  std::size_t best_r = 0;
+  for (std::size_t r = 0; r < width; ++r) {
+    if (rej[r] == kNone) continue;
+    const Cycles accepted_cycles = total - rej[r];
+    if (accepted_cycles > problem.cycle_capacity()) continue;
+    const double objective = problem.energy_of_cycles(accepted_cycles) + true_pen[r];
+    if (objective < best_objective) {
+      best_objective = objective;
+      best_r = r;
+    }
+  }
+  if (best_objective == std::numeric_limits<double>::infinity()) {
+    found = false;
+    return RejectionSolution{};
+  }
+  found = true;
+
+  // Reconstruct the rejected set backwards.
+  std::vector<bool> accepted(n, true);
+  std::size_t r = best_r;
+  for (std::size_t k = movable.size(); k-- > 0;) {
+    if (take[k][r]) {
+      accepted[movable[k]] = false;
+      const FrameTask& task = problem.tasks()[movable[k]];
+      r -= static_cast<std::size_t>(std::floor(task.penalty / delta));
+    }
+  }
+  RETASK_ASSERT(r == 0);
+  return make_solution_on_one(problem, std::move(accepted));
+}
+
+}  // namespace
+
+FptasSolver::FptasSolver(double epsilon) : epsilon_(epsilon) {
+  require(epsilon > 0.0, "FptasSolver: epsilon must be positive");
+}
+
+std::string FptasSolver::name() const {
+  std::ostringstream os;
+  os << "FPTAS(" << epsilon_ << ")";
+  return os.str();
+}
+
+RejectionSolution FptasSolver::solve(const RejectionProblem& problem) const {
+  require(problem.processor_count() == 1, "FptasSolver: single-processor algorithm");
+
+  // Upper bound from a genuine heuristic solution.
+  RejectionSolution best = DensityGreedySolver().solve(problem);
+  const double eps_int = epsilon_ / (1.0 + epsilon_);
+
+  // A zero objective is already optimal (nothing to approximate).
+  if (best.objective() <= 0.0) return best;
+
+  constexpr int kMaxRounds = 40;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    bool found = false;
+    const RejectionSolution candidate = scaled_round(problem, best.objective(), eps_int, found);
+    if (!found) break;
+    const double improvement = best.objective() - candidate.objective();
+    if (candidate.objective() < best.objective()) best = candidate;
+    // Fixpoint: the guess can no longer shrink meaningfully.
+    if (improvement <= 1e-12 * std::max(1.0, best.objective())) break;
+  }
+  return best;
+}
+
+}  // namespace retask

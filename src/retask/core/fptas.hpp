@@ -1,0 +1,47 @@
+// Fully polynomial-time approximation scheme for single-processor task
+// rejection.
+//
+// The exact DP of exact_dp.hpp is pseudo-polynomial in the cycle capacity;
+// this FPTAS is polynomial in n and 1/epsilon regardless of the magnitudes:
+//
+//  1. Take a guess G >= OPT (initially the best heuristic objective, which
+//     is a genuine feasible solution, hence an upper bound).
+//  2. Scale penalties with delta = eps_int * G / n and run a knapsack DP
+//     over scaled REJECTED penalty: rej[r] = max cycles rejectable with
+//     scaled penalty exactly r, r <= ceil(G/delta) + n = ceil(n/eps_int)+n.
+//     Tasks with penalty > G are never rejected by any solution of value
+//     <= G, so they are force-accepted and excluded from the table.
+//  3. Every table entry is a genuine solution (true penalties are carried
+//     alongside), so the sweep returns a feasible solution whose true
+//     objective is at most OPT + n * delta = OPT + eps_int * G.
+//  4. Iterate with G := (objective just found) until the fixpoint; with
+//     eps_int = eps / (1 + eps) the fixpoint satisfies
+//     objective <= OPT / (1 - eps_int) = (1 + eps) * OPT.
+//
+// Time O(rounds * n^2 / eps), space O(n^2 / eps) bits for reconstruction;
+// the round count is logarithmic in UB/OPT and capped.
+#ifndef RETASK_CORE_FPTAS_HPP
+#define RETASK_CORE_FPTAS_HPP
+
+#include "retask/core/solver.hpp"
+
+namespace retask {
+
+/// (1+epsilon)-approximation for single-processor rejection.
+class FptasSolver final : public RejectionSolver {
+ public:
+  /// Requires epsilon > 0. Smaller epsilon: closer to optimal, larger DP.
+  explicit FptasSolver(double epsilon);
+
+  RejectionSolution solve(const RejectionProblem& problem) const override;
+  std::string name() const override;
+
+  double epsilon() const { return epsilon_; }
+
+ private:
+  double epsilon_;
+};
+
+}  // namespace retask
+
+#endif  // RETASK_CORE_FPTAS_HPP

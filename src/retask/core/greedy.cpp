@@ -1,0 +1,139 @@
+#include "retask/core/greedy.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "retask/common/error.hpp"
+#include "retask/common/rng.hpp"
+
+namespace retask {
+namespace {
+
+/// Indices sorted by increasing penalty density rho_i / c_i (cheapest
+/// rejection per saved cycle first); ties by index for determinism.
+std::vector<std::size_t> density_order(const RejectionProblem& problem) {
+  std::vector<std::size_t> order(problem.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const FrameTask& ta = problem.tasks()[a];
+    const FrameTask& tb = problem.tasks()[b];
+    return ta.penalty * static_cast<double>(tb.cycles) <
+           tb.penalty * static_cast<double>(ta.cycles);
+  });
+  return order;
+}
+
+/// Rejects tasks from `accepted` in `order` until the load fits one
+/// processor. Returns the remaining accepted cycle load.
+Cycles reject_until_feasible(const RejectionProblem& problem,
+                             const std::vector<std::size_t>& order, std::vector<bool>& accepted) {
+  Cycles load = problem.accepted_cycles(accepted);
+  for (const std::size_t i : order) {
+    if (load <= problem.cycle_capacity()) break;
+    if (accepted[i]) {
+      accepted[i] = false;
+      load -= problem.tasks()[i].cycles;
+    }
+  }
+  require(load <= problem.cycle_capacity(),
+          "reject_until_feasible: instance infeasible even with every task rejected");
+  return load;
+}
+
+}  // namespace
+
+RejectionSolution AllAcceptSolver::solve(const RejectionProblem& problem) const {
+  require(problem.processor_count() == 1, "AllAcceptSolver: single-processor algorithm");
+  std::vector<bool> accepted(problem.size(), true);
+  reject_until_feasible(problem, density_order(problem), accepted);
+  return make_solution_on_one(problem, std::move(accepted));
+}
+
+RejectionSolution DensityGreedySolver::solve(const RejectionProblem& problem) const {
+  require(problem.processor_count() == 1, "DensityGreedySolver: single-processor algorithm");
+  const std::vector<std::size_t> order = density_order(problem);
+  std::vector<bool> accepted(problem.size(), true);
+  Cycles load = reject_until_feasible(problem, order, accepted);
+
+  // One pass over the remaining tasks in density order: reject whenever the
+  // exact energy saving at the current load beats the penalty.
+  for (const std::size_t i : order) {
+    if (!accepted[i]) continue;
+    const FrameTask& task = problem.tasks()[i];
+    const double saving =
+        problem.energy_of_cycles(load) - problem.energy_of_cycles(load - task.cycles);
+    if (saving > task.penalty) {
+      accepted[i] = false;
+      load -= task.cycles;
+    }
+  }
+  return make_solution_on_one(problem, std::move(accepted));
+}
+
+RejectionSolution MarginalGreedySolver::solve(const RejectionProblem& problem) const {
+  require(problem.processor_count() == 1, "MarginalGreedySolver: single-processor algorithm");
+
+  // Seed with the density-greedy solution, then steepest-descent over flips.
+  RejectionSolution seed = DensityGreedySolver().solve(problem);
+  std::vector<bool> accepted = seed.accepted;
+  Cycles load = problem.accepted_cycles(accepted);
+  double objective = seed.objective();
+
+  const std::size_t n = problem.size();
+  const std::size_t max_moves = 4 * n * n + 16;
+  for (std::size_t move = 0; move < max_moves; ++move) {
+    double best_delta = -1e-12 * std::max(objective, 1.0);  // strict improvement only
+    std::size_t best_index = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const FrameTask& task = problem.tasks()[i];
+      double delta = 0.0;
+      if (accepted[i]) {
+        // Reject i: pay penalty, save energy.
+        delta = task.penalty - (problem.energy_of_cycles(load) -
+                                problem.energy_of_cycles(load - task.cycles));
+      } else {
+        // Re-accept i when it fits: save penalty, pay energy.
+        if (load + task.cycles > problem.cycle_capacity()) continue;
+        delta = (problem.energy_of_cycles(load + task.cycles) - problem.energy_of_cycles(load)) -
+                task.penalty;
+      }
+      if (delta < best_delta) {
+        best_delta = delta;
+        best_index = i;
+      }
+    }
+    if (best_index == n) break;
+    if (accepted[best_index]) {
+      accepted[best_index] = false;
+      load -= problem.tasks()[best_index].cycles;
+    } else {
+      accepted[best_index] = true;
+      load += problem.tasks()[best_index].cycles;
+    }
+    objective += best_delta;
+  }
+  return make_solution_on_one(problem, std::move(accepted));
+}
+
+RejectionSolution RandomRejectSolver::solve(const RejectionProblem& problem) const {
+  require(problem.processor_count() == 1, "RandomRejectSolver: single-processor algorithm");
+  Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL * (problem.size() + 1)));
+  std::vector<bool> accepted(problem.size(), true);
+  Cycles load = problem.accepted_cycles(accepted);
+
+  std::vector<std::size_t> candidates(problem.size());
+  std::iota(candidates.begin(), candidates.end(), std::size_t{0});
+  rng.shuffle(candidates);
+  for (const std::size_t i : candidates) {
+    if (load <= problem.cycle_capacity()) break;
+    accepted[i] = false;
+    load -= problem.tasks()[i].cycles;
+  }
+  require(load <= problem.cycle_capacity(),
+          "RandomRejectSolver: instance infeasible even with every task rejected");
+  return make_solution_on_one(problem, std::move(accepted));
+}
+
+}  // namespace retask

@@ -1,0 +1,283 @@
+#include "retask/core/het_allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "retask/common/error.hpp"
+#include "retask/common/math.hpp"
+
+namespace retask {
+namespace {
+
+/// Packs chosen (type, speed) options into unit-utilization bins per type
+/// (first-fit decreasing) and fills a full result.
+HetAllocationResult pack(const HetAllocationProblem& problem,
+                         const std::vector<std::pair<int, int>>& choice) {
+  const std::size_t n = problem.tasks.size();
+  const std::size_t m = problem.types.size();
+  HetAllocationResult result;
+  result.placement.resize(n);
+  result.processors_per_type.assign(m, 0);
+
+  for (std::size_t j = 0; j < m; ++j) {
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (static_cast<std::size_t>(choice[i].first) == j) members.push_back(i);
+    }
+    if (members.empty()) continue;
+    std::stable_sort(members.begin(), members.end(), [&](std::size_t a, std::size_t b) {
+      return het_utilization(problem, a, j, static_cast<std::size_t>(choice[a].second)) >
+             het_utilization(problem, b, j, static_cast<std::size_t>(choice[b].second));
+    });
+    std::vector<double> bins;
+    for (const std::size_t i : members) {
+      const double u = het_utilization(problem, i, j, static_cast<std::size_t>(choice[i].second));
+      std::size_t placed = bins.size();
+      for (std::size_t b = 0; b < bins.size(); ++b) {
+        if (leq_tol(bins[b] + u, 1.0)) {
+          placed = b;
+          break;
+        }
+      }
+      if (placed == bins.size()) bins.push_back(0.0);
+      bins[placed] += u;
+      result.placement[i] = {static_cast<int>(j), static_cast<int>(placed), choice[i].second};
+      result.energy += het_energy(problem, i, j, static_cast<std::size_t>(choice[i].second));
+    }
+    result.processors_per_type[j] = static_cast<int>(bins.size());
+    result.cost += problem.types[j].cost * static_cast<double>(bins.size());
+  }
+  return result;
+}
+
+/// All feasible (type, speed) options for one task, with their utilization
+/// and energy.
+struct Option {
+  int type = 0;
+  int speed = 0;
+  double utilization = 0.0;
+  double energy = 0.0;
+};
+
+std::vector<std::vector<Option>> feasible_options(const HetAllocationProblem& problem) {
+  std::vector<std::vector<Option>> options(problem.tasks.size());
+  for (std::size_t i = 0; i < problem.tasks.size(); ++i) {
+    for (std::size_t j = 0; j < problem.types.size(); ++j) {
+      const auto speeds = problem.types[j].model.available_speeds();
+      for (std::size_t l = 0; l < speeds.size(); ++l) {
+        const double u = het_utilization(problem, i, j, l);
+        if (!leq_tol(u, 1.0)) continue;
+        options[i].push_back({static_cast<int>(j), static_cast<int>(l), u,
+                              het_energy(problem, i, j, l)});
+      }
+    }
+  }
+  return options;
+}
+
+}  // namespace
+
+void validate(const HetAllocationProblem& problem) {
+  require(!problem.types.empty(), "HetAllocationProblem: at least one processor type required");
+  require(!problem.tasks.empty(), "HetAllocationProblem: at least one task required");
+  require(problem.window > 0.0, "HetAllocationProblem: window must be positive");
+  require(problem.energy_budget > 0.0, "HetAllocationProblem: energy budget must be positive");
+  for (const ProcessorType& type : problem.types) {
+    require(type.cost > 0.0, "HetAllocationProblem: processor cost must be positive");
+  }
+  for (const HetTask& task : problem.tasks) {
+    require(task.cycles_per_type.size() == problem.types.size(),
+            "HetAllocationProblem: per-type cycle vector size mismatch");
+    bool feasible = false;
+    for (std::size_t j = 0; j < problem.types.size(); ++j) {
+      require(task.cycles_per_type[j] > 0, "HetAllocationProblem: cycles must be positive");
+      const double top = problem.types[j].model.max_speed() * problem.window;
+      feasible = feasible || leq_tol(static_cast<double>(task.cycles_per_type[j]), top);
+    }
+    require(feasible, "HetAllocationProblem: a task fits no processor type at top speed");
+  }
+}
+
+double het_utilization(const HetAllocationProblem& problem, std::size_t task, std::size_t type,
+                       std::size_t speed) {
+  const double s = problem.types[type].model.available_speeds().at(speed);
+  return static_cast<double>(problem.tasks[task].cycles_per_type[type]) /
+         (s * problem.window);
+}
+
+double het_energy(const HetAllocationProblem& problem, std::size_t task, std::size_t type,
+                  std::size_t speed) {
+  const double s = problem.types[type].model.available_speeds().at(speed);
+  const double busy = static_cast<double>(problem.tasks[task].cycles_per_type[type]) / s;
+  return busy * problem.types[type].model.power(s);
+}
+
+HetAllocationResult allocate_het_lagrangian(const HetAllocationProblem& problem) {
+  validate(problem);
+  const std::vector<std::vector<Option>> options = feasible_options(problem);
+  const std::size_t n = problem.tasks.size();
+  const std::size_t m = problem.types.size();
+
+  // Types in ascending cost for the parametric restriction.
+  std::vector<std::size_t> by_cost(m);
+  std::iota(by_cost.begin(), by_cost.end(), std::size_t{0});
+  std::stable_sort(by_cost.begin(), by_cost.end(), [&](std::size_t a, std::size_t b) {
+    return problem.types[a].cost < problem.types[b].cost;
+  });
+
+  // Lambda scale: cost-per-utilization against energy magnitudes.
+  double min_cost = std::numeric_limits<double>::infinity();
+  double mean_energy = 0.0;
+  std::size_t option_count = 0;
+  for (const auto& task_options : options) {
+    for (const Option& option : task_options) {
+      min_cost = std::min(min_cost, problem.types[static_cast<std::size_t>(option.type)].cost);
+      mean_energy += option.energy;
+      ++option_count;
+    }
+  }
+  require(option_count > 0, "allocate_het_lagrangian: no feasible options");
+  mean_energy /= static_cast<double>(option_count);
+  const double lambda0 = mean_energy > 0.0 ? 0.01 * min_cost / mean_energy : 1.0;
+
+  HetAllocationResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+
+  for (std::size_t restrict = 1; restrict <= m; ++restrict) {
+    std::vector<bool> allowed(m, false);
+    for (std::size_t r = 0; r < restrict; ++r) allowed[by_cost[r]] = true;
+
+    double lambda = 0.0;
+    for (int step = 0; step <= 60; ++step) {
+      std::vector<std::pair<int, int>> choice(n, {-1, -1});
+      bool complete = true;
+      for (std::size_t i = 0; i < n && complete; ++i) {
+        double best_score = std::numeric_limits<double>::infinity();
+        for (const Option& option : options[i]) {
+          if (!allowed[static_cast<std::size_t>(option.type)]) continue;
+          const double score =
+              problem.types[static_cast<std::size_t>(option.type)].cost * option.utilization +
+              lambda * option.energy;
+          if (score < best_score) {
+            best_score = score;
+            choice[i] = {option.type, option.speed};
+          }
+        }
+        complete = choice[i].first >= 0;
+      }
+      if (complete) {
+        const HetAllocationResult candidate = pack(problem, choice);
+        if (leq_tol(candidate.energy, problem.energy_budget)) {
+          if (candidate.cost < best.cost) best = candidate;
+          break;  // higher lambda in this restriction only chases energy
+        }
+      }
+      lambda = lambda == 0.0 ? lambda0 : lambda * 2.0;
+    }
+  }
+  require(best.cost < std::numeric_limits<double>::infinity(),
+          "allocate_het_lagrangian: no schedule meets the energy budget");
+  return best;
+}
+
+HetAllocationResult allocate_het_exhaustive(const HetAllocationProblem& problem) {
+  validate(problem);
+  const std::vector<std::vector<Option>> options = feasible_options(problem);
+  double states = 1.0;
+  for (const auto& task_options : options) {
+    require(!task_options.empty(), "allocate_het_exhaustive: a task has no feasible option");
+    states *= static_cast<double>(task_options.size());
+  }
+  require(states <= 1.5e6,
+          "allocate_het_exhaustive: instance too large (options^n > 1.5e6)");
+
+  const std::size_t n = problem.tasks.size();
+  std::vector<std::pair<int, int>> choice(n, {-1, -1});
+  HetAllocationResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+
+  // Odometer enumeration over per-task options.
+  std::vector<std::size_t> idx(n, 0);
+  while (true) {
+    for (std::size_t i = 0; i < n; ++i) {
+      choice[i] = {options[i][idx[i]].type, options[i][idx[i]].speed};
+    }
+    const HetAllocationResult candidate = pack(problem, choice);
+    if (leq_tol(candidate.energy, problem.energy_budget) && candidate.cost < best.cost) {
+      best = candidate;
+    }
+    std::size_t pos = 0;
+    while (pos < n && ++idx[pos] == options[pos].size()) {
+      idx[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  require(best.cost < std::numeric_limits<double>::infinity(),
+          "allocate_het_exhaustive: no schedule meets the energy budget");
+  return best;
+}
+
+double het_cost_lower_bound(const HetAllocationProblem& problem) {
+  validate(problem);
+  const std::vector<std::vector<Option>> options = feasible_options(problem);
+  double fractional = 0.0;
+  for (const auto& task_options : options) {
+    double cheapest = std::numeric_limits<double>::infinity();
+    for (const Option& option : task_options) {
+      cheapest = std::min(cheapest,
+                          problem.types[static_cast<std::size_t>(option.type)].cost *
+                              option.utilization);
+    }
+    fractional += cheapest;
+  }
+  double min_type_cost = std::numeric_limits<double>::infinity();
+  for (const ProcessorType& type : problem.types) {
+    min_type_cost = std::min(min_type_cost, type.cost);
+  }
+  return std::max(fractional, min_type_cost);
+}
+
+void check_het_allocation(const HetAllocationProblem& problem,
+                          const HetAllocationResult& result) {
+  validate(problem);
+  require(result.placement.size() == problem.tasks.size(),
+          "check_het_allocation: placement size mismatch");
+  require(result.processors_per_type.size() == problem.types.size(),
+          "check_het_allocation: per-type counter size mismatch");
+
+  // Per (type, processor) utilization sums.
+  std::vector<std::vector<double>> load(problem.types.size());
+  for (std::size_t j = 0; j < problem.types.size(); ++j) {
+    require(result.processors_per_type[j] >= 0, "check_het_allocation: negative counts");
+    load[j].assign(static_cast<std::size_t>(result.processors_per_type[j]), 0.0);
+  }
+  double energy = 0.0;
+  double cost = 0.0;
+  for (std::size_t i = 0; i < result.placement.size(); ++i) {
+    const HetPlacement& p = result.placement[i];
+    const auto j = static_cast<std::size_t>(p.type);
+    require(j < problem.types.size(), "check_het_allocation: type out of range");
+    require(p.processor >= 0 && static_cast<std::size_t>(p.processor) < load[j].size(),
+            "check_het_allocation: processor index out of range");
+    const auto l = static_cast<std::size_t>(p.speed);
+    require(l < problem.types[j].model.available_speeds().size(),
+            "check_het_allocation: speed index out of range");
+    load[j][static_cast<std::size_t>(p.processor)] += het_utilization(problem, i, j, l);
+    energy += het_energy(problem, i, j, l);
+  }
+  for (std::size_t j = 0; j < problem.types.size(); ++j) {
+    for (const double u : load[j]) {
+      require(leq_tol(u, 1.0), "check_het_allocation: a processor exceeds utilization 1");
+    }
+    cost += problem.types[j].cost * static_cast<double>(result.processors_per_type[j]);
+  }
+  require(leq_tol(energy, problem.energy_budget), "check_het_allocation: budget exceeded");
+  require(almost_equal(energy, result.energy, 1e-6),
+          "check_het_allocation: recorded energy mismatch");
+  require(almost_equal(cost, result.cost, 1e-9), "check_het_allocation: recorded cost mismatch");
+}
+
+}  // namespace retask

@@ -1,0 +1,101 @@
+// Heterogeneous processor-type allocation under an energy constraint.
+//
+// The synthesis problem of the source line's allocation-cost work,
+// generalized to multiple processor types: a catalogue of non-ideal
+// processor types (each with a cost and a finite speed/power table), tasks
+// whose per-job cycle counts depend on the type, a common frame, and a
+// global energy budget. Allocate processors and map every task to one
+// processor at one speed so that per-processor utilization stays within 1
+// and total energy within budget, minimizing the total allocation cost.
+//
+// The original approach solves 2m parametrically-restricted LP relaxations
+// and rounds them. This implementation replaces the LP with a Lagrangian
+// search (documented surrogate — no LP solver is shipped): under the
+// restriction "types 1..m' only", each task picks the (type, speed) option
+// minimizing cost-weighted utilization + lambda * energy; lambda is swept
+// upward until the packed schedule meets the budget, and the cheapest
+// feasible restriction wins. An exhaustive baseline and a fractional lower
+// bound normalize the experiments, mirroring the venue's methodology.
+#ifndef RETASK_CORE_HET_ALLOCATION_HPP
+#define RETASK_CORE_HET_ALLOCATION_HPP
+
+#include <string>
+#include <vector>
+
+#include "retask/power/table_power.hpp"
+#include "retask/task/task.hpp"
+
+namespace retask {
+
+/// One purchasable processor type.
+struct ProcessorType {
+  std::string name;
+  double cost = 1.0;      ///< allocation cost per processor
+  TablePowerModel model;  ///< non-ideal speed/power table
+};
+
+/// A task with type-dependent worst-case cycles (one job per frame).
+struct HetTask {
+  int id = 0;
+  std::vector<Cycles> cycles_per_type;  ///< one entry per processor type
+};
+
+/// An allocation-synthesis instance over heterogeneous types.
+struct HetAllocationProblem {
+  std::vector<ProcessorType> types;
+  std::vector<HetTask> tasks;
+  double window = 1.0;         ///< the common frame D
+  double energy_budget = 0.0;  ///< total energy allowed per frame
+};
+
+/// Validates the instance (matching dimensions, positive budget/window,
+/// every task schedulable on at least one type at top speed).
+void validate(const HetAllocationProblem& problem);
+
+/// One task's placement.
+struct HetPlacement {
+  int type = 0;       ///< processor type index
+  int processor = 0;  ///< processor instance within the type
+  int speed = 0;      ///< speed-table index on that type
+};
+
+/// A validated heterogeneous allocation.
+struct HetAllocationResult {
+  std::vector<HetPlacement> placement;   ///< per task
+  std::vector<int> processors_per_type;  ///< allocated count per type
+  double cost = 0.0;
+  double energy = 0.0;
+};
+
+/// Utilization of task `task` on type `type` at speed index `speed`:
+/// cycles / (speed * window).
+double het_utilization(const HetAllocationProblem& problem, std::size_t task, std::size_t type,
+                       std::size_t speed);
+
+/// Energy of executing task `task` on type `type` at speed index `speed`
+/// once per frame (busy power only; idle is accounted as dormant-enable
+/// free sleep).
+double het_energy(const HetAllocationProblem& problem, std::size_t task, std::size_t type,
+                  std::size_t speed);
+
+/// Lagrangian allocation heuristic (the ROUNDING surrogate). Throws when no
+/// lambda within the search range yields a budget-feasible schedule.
+HetAllocationResult allocate_het_lagrangian(const HetAllocationProblem& problem);
+
+/// Exhaustive optimum over per-task (type, speed) choices with first-fit
+/// packing per type; guarded to (total options)^n <= 1.5e6.
+HetAllocationResult allocate_het_exhaustive(const HetAllocationProblem& problem);
+
+/// Fractional lower bound on the allocation cost: sum over tasks of the
+/// cheapest budget-ignoring cost-utilization product, and never below the
+/// cheapest single processor. Valid for any feasible allocation.
+double het_cost_lower_bound(const HetAllocationProblem& problem);
+
+/// Recomputes and checks a result (utilizations within 1, energy within
+/// budget, recorded cost/energy match); throws on mismatch.
+void check_het_allocation(const HetAllocationProblem& problem,
+                          const HetAllocationResult& result);
+
+}  // namespace retask
+
+#endif  // RETASK_CORE_HET_ALLOCATION_HPP

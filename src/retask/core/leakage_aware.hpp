@@ -1,0 +1,39 @@
+// Leakage-aware multiprocessor rejection scheduling with dormant-mode
+// overheads (the LA+LTF+FF lineage adapted to task rejection).
+//
+// With free sleeping, spreading accepted work across all processors is never
+// penalized. With a per-wake overhead (SleepParams on the problem's energy
+// curve), every processor that executes anything pays its idle-tail lump
+// min(Pind * tail, Esw), so a schedule that wakes many lightly loaded
+// processors wastes energy that consolidation can reclaim: tasks running at
+// the critical speed can be packed onto fewer processors (first-fit at the
+// critical-rate capacity) without raising their execution energy, letting
+// the vacated processors stay dormant for the whole window.
+//
+// LeakageAwareLtfFfSolver therefore runs the LTF + per-processor-DP pipeline
+// first and then attempts the consolidation, returning whichever schedule
+// the (sleep-aware) energy accounting scores lower. On free-sleep problems
+// the consolidation is energy-neutral and the solver reduces to LTF + DP.
+#ifndef RETASK_CORE_LEAKAGE_AWARE_HPP
+#define RETASK_CORE_LEAKAGE_AWARE_HPP
+
+#include "retask/core/solver.hpp"
+
+namespace retask {
+
+/// LTF partition + per-processor optimal rejection + critical-speed
+/// first-fit consolidation of lightly loaded processors.
+class LeakageAwareLtfFfSolver final : public RejectionSolver {
+ public:
+  RejectionSolution solve(const RejectionProblem& problem) const override;
+  std::string name() const override { return "LA-LTF+FF"; }
+};
+
+/// The same problem with free sleeping (overheads stripped). Useful as a
+/// valid lower-bound substrate: removing overheads can only lower energy, so
+/// any lower bound for the stripped problem lower-bounds the original.
+RejectionProblem strip_sleep_overheads(const RejectionProblem& problem);
+
+}  // namespace retask
+
+#endif  // RETASK_CORE_LEAKAGE_AWARE_HPP

@@ -1,0 +1,58 @@
+#include "retask/core/lower_bound.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "retask/common/error.hpp"
+#include "retask/common/math.hpp"
+
+namespace retask {
+
+double fractional_lower_bound(const RejectionProblem& problem) {
+  const std::size_t n = problem.size();
+  const double m = static_cast<double>(problem.processor_count());
+  const double cap = std::min(problem.total_work(), m * problem.curve().max_workload());
+
+  // Density order (keep the highest penalty-per-work first).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const FrameTask& ta = problem.tasks()[a];
+    const FrameTask& tb = problem.tasks()[b];
+    return ta.penalty * static_cast<double>(tb.cycles) >
+           tb.penalty * static_cast<double>(ta.cycles);
+  });
+
+  // Prefix accepted work and suffix rejected penalty along the density order.
+  std::vector<double> prefix_work(n + 1, 0.0);
+  std::vector<double> suffix_penalty(n + 1, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    prefix_work[k + 1] = prefix_work[k] + problem.work_of(order[k]);
+  }
+  for (std::size_t k = n; k-- > 0;) {
+    suffix_penalty[k] = suffix_penalty[k + 1] + problem.tasks()[order[k]].penalty;
+  }
+
+  // Cheapest fractional rejection cost at accepted work W.
+  const auto rejected_at = [&](double w) {
+    w = clamp(w, 0.0, prefix_work[n]);
+    const auto it = std::upper_bound(prefix_work.begin(), prefix_work.end(), w);
+    auto k = static_cast<std::size_t>(it - prefix_work.begin());
+    if (k > 0) --k;  // segment [prefix_work[k], prefix_work[k+1]]
+    if (k >= n) return 0.0;
+    const double seg_work = prefix_work[k + 1] - prefix_work[k];
+    RETASK_ASSERT(seg_work > 0.0);
+    const double fraction_rejected = (prefix_work[k + 1] - w) / seg_work;
+    return suffix_penalty[k + 1] + problem.tasks()[order[k]].penalty * fraction_rejected;
+  };
+
+  const auto objective = [&](double w) {
+    return m * problem.curve().energy(w / m) + rejected_at(w);
+  };
+
+  const double w_star = minimize_unimodal(objective, 0.0, cap, 1e-10 * std::max(cap, 1.0));
+  return std::min({objective(w_star), objective(0.0), objective(cap)});
+}
+
+}  // namespace retask

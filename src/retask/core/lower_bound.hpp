@@ -1,0 +1,30 @@
+// Fractional (continuous-relaxation) lower bound on the rejection objective.
+//
+// Allowing tasks to be accepted fractionally — and, for M > 1, allowing
+// accepted work to be split arbitrarily across the identical processors —
+// yields a convex program whose optimum lower-bounds every integral
+// partitioned solution:
+//
+//     minimize  M * E(W / M) + sum_i (1 - x_i) * rho_i
+//     s.t.      W = sum_i x_i * w_i <= M * Wmax,   x_i in [0, 1],
+//
+// (Jensen's inequality gives sum_p E(W_p) >= M * E(W / M) for any split.)
+// By convexity of E the optimum accepts tasks in decreasing penalty density
+// rho_i / w_i down to the point where the marginal energy per unit work
+// exceeds the density, with at most one fractional task. The bound is the
+// venue-standard normalizer for instances too large for exhaustive search
+// (the group's "relaxed relative ratio").
+#ifndef RETASK_CORE_LOWER_BOUND_HPP
+#define RETASK_CORE_LOWER_BOUND_HPP
+
+#include "retask/core/problem.hpp"
+
+namespace retask {
+
+/// Value of the fractional relaxation (a valid lower bound on the optimal
+/// objective of `problem`, for any processor count).
+double fractional_lower_bound(const RejectionProblem& problem);
+
+}  // namespace retask
+
+#endif  // RETASK_CORE_LOWER_BOUND_HPP

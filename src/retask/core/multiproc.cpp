@@ -1,0 +1,144 @@
+#include "retask/core/multiproc.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "retask/common/error.hpp"
+#include "retask/core/exact_dp.hpp"
+#include "retask/sched/partition.hpp"
+
+namespace retask {
+namespace {
+
+std::vector<std::size_t> by_descending_cycles(const RejectionProblem& problem) {
+  std::vector<std::size_t> order(problem.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return problem.tasks()[a].cycles > problem.tasks()[b].cycles;
+  });
+  return order;
+}
+
+}  // namespace
+
+RejectionSolution MultiProcLtfRejectSolver::solve(const RejectionProblem& problem) const {
+  const auto m = static_cast<std::size_t>(problem.processor_count());
+
+  // Largest-Task-First pre-partition of every task (rejection comes later).
+  std::vector<double> weights(problem.size());
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    weights[i] = static_cast<double>(problem.tasks()[i].cycles);
+  }
+  const Partition partition = partition_items(weights, problem.processor_count(),
+                                              PartitionPolicy::kLargestFirst);
+
+  // Optimal rejection per processor via the exact DP on the subproblem.
+  std::vector<bool> accepted(problem.size(), false);
+  std::vector<int> processor_of(problem.size(), -1);
+  const ExactDpSolver dp;
+  for (std::size_t p = 0; p < m; ++p) {
+    std::vector<FrameTask> local;
+    std::vector<std::size_t> local_index;
+    for (std::size_t i = 0; i < problem.size(); ++i) {
+      if (partition.bin_of[i] == static_cast<int>(p)) {
+        local.push_back(problem.tasks()[i]);
+        local_index.push_back(i);
+      }
+    }
+    if (local.empty()) continue;
+    const RejectionProblem sub(FrameTaskSet(std::move(local)), problem.curve(),
+                               problem.work_per_cycle(), 1);
+    const RejectionSolution sub_solution = dp.solve(sub);
+    for (std::size_t k = 0; k < local_index.size(); ++k) {
+      if (sub_solution.accepted[k]) {
+        accepted[local_index[k]] = true;
+        processor_of[local_index[k]] = static_cast<int>(p);
+      }
+    }
+  }
+  return make_solution(problem, std::move(accepted), std::move(processor_of));
+}
+
+RejectionSolution MultiProcGreedySolver::solve(const RejectionProblem& problem) const {
+  const auto m = static_cast<std::size_t>(problem.processor_count());
+  std::vector<Cycles> loads(m, 0);
+  std::vector<bool> accepted(problem.size(), false);
+  std::vector<int> processor_of(problem.size(), -1);
+
+  // Greedy placement in descending size: cheapest of {reject, best proc}.
+  for (const std::size_t i : by_descending_cycles(problem)) {
+    const FrameTask& task = problem.tasks()[i];
+    double best_cost = task.penalty;
+    int best_proc = -1;
+    for (std::size_t p = 0; p < m; ++p) {
+      if (loads[p] + task.cycles > problem.cycle_capacity()) continue;
+      const double delta = problem.energy_of_cycles(loads[p] + task.cycles) -
+                           problem.energy_of_cycles(loads[p]);
+      if (delta < best_cost) {
+        best_cost = delta;
+        best_proc = static_cast<int>(p);
+      }
+    }
+    if (best_proc >= 0) {
+      accepted[i] = true;
+      processor_of[i] = best_proc;
+      loads[static_cast<std::size_t>(best_proc)] += task.cycles;
+    }
+  }
+
+  // Improvement passes: re-place each task where it is cheapest now.
+  for (int pass = 0; pass < 3; ++pass) {
+    bool changed = false;
+    for (std::size_t i = 0; i < problem.size(); ++i) {
+      const FrameTask& task = problem.tasks()[i];
+      // Remove i from its current location.
+      double current_cost = task.penalty;
+      if (accepted[i]) {
+        const auto p = static_cast<std::size_t>(processor_of[i]);
+        loads[p] -= task.cycles;
+        current_cost = problem.energy_of_cycles(loads[p] + task.cycles) -
+                       problem.energy_of_cycles(loads[p]);
+      }
+      double best_cost = task.penalty;
+      int best_proc = -1;
+      for (std::size_t p = 0; p < m; ++p) {
+        if (loads[p] + task.cycles > problem.cycle_capacity()) continue;
+        const double delta = problem.energy_of_cycles(loads[p] + task.cycles) -
+                             problem.energy_of_cycles(loads[p]);
+        if (delta < best_cost) {
+          best_cost = delta;
+          best_proc = static_cast<int>(p);
+        }
+      }
+      if (best_cost + 1e-12 < current_cost) changed = true;
+      accepted[i] = best_proc >= 0;
+      processor_of[i] = best_proc;
+      if (best_proc >= 0) loads[static_cast<std::size_t>(best_proc)] += task.cycles;
+    }
+    if (!changed) break;
+  }
+  return make_solution(problem, std::move(accepted), std::move(processor_of));
+}
+
+RejectionSolution MultiProcRandSolver::solve(const RejectionProblem& problem) const {
+  const auto m = static_cast<std::size_t>(problem.processor_count());
+  std::vector<Cycles> loads(m, 0);
+  std::vector<bool> accepted(problem.size(), false);
+  std::vector<int> processor_of(problem.size(), -1);
+
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    const FrameTask& task = problem.tasks()[i];
+    const auto lightest = std::min_element(loads.begin(), loads.end());
+    const auto p = static_cast<std::size_t>(lightest - loads.begin());
+    if (loads[p] + task.cycles <= problem.cycle_capacity()) {
+      accepted[i] = true;
+      processor_of[i] = static_cast<int>(p);
+      loads[p] += task.cycles;
+    }
+  }
+  return make_solution(problem, std::move(accepted), std::move(processor_of));
+}
+
+}  // namespace retask

@@ -1,0 +1,67 @@
+#include "retask/core/periodic.hpp"
+
+#include <algorithm>
+
+#include "retask/common/error.hpp"
+#include "retask/common/math.hpp"
+
+namespace retask {
+namespace {
+
+RejectionProblem build_frame_problem(const PeriodicTaskSet& tasks, const PowerModel& model,
+                                     IdleDiscipline idle, int processor_count) {
+  const std::int64_t hyper = tasks.hyper_period();
+  std::vector<FrameTask> frame_tasks;
+  frame_tasks.reserve(tasks.size());
+  for (const PeriodicTask& task : tasks.tasks()) {
+    RETASK_ASSERT(hyper % task.period == 0);
+    const Cycles per_hyper = checked_mul(task.cycles, hyper / task.period);
+    frame_tasks.push_back({task.id, per_hyper, task.penalty});
+  }
+  EnergyCurve curve(model, static_cast<double>(hyper), idle);
+  return RejectionProblem(FrameTaskSet(std::move(frame_tasks)), std::move(curve),
+                          /*work_per_cycle=*/1.0, processor_count);
+}
+
+}  // namespace
+
+PeriodicRejectionAdapter::PeriodicRejectionAdapter(PeriodicTaskSet tasks, const PowerModel& model,
+                                                   IdleDiscipline idle, int processor_count)
+    : tasks_(std::move(tasks)),
+      problem_(build_frame_problem(tasks_, model, idle, processor_count)) {
+  require(!tasks_.empty(), "PeriodicRejectionAdapter: empty task set");
+}
+
+double PeriodicRejectionAdapter::demanded_rate_on(const RejectionSolution& solution,
+                                                  int processor) const {
+  require(solution.accepted.size() == tasks_.size(),
+          "PeriodicRejectionAdapter: solution size mismatch");
+  double rate = 0.0;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (solution.accepted[i] && solution.processor_of[i] == processor) {
+      rate += tasks_[i].rate();
+    }
+  }
+  return rate;
+}
+
+double PeriodicRejectionAdapter::execution_speed_on(const RejectionSolution& solution,
+                                                    int processor) const {
+  require(solution.accepted.size() == tasks_.size(),
+          "PeriodicRejectionAdapter: solution size mismatch");
+  Cycles load = 0;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (solution.accepted[i] && solution.processor_of[i] == processor) {
+      load += problem_.tasks()[i].cycles;
+    }
+  }
+  if (load == 0) return 0.0;
+  const ExecutionPlan plan =
+      problem_.curve().plan(problem_.work_per_cycle() * static_cast<double>(load));
+  double speed = 0.0;
+  for (const PlanSegment& seg : plan.segments) speed = std::max(speed, seg.speed);
+  RETASK_ASSERT(speed > 0.0);
+  return speed;
+}
+
+}  // namespace retask

@@ -1,0 +1,62 @@
+// Periodic-task adapter: reduces periodic rejection to the frame problem.
+//
+// For implicit-deadline periodic tasks under EDF at a constant speed s, a
+// selected set is schedulable iff its demanded rate U = sum ci/pi satisfies
+// U <= s (Liu & Layland). Over one hyper-period L the processor therefore
+// executes W = U * L work units, idles the rest, and the minimum energy of
+// accepting the set is exactly the frame energy curve at W with window L —
+// so the periodic rejection problem IS the frame rejection problem with
+//
+//     per-task work = ci * (L / pi)   (an integer: L is a multiple of pi),
+//     window = L,  penalty unchanged (charged per hyper-period).
+//
+// The adapter builds that instance, maps solutions back, and exposes the
+// per-processor constant EDF speed implied by a solution so that the EDF
+// simulator can re-execute and verify it job by job.
+#ifndef RETASK_CORE_PERIODIC_HPP
+#define RETASK_CORE_PERIODIC_HPP
+
+#include <vector>
+
+#include "retask/core/problem.hpp"
+#include "retask/core/solution.hpp"
+#include "retask/power/power_model.hpp"
+#include "retask/task/task_set.hpp"
+
+namespace retask {
+
+/// Frame-reduction of a periodic rejection instance.
+class PeriodicRejectionAdapter {
+ public:
+  /// Builds the frame instance over one hyper-period of `tasks` on
+  /// `processor_count` processors of `model` under `idle`. Task order (and
+  /// hence accept-mask indexing) is preserved.
+  PeriodicRejectionAdapter(PeriodicTaskSet tasks, const PowerModel& model, IdleDiscipline idle,
+                           int processor_count = 1);
+
+  const PeriodicTaskSet& periodic_tasks() const { return tasks_; }
+  const RejectionProblem& frame_problem() const { return problem_; }
+
+  /// Hyper-period (the frame window).
+  double hyper_period() const { return problem_.curve().window(); }
+
+  /// Demanded rate (work units per time) of the tasks accepted on
+  /// `processor` by `solution` — the minimum constant EDF speed for that
+  /// processor.
+  double demanded_rate_on(const RejectionSolution& solution, int processor) const;
+
+  /// The constant execution speed the energy curve would use for the load on
+  /// `processor` (>= demanded rate; e.g. lifted to the critical speed on
+  /// lightly loaded dormant-enable processors, clamped into the model's
+  /// range). Returns 0 when nothing is assigned to an always-sleepable
+  /// processor.
+  double execution_speed_on(const RejectionSolution& solution, int processor) const;
+
+ private:
+  PeriodicTaskSet tasks_;
+  RejectionProblem problem_;
+};
+
+}  // namespace retask
+
+#endif  // RETASK_CORE_PERIODIC_HPP

@@ -1,0 +1,75 @@
+// The task-rejection scheduling problem.
+//
+// Given frame-based tasks with worst-case cycles and rejection penalties, M
+// identical DVS processors whose energy behaviour over the frame is captured
+// by one EnergyCurve, choose an accept set, a partition of the accepted
+// tasks onto the processors, and (implicitly, through the curve) execution
+// speeds, minimizing
+//
+//     sum over processors of E(assigned work) + sum of rejected penalties.
+//
+// The bounded top speed makes the feasibility constraint real: a processor
+// can carry at most smax * D work, so overloaded instances force rejections.
+// The problem is NP-hard already on one processor: with a linear energy
+// curve E(W) = e * W it reads "choose the rejected set R maximizing saved
+// energy e * W(R) minus paid penalty rho(R) subject to the knapsack-style
+// capacity W(T) - W(R) <= Wmax", i.e. 0/1 knapsack; convex E only
+// generalizes it (hardness analysis is the paper's first deliverable).
+#ifndef RETASK_CORE_PROBLEM_HPP
+#define RETASK_CORE_PROBLEM_HPP
+
+#include <vector>
+
+#include "retask/power/energy_curve.hpp"
+#include "retask/task/task_set.hpp"
+
+namespace retask {
+
+/// An instance of the rejection-scheduling problem.
+class RejectionProblem {
+ public:
+  /// `work_per_cycle` converts task cycles into the curve's work units
+  /// (speed x time); it must be positive. `processor_count` identical
+  /// processors each follow `curve`.
+  RejectionProblem(FrameTaskSet tasks, EnergyCurve curve, double work_per_cycle,
+                   int processor_count = 1);
+
+  const FrameTaskSet& tasks() const { return tasks_; }
+  const EnergyCurve& curve() const { return curve_; }
+  double work_per_cycle() const { return work_per_cycle_; }
+  int processor_count() const { return processor_count_; }
+  std::size_t size() const { return tasks_.size(); }
+
+  /// Work units of task `index`.
+  double work_of(std::size_t index) const;
+
+  /// Largest per-processor cycle load that fits the window at top speed.
+  Cycles cycle_capacity() const { return cycle_capacity_; }
+
+  /// Total work units if every task were accepted.
+  double total_work() const;
+
+  /// Energy of a processor loaded with `cycles` accepted cycles.
+  double energy_of_cycles(Cycles cycles) const;
+
+  /// Sum of penalties of tasks with accepted[i] == false; `accepted` must
+  /// have one entry per task.
+  double rejected_penalty(const std::vector<bool>& accepted) const;
+
+  /// Single-processor helpers (require processor_count() == 1):
+  /// total accepted cycles, feasibility, and the full objective.
+  Cycles accepted_cycles(const std::vector<bool>& accepted) const;
+  bool feasible_on_one(const std::vector<bool>& accepted) const;
+  double objective_on_one(const std::vector<bool>& accepted) const;
+
+ private:
+  FrameTaskSet tasks_;
+  EnergyCurve curve_;
+  double work_per_cycle_;
+  int processor_count_;
+  Cycles cycle_capacity_ = 0;
+};
+
+}  // namespace retask
+
+#endif  // RETASK_CORE_PROBLEM_HPP

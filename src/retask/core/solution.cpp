@@ -1,0 +1,85 @@
+#include "retask/core/solution.hpp"
+
+#include "retask/common/error.hpp"
+#include "retask/common/math.hpp"
+
+namespace retask {
+
+std::size_t RejectionSolution::accepted_count() const {
+  std::size_t count = 0;
+  for (const bool a : accepted) count += a ? 1 : 0;
+  return count;
+}
+
+double RejectionSolution::acceptance_ratio() const {
+  if (accepted.empty()) return 1.0;
+  return static_cast<double>(accepted_count()) / static_cast<double>(accepted.size());
+}
+
+std::vector<Cycles> processor_loads(const RejectionProblem& problem,
+                                    const RejectionSolution& solution) {
+  std::vector<Cycles> loads(static_cast<std::size_t>(problem.processor_count()), 0);
+  for (std::size_t i = 0; i < solution.accepted.size(); ++i) {
+    if (solution.accepted[i]) {
+      loads[static_cast<std::size_t>(solution.processor_of[i])] += problem.tasks()[i].cycles;
+    }
+  }
+  return loads;
+}
+
+RejectionSolution make_solution(const RejectionProblem& problem, std::vector<bool> accepted,
+                                std::vector<int> processor_of) {
+  require(accepted.size() == problem.size(), "make_solution: accept mask size mismatch");
+  require(processor_of.size() == problem.size(), "make_solution: processor binding size mismatch");
+
+  RejectionSolution solution;
+  solution.accepted = std::move(accepted);
+  solution.processor_of = std::move(processor_of);
+
+  std::vector<Cycles> loads(static_cast<std::size_t>(problem.processor_count()), 0);
+  double penalty = 0.0;
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    if (solution.accepted[i]) {
+      const int proc = solution.processor_of[i];
+      require(proc >= 0 && proc < problem.processor_count(),
+              "make_solution: accepted task bound to an invalid processor");
+      loads[static_cast<std::size_t>(proc)] += problem.tasks()[i].cycles;
+    } else {
+      require(solution.processor_of[i] == -1,
+              "make_solution: rejected task must not be bound to a processor");
+      penalty += problem.tasks()[i].penalty;
+    }
+  }
+
+  double energy = 0.0;
+  for (const Cycles load : loads) {
+    require(load <= problem.cycle_capacity(),
+            "make_solution: a processor exceeds its cycle capacity");
+    energy += problem.energy_of_cycles(load);
+  }
+  solution.energy = energy;
+  solution.penalty = penalty;
+  return solution;
+}
+
+RejectionSolution make_solution_on_one(const RejectionProblem& problem,
+                                       std::vector<bool> accepted) {
+  require(problem.processor_count() == 1,
+          "make_solution_on_one: problem has more than one processor");
+  std::vector<int> processor_of(problem.size(), -1);
+  for (std::size_t i = 0; i < accepted.size() && i < processor_of.size(); ++i) {
+    if (accepted[i]) processor_of[i] = 0;
+  }
+  return make_solution(problem, std::move(accepted), std::move(processor_of));
+}
+
+void check_solution(const RejectionProblem& problem, const RejectionSolution& solution) {
+  const RejectionSolution rebuilt =
+      make_solution(problem, solution.accepted, solution.processor_of);
+  require(almost_equal(rebuilt.energy, solution.energy, 1e-6),
+          "check_solution: reported energy does not match recomputation");
+  require(almost_equal(rebuilt.penalty, solution.penalty, 1e-6),
+          "check_solution: reported penalty does not match recomputation");
+}
+
+}  // namespace retask

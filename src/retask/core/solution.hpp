@@ -1,0 +1,58 @@
+// Solutions of the rejection-scheduling problem, plus an independent
+// validator.
+//
+// A solution records the accept/reject decision and the processor binding of
+// every accepted task, together with the resulting energy/penalty split.
+// `make_solution` is the only way solvers produce solutions: it recomputes
+// energy and penalty from scratch and checks per-processor feasibility, so a
+// buggy solver cannot report an objective its schedule does not achieve.
+#ifndef RETASK_CORE_SOLUTION_HPP
+#define RETASK_CORE_SOLUTION_HPP
+
+#include <string>
+#include <vector>
+
+#include "retask/core/problem.hpp"
+
+namespace retask {
+
+/// A validated solution.
+struct RejectionSolution {
+  std::vector<bool> accepted;     ///< one entry per task
+  std::vector<int> processor_of;  ///< processor of each task; -1 when rejected
+  double energy = 0.0;            ///< sum over processors of E(load)
+  double penalty = 0.0;           ///< sum of rejected penalties
+
+  double objective() const { return energy + penalty; }
+
+  /// Number of accepted tasks.
+  std::size_t accepted_count() const;
+
+  /// Acceptance ratio in [0, 1] (1 for an empty instance).
+  double acceptance_ratio() const;
+};
+
+/// Builds and validates a solution from an accept mask and processor
+/// binding. Throws retask::Error when sizes mismatch, a rejected task has a
+/// processor, an accepted task lacks one, a processor index is out of range,
+/// or any processor exceeds its cycle capacity.
+RejectionSolution make_solution(const RejectionProblem& problem, std::vector<bool> accepted,
+                                std::vector<int> processor_of);
+
+/// Single-processor convenience: every accepted task lands on processor 0.
+RejectionSolution make_solution_on_one(const RejectionProblem& problem,
+                                       std::vector<bool> accepted);
+
+/// Re-validates an existing solution against a problem (used by tests to
+/// confirm solver outputs are internally consistent). Throws on any
+/// inconsistency, including energy/penalty fields that do not match a fresh
+/// recomputation.
+void check_solution(const RejectionProblem& problem, const RejectionSolution& solution);
+
+/// Per-processor accepted cycles of a solution.
+std::vector<Cycles> processor_loads(const RejectionProblem& problem,
+                                    const RejectionSolution& solution);
+
+}  // namespace retask
+
+#endif  // RETASK_CORE_SOLUTION_HPP

@@ -1,0 +1,38 @@
+// Abstract solver interface for the rejection-scheduling problem.
+//
+// Every algorithm in core/ implements this interface, so benches, examples
+// and the experiment harness can iterate over algorithms uniformly (see
+// core/algorithm_registry.hpp). Solvers are stateless with respect to the
+// instance: solve() may be called repeatedly and concurrently on different
+// problems.
+#ifndef RETASK_CORE_SOLVER_HPP
+#define RETASK_CORE_SOLVER_HPP
+
+#include <string>
+
+#include "retask/core/solution.hpp"
+
+namespace retask {
+
+/// Interface of rejection-scheduling algorithms.
+class RejectionSolver {
+ public:
+  virtual ~RejectionSolver() = default;
+
+  /// Produces a validated solution; throws retask::Error when the instance
+  /// violates the solver's preconditions (e.g. a single-processor algorithm
+  /// given a multiprocessor instance).
+  virtual RejectionSolution solve(const RejectionProblem& problem) const = 0;
+
+  /// Stable display name used in experiment tables.
+  virtual std::string name() const = 0;
+
+ protected:
+  RejectionSolver() = default;
+  RejectionSolver(const RejectionSolver&) = default;
+  RejectionSolver& operator=(const RejectionSolver&) = default;
+};
+
+}  // namespace retask
+
+#endif  // RETASK_CORE_SOLVER_HPP

@@ -1,0 +1,494 @@
+#include "retask/core/two_pe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+#include "retask/common/error.hpp"
+#include "retask/common/math.hpp"
+#include "retask/core/exact_dp.hpp"
+#include "retask/core/problem.hpp"
+
+namespace retask {
+
+TwoPeProblem::TwoPeProblem(std::vector<TwoPeTask> tasks, EnergyCurve dvs_curve,
+                           double work_per_cycle, double pe2_power, Pe2EnergyModel pe2_model)
+    : tasks_(std::move(tasks)),
+      dvs_curve_(std::move(dvs_curve)),
+      work_per_cycle_(work_per_cycle),
+      pe2_power_(pe2_power),
+      pe2_model_(pe2_model) {
+  require(work_per_cycle_ > 0.0, "TwoPeProblem: work_per_cycle must be positive");
+  require(pe2_power_ >= 0.0, "TwoPeProblem: pe2_power must be non-negative");
+  for (const TwoPeTask& task : tasks_) {
+    validate(task);
+    total_penalty_ += task.penalty;
+  }
+  dvs_cycle_capacity_ = static_cast<Cycles>(
+      std::floor(dvs_curve_.max_workload() / work_per_cycle_ * (1.0 + 1e-12) + 1e-9));
+}
+
+double TwoPeProblem::dvs_energy(Cycles cycles) const {
+  require(cycles >= 0, "TwoPeProblem::dvs_energy: negative cycles");
+  return dvs_curve_.energy(work_per_cycle_ * static_cast<double>(cycles));
+}
+
+double TwoPeProblem::pe2_energy(double u2) const {
+  require(u2 >= 0.0 && leq_tol(u2, 1.0), "TwoPeProblem::pe2_energy: utilization out of range");
+  if (pe2_model_ == Pe2EnergyModel::kWorkloadDependent) {
+    return pe2_power_ * dvs_curve_.window() * u2;
+  }
+  return u2 > 0.0 ? pe2_power_ * dvs_curve_.window() : 0.0;
+}
+
+std::size_t TwoPeSolution::count(TwoPePlacement where) const {
+  std::size_t n = 0;
+  for (const TwoPePlacement p : placement) n += (p == where) ? 1 : 0;
+  return n;
+}
+
+TwoPeSolution make_two_pe_solution(const TwoPeProblem& problem,
+                                   std::vector<TwoPePlacement> placement) {
+  require(placement.size() == problem.size(), "make_two_pe_solution: placement size mismatch");
+  Cycles dvs_cycles = 0;
+  double u2 = 0.0;
+  double penalty = 0.0;
+  for (std::size_t i = 0; i < placement.size(); ++i) {
+    switch (placement[i]) {
+      case TwoPePlacement::kDvs:
+        dvs_cycles += problem.tasks()[i].cycles;
+        break;
+      case TwoPePlacement::kNonDvs:
+        u2 += problem.tasks()[i].pe2_utilization;
+        break;
+      case TwoPePlacement::kRejected:
+        penalty += problem.tasks()[i].penalty;
+        break;
+    }
+  }
+  require(dvs_cycles <= problem.dvs_cycle_capacity(),
+          "make_two_pe_solution: DVS capacity exceeded");
+  require(leq_tol(u2, 1.0), "make_two_pe_solution: non-DVS PE capacity exceeded");
+
+  TwoPeSolution solution;
+  solution.placement = std::move(placement);
+  solution.dvs_energy = problem.dvs_energy(dvs_cycles);
+  solution.pe2_energy = problem.pe2_energy(std::min(u2, 1.0));
+  solution.penalty = penalty;
+  return solution;
+}
+
+namespace {
+
+/// Objective of aggregates (no placement materialization).
+double aggregate_objective(const TwoPeProblem& problem, Cycles dvs_cycles, double u2,
+                           double penalty) {
+  return problem.dvs_energy(dvs_cycles) + problem.pe2_energy(std::min(u2, 1.0)) + penalty;
+}
+
+/// Runs the exact single-processor rejection DP on the DVS-assigned tasks
+/// and applies its verdicts to `placement`.
+void reject_optimally_on_dvs(const TwoPeProblem& problem,
+                             std::vector<TwoPePlacement>& placement) {
+  std::vector<FrameTask> dvs_tasks;
+  std::vector<std::size_t> index;
+  for (std::size_t i = 0; i < placement.size(); ++i) {
+    if (placement[i] == TwoPePlacement::kDvs) {
+      const TwoPeTask& t = problem.tasks()[i];
+      dvs_tasks.push_back({t.id, t.cycles, t.penalty});
+      index.push_back(i);
+    }
+  }
+  if (dvs_tasks.empty()) return;
+  const RejectionProblem sub(FrameTaskSet(std::move(dvs_tasks)), problem.dvs_curve(),
+                             problem.work_per_cycle(), 1);
+  const RejectionSolution verdict = ExactDpSolver().solve(sub);
+  for (std::size_t k = 0; k < index.size(); ++k) {
+    placement[index[k]] =
+        verdict.accepted[k] ? TwoPePlacement::kDvs : TwoPePlacement::kRejected;
+  }
+}
+
+/// Shared epilogue of the constructive solvers: optimal rejection on the DVS
+/// side, worth-its-power pruning on a workload-dependent PE2, and the
+/// "shutdown alternative" (move PE2 work back / reject it, power the PE off)
+/// — the source papers' best-solution-so-far discipline.
+TwoPeSolution finalize_placement(const TwoPeProblem& problem,
+                                 std::vector<TwoPePlacement> placement) {
+  const std::size_t n = problem.size();
+  reject_optimally_on_dvs(problem, placement);
+
+  if (problem.pe2_model() == Pe2EnergyModel::kWorkloadDependent) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (placement[i] != TwoPePlacement::kNonDvs) continue;
+      const TwoPeTask& t = problem.tasks()[i];
+      if (t.penalty < problem.pe2_energy(t.pe2_utilization)) {
+        placement[i] = TwoPePlacement::kRejected;
+      }
+    }
+  }
+  TwoPeSolution best = make_two_pe_solution(problem, placement);
+
+  if (best.count(TwoPePlacement::kNonDvs) > 0) {
+    std::vector<TwoPePlacement> off = placement;
+    Cycles dvs_load = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (off[i] == TwoPePlacement::kDvs) dvs_load += problem.tasks()[i].cycles;
+    }
+    std::vector<std::size_t> pe2_tasks;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (off[i] == TwoPePlacement::kNonDvs) pe2_tasks.push_back(i);
+    }
+    // Most valuable work per DVS cycle claims the DVS capacity first.
+    std::stable_sort(pe2_tasks.begin(), pe2_tasks.end(), [&](std::size_t a, std::size_t b) {
+      const TwoPeTask& ta = problem.tasks()[a];
+      const TwoPeTask& tb = problem.tasks()[b];
+      return ta.penalty * static_cast<double>(tb.cycles) >
+             tb.penalty * static_cast<double>(ta.cycles);
+    });
+    for (const std::size_t i : pe2_tasks) {
+      if (dvs_load + problem.tasks()[i].cycles <= problem.dvs_cycle_capacity()) {
+        off[i] = TwoPePlacement::kDvs;
+        dvs_load += problem.tasks()[i].cycles;
+      } else {
+        off[i] = TwoPePlacement::kRejected;
+      }
+    }
+    reject_optimally_on_dvs(problem, off);
+    const TwoPeSolution shutdown = make_two_pe_solution(problem, std::move(off));
+    if (shutdown.objective() < best.objective()) best = shutdown;
+  }
+  return best;
+}
+
+/// Cheap candidate evaluation used by the scanning solvers: energy of the
+/// placement after a density-greedy (not DP) rejection pass on an overloaded
+/// DVS side. Monotone enough to rank candidates; the winner gets the full
+/// finalize_placement treatment.
+double quick_objective(const TwoPeProblem& problem, const std::vector<TwoPePlacement>& placement) {
+  Cycles dvs_cycles = 0;
+  double u2 = 0.0;
+  double penalty = 0.0;
+  std::vector<std::size_t> dvs_index;
+  for (std::size_t i = 0; i < placement.size(); ++i) {
+    const TwoPeTask& t = problem.tasks()[i];
+    switch (placement[i]) {
+      case TwoPePlacement::kDvs:
+        dvs_cycles += t.cycles;
+        dvs_index.push_back(i);
+        break;
+      case TwoPePlacement::kNonDvs:
+        u2 += t.pe2_utilization;
+        break;
+      case TwoPePlacement::kRejected:
+        penalty += t.penalty;
+        break;
+    }
+  }
+  if (!leq_tol(u2, 1.0)) return std::numeric_limits<double>::infinity();
+  // Density-greedy shed until the DVS side fits.
+  std::stable_sort(dvs_index.begin(), dvs_index.end(), [&](std::size_t a, std::size_t b) {
+    const TwoPeTask& ta = problem.tasks()[a];
+    const TwoPeTask& tb = problem.tasks()[b];
+    return ta.penalty * static_cast<double>(tb.cycles) <
+           tb.penalty * static_cast<double>(ta.cycles);
+  });
+  for (const std::size_t i : dvs_index) {
+    if (dvs_cycles <= problem.dvs_cycle_capacity()) break;
+    dvs_cycles -= problem.tasks()[i].cycles;
+    penalty += problem.tasks()[i].penalty;
+  }
+  if (dvs_cycles > problem.dvs_cycle_capacity()) return std::numeric_limits<double>::infinity();
+  return problem.dvs_energy(dvs_cycles) + problem.pe2_energy(std::min(u2, 1.0)) + penalty;
+}
+
+}  // namespace
+
+TwoPeSolution TwoPeGreedySolver::solve(const TwoPeProblem& problem) const {
+  const std::size_t n = problem.size();
+  std::vector<TwoPePlacement> placement(n, TwoPePlacement::kDvs);
+
+  // Offload pass: tasks with the most DVS work per unit of PE2 capacity
+  // first (the venue's "good candidates" rule), moved while the PE2 fits and
+  // the exact energy trade pays.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const TwoPeTask& ta = problem.tasks()[a];
+    const TwoPeTask& tb = problem.tasks()[b];
+    return static_cast<double>(ta.cycles) * tb.pe2_utilization >
+           static_cast<double>(tb.cycles) * ta.pe2_utilization;
+  });
+
+  Cycles dvs_cycles = 0;
+  for (const TwoPeTask& t : problem.tasks()) dvs_cycles += t.cycles;
+  double u2 = 0.0;
+  const Cycles cap = problem.dvs_cycle_capacity();
+
+  for (const std::size_t i : order) {
+    const TwoPeTask& t = problem.tasks()[i];
+    if (!leq_tol(u2 + t.pe2_utilization, 1.0)) continue;
+    // While the DVS side is overloaded, offloading is about feasibility;
+    // afterwards it must pay for itself.
+    const bool overloaded = dvs_cycles > cap;
+    if (!overloaded) {
+      const double saving = problem.dvs_energy(dvs_cycles) -
+                            problem.dvs_energy(dvs_cycles - t.cycles);
+      const double cost =
+          problem.pe2_energy(std::min(u2 + t.pe2_utilization, 1.0)) - problem.pe2_energy(u2);
+      if (saving <= cost) continue;
+    }
+    placement[i] = TwoPePlacement::kNonDvs;
+    dvs_cycles -= t.cycles;
+    u2 += t.pe2_utilization;
+  }
+
+  return finalize_placement(problem, std::move(placement));
+}
+
+TwoPeSolution TwoPeLocalSearchSolver::solve(const TwoPeProblem& problem) const {
+  TwoPeSolution seed = TwoPeGreedySolver().solve(problem);
+  std::vector<TwoPePlacement> placement = seed.placement;
+  const std::size_t n = problem.size();
+
+  Cycles dvs_cycles = 0;
+  double u2 = 0.0;
+  double penalty = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (placement[i]) {
+      case TwoPePlacement::kDvs: dvs_cycles += problem.tasks()[i].cycles; break;
+      case TwoPePlacement::kNonDvs: u2 += problem.tasks()[i].pe2_utilization; break;
+      case TwoPePlacement::kRejected: penalty += problem.tasks()[i].penalty; break;
+    }
+  }
+  double objective = aggregate_objective(problem, dvs_cycles, u2, penalty);
+
+  const std::size_t max_moves = 3 * n * n + 20;
+  for (std::size_t move = 0; move < max_moves; ++move) {
+    double best_objective = objective - 1e-12 * std::max(objective, 1.0);
+    std::size_t best_task = n;
+    TwoPePlacement best_target = TwoPePlacement::kRejected;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const TwoPeTask& t = problem.tasks()[i];
+      // Aggregates with task i removed from its current spot.
+      Cycles base_cycles = dvs_cycles;
+      double base_u2 = u2;
+      double base_penalty = penalty;
+      switch (placement[i]) {
+        case TwoPePlacement::kDvs: base_cycles -= t.cycles; break;
+        case TwoPePlacement::kNonDvs: base_u2 -= t.pe2_utilization; break;
+        case TwoPePlacement::kRejected: base_penalty -= t.penalty; break;
+      }
+      for (const TwoPePlacement target :
+           {TwoPePlacement::kRejected, TwoPePlacement::kDvs, TwoPePlacement::kNonDvs}) {
+        if (target == placement[i]) continue;
+        Cycles c = base_cycles;
+        double u = base_u2;
+        double r = base_penalty;
+        switch (target) {
+          case TwoPePlacement::kDvs: c += t.cycles; break;
+          case TwoPePlacement::kNonDvs: u += t.pe2_utilization; break;
+          case TwoPePlacement::kRejected: r += t.penalty; break;
+        }
+        if (c > problem.dvs_cycle_capacity() || !leq_tol(u, 1.0)) continue;
+        const double candidate = aggregate_objective(problem, c, u, r);
+        if (candidate < best_objective) {
+          best_objective = candidate;
+          best_task = i;
+          best_target = target;
+        }
+      }
+    }
+    if (best_task == n) break;
+    const TwoPeTask& t = problem.tasks()[best_task];
+    switch (placement[best_task]) {
+      case TwoPePlacement::kDvs: dvs_cycles -= t.cycles; break;
+      case TwoPePlacement::kNonDvs: u2 -= t.pe2_utilization; break;
+      case TwoPePlacement::kRejected: penalty -= t.penalty; break;
+    }
+    switch (best_target) {
+      case TwoPePlacement::kDvs: dvs_cycles += t.cycles; break;
+      case TwoPePlacement::kNonDvs: u2 += t.pe2_utilization; break;
+      case TwoPePlacement::kRejected: penalty += t.penalty; break;
+    }
+    placement[best_task] = best_target;
+    objective = best_objective;
+  }
+  return make_two_pe_solution(problem, std::move(placement));
+}
+
+namespace {
+
+struct TwoPeSearch {
+  const TwoPeProblem* problem = nullptr;
+  std::vector<std::size_t> order;
+  std::vector<TwoPePlacement> choice;
+  double best_objective = std::numeric_limits<double>::infinity();
+  std::vector<TwoPePlacement> best_choice;
+
+  void run(std::size_t pos, Cycles dvs_cycles, double u2, double penalty) {
+    const double committed = aggregate_objective(*problem, dvs_cycles, u2, penalty);
+    if (pos == order.size()) {
+      if (committed < best_objective) {
+        best_objective = committed;
+        best_choice = choice;
+      }
+      return;
+    }
+    // Every completion only adds energy or penalty.
+    if (committed >= best_objective) return;
+
+    const std::size_t i = order[pos];
+    const TwoPeTask& t = problem->tasks()[i];
+    if (dvs_cycles + t.cycles <= problem->dvs_cycle_capacity()) {
+      choice[pos] = TwoPePlacement::kDvs;
+      run(pos + 1, dvs_cycles + t.cycles, u2, penalty);
+    }
+    if (leq_tol(u2 + t.pe2_utilization, 1.0)) {
+      choice[pos] = TwoPePlacement::kNonDvs;
+      run(pos + 1, dvs_cycles, u2 + t.pe2_utilization, penalty);
+    }
+    choice[pos] = TwoPePlacement::kRejected;
+    run(pos + 1, dvs_cycles, u2, penalty + t.penalty);
+  }
+};
+
+}  // namespace
+
+TwoPeSolution TwoPeExhaustiveSolver::solve(const TwoPeProblem& problem) const {
+  const std::size_t n = problem.size();
+  double states = 1.0;
+  for (std::size_t i = 0; i < n; ++i) states *= 3.0;
+  require(states <= 5e6, "TwoPeExhaustiveSolver: instance too large (3^n > 5e6)");
+
+  TwoPeSearch search;
+  search.problem = &problem;
+  search.order.resize(n);
+  std::iota(search.order.begin(), search.order.end(), std::size_t{0});
+  std::stable_sort(search.order.begin(), search.order.end(), [&](std::size_t a, std::size_t b) {
+    return problem.tasks()[a].cycles > problem.tasks()[b].cycles;
+  });
+  search.choice.assign(n, TwoPePlacement::kRejected);
+  search.run(0, 0, 0.0, 0.0);
+  RETASK_ASSERT(search.best_objective < std::numeric_limits<double>::infinity());
+
+  std::vector<TwoPePlacement> placement(n, TwoPePlacement::kRejected);
+  for (std::size_t pos = 0; pos < n; ++pos) placement[search.order[pos]] = search.best_choice[pos];
+  return make_two_pe_solution(problem, std::move(placement));
+}
+
+TwoPeSolution TwoPeDvsOnlySolver::solve(const TwoPeProblem& problem) const {
+  std::vector<TwoPePlacement> placement(problem.size(), TwoPePlacement::kDvs);
+  reject_optimally_on_dvs(problem, placement);
+  return make_two_pe_solution(problem, std::move(placement));
+}
+
+TwoPeSolution TwoPeEGreedySolver::solve(const TwoPeProblem& problem) const {
+  const std::size_t n = problem.size();
+  // Candidates: offload the first k tasks (in decreasing DVS-demand per PE2
+  // utilization) that still fit the PE2, for every k — the eviction scan of
+  // the minimum-knapsack E-GREEDY, generalized so every prefix is a "best
+  // solution so far" candidate.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const TwoPeTask& ta = problem.tasks()[a];
+    const TwoPeTask& tb = problem.tasks()[b];
+    return static_cast<double>(ta.cycles) * tb.pe2_utilization >
+           static_cast<double>(tb.cycles) * ta.pe2_utilization;
+  });
+
+  double best_quick = std::numeric_limits<double>::infinity();
+  std::vector<TwoPePlacement> best_placement(n, TwoPePlacement::kDvs);
+
+  std::vector<TwoPePlacement> placement(n, TwoPePlacement::kDvs);
+  double u2 = 0.0;
+  for (std::size_t k = 0; k <= n; ++k) {
+    const double quick = quick_objective(problem, placement);
+    if (quick < best_quick) {
+      best_quick = quick;
+      best_placement = placement;
+    }
+    if (k == n) break;
+    const TwoPeTask& t = problem.tasks()[order[k]];
+    if (leq_tol(u2 + t.pe2_utilization, 1.0)) {
+      placement[order[k]] = TwoPePlacement::kNonDvs;
+      u2 += t.pe2_utilization;
+    }
+  }
+  return finalize_placement(problem, std::move(best_placement));
+}
+
+TwoPeOffloadDpSolver::TwoPeOffloadDpSolver(double delta) : delta_(delta) {
+  require(delta > 0.0, "TwoPeOffloadDpSolver: delta must be positive");
+}
+
+std::string TwoPeOffloadDpSolver::name() const {
+  std::ostringstream os;
+  os << "2PE-DP(" << delta_ << ")";
+  return os.str();
+}
+
+TwoPeSolution TwoPeOffloadDpSolver::solve(const TwoPeProblem& problem) const {
+  const std::size_t n = problem.size();
+  Cycles total = 0;
+  for (const TwoPeTask& t : problem.tasks()) total += t.cycles;
+
+  // Scaled-cycle grid: bucket size ~ delta * total / n keeps the table at
+  // ~n/delta entries; bucket 1 makes the DP exact.
+  const auto bucket = std::max<Cycles>(
+      1, static_cast<Cycles>(delta_ * static_cast<double>(total) / static_cast<double>(n)));
+  std::vector<Cycles> scaled(n);
+  Cycles scaled_total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = problem.tasks()[i].cycles / bucket;  // floor
+    scaled_total += scaled[i];
+  }
+
+  // dp[s] = minimum PE2 utilization to offload scaled volume exactly s.
+  const auto width = static_cast<std::size_t>(scaled_total) + 1;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dp(width, kInf);
+  dp[0] = 0.0;
+  std::vector<std::vector<bool>> take(n, std::vector<bool>(width, false));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto si = static_cast<std::size_t>(scaled[i]);
+    const double ui = problem.tasks()[i].pe2_utilization;
+    for (std::size_t s = width; s-- > si;) {
+      if (dp[s - si] == kInf) continue;
+      const double candidate = dp[s - si] + ui;
+      if (candidate < dp[s]) {
+        dp[s] = candidate;
+        take[i][s] = true;
+      }
+    }
+  }
+
+  // Evaluate every offload volume whose utilization fits; keep the best by
+  // the quick objective, then finalize the winner.
+  double best_quick = kInf;
+  std::vector<TwoPePlacement> best_placement(n, TwoPePlacement::kDvs);
+  for (std::size_t s = 0; s < width; ++s) {
+    if (!leq_tol(dp[s], 1.0)) continue;
+    std::vector<TwoPePlacement> placement(n, TwoPePlacement::kDvs);
+    std::size_t w = s;
+    for (std::size_t i = n; i-- > 0;) {
+      if (take[i][w]) {
+        placement[i] = TwoPePlacement::kNonDvs;
+        w -= static_cast<std::size_t>(scaled[i]);
+      }
+    }
+    RETASK_ASSERT(w == 0);
+    const double quick = quick_objective(problem, placement);
+    if (quick < best_quick) {
+      best_quick = quick;
+      best_placement = std::move(placement);
+    }
+  }
+  return finalize_placement(problem, std::move(best_placement));
+}
+
+}  // namespace retask

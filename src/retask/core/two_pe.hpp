@@ -1,0 +1,173 @@
+// Heterogeneous two-PE rejection scheduling: one DVS processor plus one
+// non-DVS processing element (e.g. an FPGA region or fixed-function
+// accelerator), with task rejection.
+//
+// Each task runs on the DVS PE (costing execution cycles shaped by the
+// energy curve), on the non-DVS PE (consuming a share of its unit capacity),
+// or is rejected at its penalty. The non-DVS PE has two energy models,
+// following the source line of work:
+//   * workload-independent — the PE draws its full power for the whole
+//     window whenever anything is assigned to it (P2 * D, else 0);
+//   * workload-dependent   — the PE draws power in proportion to the total
+//     utilization assigned (P2 * D * U2).
+// The objective is DVS energy + PE2 energy + rejected penalties, subject to
+// the DVS capacity (smax * D) and the PE2 capacity (U2 <= 1).
+#ifndef RETASK_CORE_TWO_PE_HPP
+#define RETASK_CORE_TWO_PE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "retask/power/energy_curve.hpp"
+#include "retask/task/task.hpp"
+
+namespace retask {
+
+/// Energy behaviour of the non-DVS PE.
+enum class Pe2EnergyModel {
+  kWorkloadIndependent,
+  kWorkloadDependent,
+};
+
+/// Where a task ended up.
+enum class TwoPePlacement : std::int8_t {
+  kRejected = -1,
+  kDvs = 0,
+  kNonDvs = 1,
+};
+
+/// An instance of the two-PE rejection problem.
+class TwoPeProblem {
+ public:
+  /// `work_per_cycle` converts DVS cycles into the curve's work units;
+  /// `pe2_power` is the non-DVS PE's (full-capacity) power draw.
+  TwoPeProblem(std::vector<TwoPeTask> tasks, EnergyCurve dvs_curve, double work_per_cycle,
+               double pe2_power, Pe2EnergyModel pe2_model);
+
+  const std::vector<TwoPeTask>& tasks() const { return tasks_; }
+  std::size_t size() const { return tasks_.size(); }
+  const EnergyCurve& dvs_curve() const { return dvs_curve_; }
+  double work_per_cycle() const { return work_per_cycle_; }
+  double pe2_power() const { return pe2_power_; }
+  Pe2EnergyModel pe2_model() const { return pe2_model_; }
+
+  /// DVS cycle capacity of the window.
+  Cycles dvs_cycle_capacity() const { return dvs_cycle_capacity_; }
+
+  /// DVS energy for a cycle load.
+  double dvs_energy(Cycles cycles) const;
+
+  /// Non-DVS PE energy for total utilization `u2` in [0, 1].
+  double pe2_energy(double u2) const;
+
+  /// Sum of penalties over all tasks.
+  double total_penalty() const { return total_penalty_; }
+
+ private:
+  std::vector<TwoPeTask> tasks_;
+  EnergyCurve dvs_curve_;
+  double work_per_cycle_;
+  double pe2_power_;
+  Pe2EnergyModel pe2_model_;
+  Cycles dvs_cycle_capacity_ = 0;
+  double total_penalty_ = 0.0;
+};
+
+/// A validated placement with its energy/penalty decomposition.
+struct TwoPeSolution {
+  std::vector<TwoPePlacement> placement;
+  double dvs_energy = 0.0;
+  double pe2_energy = 0.0;
+  double penalty = 0.0;
+
+  double objective() const { return dvs_energy + pe2_energy + penalty; }
+
+  /// Number of tasks with the given placement.
+  std::size_t count(TwoPePlacement where) const;
+};
+
+/// Builds and validates a solution (throws on capacity violations or size
+/// mismatch), recomputing all energy terms from scratch.
+TwoPeSolution make_two_pe_solution(const TwoPeProblem& problem,
+                                   std::vector<TwoPePlacement> placement);
+
+/// Abstract two-PE solver.
+class TwoPeSolver {
+ public:
+  virtual ~TwoPeSolver() = default;
+  virtual TwoPeSolution solve(const TwoPeProblem& problem) const = 0;
+  virtual std::string name() const = 0;
+
+ protected:
+  TwoPeSolver() = default;
+  TwoPeSolver(const TwoPeSolver&) = default;
+  TwoPeSolver& operator=(const TwoPeSolver&) = default;
+};
+
+/// The GREEDY lineage: offload tasks with the best DVS-relief per PE2
+/// utilization (largest work / u ratio first) while it fits and pays, then
+/// optimally reject on the DVS side (exact DP) and prune the PE2 side.
+class TwoPeGreedySolver final : public TwoPeSolver {
+ public:
+  TwoPeSolution solve(const TwoPeProblem& problem) const override;
+  std::string name() const override { return "2PE-GREEDY"; }
+};
+
+/// Steepest-descent local search over single-task re-placements
+/// (reject/DVS/PE2), seeded by the greedy solution.
+class TwoPeLocalSearchSolver final : public TwoPeSolver {
+ public:
+  TwoPeSolution solve(const TwoPeProblem& problem) const override;
+  std::string name() const override { return "2PE-LS"; }
+};
+
+/// Optimal by 3^n enumeration with committed-cost pruning; guarded to
+/// 3^n <= 5e6 (n <= 14).
+class TwoPeExhaustiveSolver final : public TwoPeSolver {
+ public:
+  TwoPeSolution solve(const TwoPeProblem& problem) const override;
+  std::string name() const override { return "2PE-OPT"; }
+};
+
+/// Baseline: ignore the non-DVS PE entirely and solve single-PE rejection on
+/// the DVS processor (exact DP). Quantifies the value of the second PE.
+class TwoPeDvsOnlySolver final : public TwoPeSolver {
+ public:
+  TwoPeSolution solve(const TwoPeProblem& problem) const override;
+  std::string name() const override { return "DVS-ONLY"; }
+};
+
+/// The E-GREEDY lineage (minimum-knapsack eviction): tasks sorted by DVS
+/// demand per unit of PE2 utilization; prefixes of the sorted order are
+/// offloaded just past the point where the remainder fits the DVS side, and
+/// the scan keeps evicting the pivot to enumerate the candidate "best
+/// solutions so far". Rejection is applied afterwards per side (exact DP on
+/// the DVS side, worth-its-power pruning on the PE2 side), so the solver is
+/// total even on overloaded instances.
+class TwoPeEGreedySolver final : public TwoPeSolver {
+ public:
+  TwoPeSolution solve(const TwoPeProblem& problem) const override;
+  std::string name() const override { return "2PE-E-GREEDY"; }
+};
+
+/// The (1+delta) offload DP of the lineage: scale DVS cycles by a grid
+/// chosen from delta, run a knapsack over scaled offloaded work that tracks
+/// the minimum PE2 utilization needed, and pick the offload volume
+/// minimizing the true objective. Exact when delta makes the grid finer
+/// than one cycle; polynomial in n and 1/delta otherwise. Rejection is
+/// handled the same way as in TwoPeEGreedySolver.
+class TwoPeOffloadDpSolver final : public TwoPeSolver {
+ public:
+  /// Requires delta > 0. The scaled-cycle grid has ~n/delta buckets.
+  explicit TwoPeOffloadDpSolver(double delta);
+  TwoPeSolution solve(const TwoPeProblem& problem) const override;
+  std::string name() const override;
+
+ private:
+  double delta_;
+};
+
+}  // namespace retask
+
+#endif  // RETASK_CORE_TWO_PE_HPP

@@ -1,0 +1,40 @@
+#include "retask/exp/harness.hpp"
+
+#include "retask/common/error.hpp"
+#include "retask/common/math.hpp"
+#include "retask/core/solution.hpp"
+
+namespace retask {
+
+std::vector<AlgoStats> run_comparison(const ProblemFactory& factory,
+                                      const std::vector<std::unique_ptr<RejectionSolver>>& lineup,
+                                      const ReferenceObjective& reference, int instances,
+                                      std::uint64_t seed0) {
+  require(instances >= 1, "run_comparison: at least one instance required");
+  require(!lineup.empty(), "run_comparison: empty algorithm lineup");
+
+  std::vector<AlgoStats> stats(lineup.size());
+  for (std::size_t a = 0; a < lineup.size(); ++a) stats[a].name = lineup[a]->name();
+
+  for (int k = 0; k < instances; ++k) {
+    const RejectionProblem problem = factory(seed0 + static_cast<std::uint64_t>(k));
+    const double ref = reference(problem);
+    require(ref >= 0.0, "run_comparison: negative reference objective");
+    for (std::size_t a = 0; a < lineup.size(); ++a) {
+      const RejectionSolution solution = lineup[a]->solve(problem);
+      check_solution(problem, solution);
+      const double obj = solution.objective();
+      const double ratio = ref > 0.0 ? obj / ref : (obj > 0.0 ? 2.0 : 1.0);
+      // Guard against a buggy "reference": no algorithm may beat an optimal
+      // reference by more than numerical noise. Lower bounds are <= obj by
+      // construction, so the same check applies.
+      require(ratio >= 1.0 - 1e-6, "run_comparison: algorithm beat the reference objective");
+      stats[a].ratio.add(ratio);
+      stats[a].acceptance.add(solution.acceptance_ratio());
+      stats[a].objective.add(obj);
+    }
+  }
+  return stats;
+}
+
+}  // namespace retask

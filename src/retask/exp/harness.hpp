@@ -1,0 +1,41 @@
+// Experiment harness: runs an algorithm lineup over a family of random
+// instances and aggregates the venue-standard metrics (mean/max objective
+// ratio against a reference, acceptance ratio).
+#ifndef RETASK_EXP_HARNESS_HPP
+#define RETASK_EXP_HARNESS_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "retask/common/stats.hpp"
+#include "retask/core/solver.hpp"
+
+namespace retask {
+
+/// Builds the instance for a given replication seed.
+using ProblemFactory = std::function<RejectionProblem(std::uint64_t seed)>;
+
+/// Reference objective (optimal or lower bound) for normalization.
+using ReferenceObjective = std::function<double(const RejectionProblem&)>;
+
+/// Aggregated outcome of one algorithm over the instance family.
+struct AlgoStats {
+  std::string name;
+  OnlineStats ratio;       ///< objective / reference objective
+  OnlineStats acceptance;  ///< fraction of tasks accepted
+  OnlineStats objective;   ///< raw objective values
+};
+
+/// Runs every solver on `instances` instances (seeds seed0, seed0+1, ...),
+/// normalizing by `reference`. Solver outputs are revalidated; a reference
+/// of 0 with a 0 objective counts as ratio 1.
+std::vector<AlgoStats> run_comparison(const ProblemFactory& factory,
+                                      const std::vector<std::unique_ptr<RejectionSolver>>& lineup,
+                                      const ReferenceObjective& reference, int instances,
+                                      std::uint64_t seed0 = 1);
+
+}  // namespace retask
+
+#endif  // RETASK_EXP_HARNESS_HPP

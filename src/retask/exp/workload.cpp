@@ -1,0 +1,46 @@
+#include "retask/exp/workload.hpp"
+
+#include <algorithm>
+
+#include "retask/common/error.hpp"
+#include "retask/power/critical_speed.hpp"
+#include "retask/power/energy_curve.hpp"
+
+namespace retask {
+
+double penalty_anchor(const PowerModel& model) {
+  const double anchor_speed =
+      std::max(critical_speed(model), 0.7 * model.max_speed());
+  if (!model.is_continuous()) {
+    // Snap to the nearest available speed at or above the anchor.
+    for (const double s : model.available_speeds()) {
+      if (s >= anchor_speed) return model.energy_per_cycle(s);
+    }
+    return model.energy_per_cycle(model.max_speed());
+  }
+  return model.energy_per_cycle(anchor_speed);
+}
+
+RejectionProblem make_scenario(const ScenarioConfig& config, const PowerModel& model) {
+  require(config.processor_count >= 1, "make_scenario: processor_count must be at least 1");
+
+  FrameWorkloadConfig gen;
+  gen.task_count = config.task_count;
+  gen.target_load = config.load;
+  gen.frame = config.frame;
+  gen.max_speed = model.max_speed();
+  gen.resolution = config.resolution;
+  gen.penalty_model = config.penalty_model;
+  gen.penalty_scale = config.penalty_scale;
+  gen.energy_per_cycle_ref = penalty_anchor(model);
+
+  Rng rng(config.seed);
+  FrameTaskSet tasks = generate_frame_tasks(gen, rng);
+
+  EnergyCurve curve(model, config.frame, config.idle);
+  const double work_per_cycle = model.max_speed() * config.frame / config.resolution;
+  return RejectionProblem(std::move(tasks), std::move(curve), work_per_cycle,
+                          config.processor_count);
+}
+
+}  // namespace retask

@@ -1,0 +1,47 @@
+// Scenario builders shared by the reconstructed evaluation.
+//
+// Every figure/table sweeps the same kind of synthetic instance: a power
+// model, an idle discipline, a frame, a system load, and a penalty scale.
+// This module turns those knobs into ready RejectionProblem instances with
+// the penalty magnitudes anchored to the model's energy scale, so that the
+// penalty_scale parameter sweeps the energy-vs-penalty crossover the same
+// way for every model.
+#ifndef RETASK_EXP_WORKLOAD_HPP
+#define RETASK_EXP_WORKLOAD_HPP
+
+#include <cstdint>
+#include <memory>
+
+#include "retask/core/problem.hpp"
+#include "retask/power/power_model.hpp"
+#include "retask/task/generator.hpp"
+
+namespace retask {
+
+/// Knobs of one synthetic scenario.
+struct ScenarioConfig {
+  int task_count = 12;
+  /// System load: total work divided by ONE processor's capacity
+  /// (smax * frame). For multiprocessor scenarios pass the per-system load
+  /// times processor_count if a fully loaded system is intended.
+  double load = 1.0;
+  double frame = 1.0;
+  double resolution = 2000.0;  ///< cycles representing load 1
+  PenaltyModel penalty_model = PenaltyModel::kUniform;
+  double penalty_scale = 1.0;
+  IdleDiscipline idle = IdleDiscipline::kDormantEnable;
+  int processor_count = 1;
+  std::uint64_t seed = 1;
+};
+
+/// Reference energy-per-work used to anchor penalties for `model`: the
+/// energy per cycle at max(critical speed, 0.7 * smax), i.e. a typical
+/// marginal execution cost at moderate load.
+double penalty_anchor(const PowerModel& model);
+
+/// Builds a scenario instance on `model`.
+RejectionProblem make_scenario(const ScenarioConfig& config, const PowerModel& model);
+
+}  // namespace retask
+
+#endif  // RETASK_EXP_WORKLOAD_HPP

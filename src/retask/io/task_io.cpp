@@ -1,0 +1,147 @@
+#include "retask/io/task_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "retask/common/error.hpp"
+
+namespace retask {
+namespace {
+
+/// Splits one CSV line on commas, trimming surrounding whitespace.
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream ss(line);
+  while (std::getline(ss, field, ',')) {
+    const auto begin = field.find_first_not_of(" \t\r");
+    const auto end = field.find_last_not_of(" \t\r");
+    fields.push_back(begin == std::string::npos ? std::string()
+                                                : field.substr(begin, end - begin + 1));
+  }
+  return fields;
+}
+
+bool parse_int64(const std::string& text, std::int64_t& out) {
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last && !text.empty();
+}
+
+bool parse_double(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  std::size_t used = 0;
+  try {
+    out = std::stod(text, &used);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return used == text.size();
+}
+
+[[noreturn]] void fail(int line_number, const std::string& message) {
+  throw Error("task file line " + std::to_string(line_number) + ": " + message);
+}
+
+/// Iterates data lines of `in`, calling `on_row(fields, line_number)`; skips
+/// comments, blanks and a single header row.
+template <typename OnRow>
+void for_each_row(std::istream& in, OnRow on_row) {
+  std::string line;
+  int line_number = 0;
+  bool first_data_line = true;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos || line[begin] == '#') continue;
+    const std::vector<std::string> fields = split_csv(line);
+    if (first_data_line) {
+      first_data_line = false;
+      std::int64_t probe = 0;
+      if (!fields.empty() && !parse_int64(fields[0], probe)) continue;  // header
+    }
+    on_row(fields, line_number);
+  }
+}
+
+}  // namespace
+
+FrameTaskSet read_frame_tasks(std::istream& in) {
+  std::vector<FrameTask> tasks;
+  for_each_row(in, [&](const std::vector<std::string>& fields, int line_number) {
+    if (fields.size() != 3) fail(line_number, "expected 3 fields: id,cycles,penalty");
+    std::int64_t id = 0;
+    std::int64_t cycles = 0;
+    double penalty = 0.0;
+    if (!parse_int64(fields[0], id)) fail(line_number, "bad task id '" + fields[0] + "'");
+    if (!parse_int64(fields[1], cycles)) fail(line_number, "bad cycles '" + fields[1] + "'");
+    if (!parse_double(fields[2], penalty)) fail(line_number, "bad penalty '" + fields[2] + "'");
+    tasks.push_back({static_cast<int>(id), cycles, penalty});
+  });
+  return FrameTaskSet(std::move(tasks));
+}
+
+PeriodicTaskSet read_periodic_tasks(std::istream& in) {
+  std::vector<PeriodicTask> tasks;
+  for_each_row(in, [&](const std::vector<std::string>& fields, int line_number) {
+    if (fields.size() != 4) fail(line_number, "expected 4 fields: id,cycles,period,penalty");
+    std::int64_t id = 0;
+    std::int64_t cycles = 0;
+    std::int64_t period = 0;
+    double penalty = 0.0;
+    if (!parse_int64(fields[0], id)) fail(line_number, "bad task id '" + fields[0] + "'");
+    if (!parse_int64(fields[1], cycles)) fail(line_number, "bad cycles '" + fields[1] + "'");
+    if (!parse_int64(fields[2], period)) fail(line_number, "bad period '" + fields[2] + "'");
+    if (!parse_double(fields[3], penalty)) fail(line_number, "bad penalty '" + fields[3] + "'");
+    tasks.push_back({static_cast<int>(id), cycles, period, penalty});
+  });
+  return PeriodicTaskSet(std::move(tasks));
+}
+
+namespace {
+template <typename Reader>
+auto read_file(const std::string& path, Reader reader) {
+  std::ifstream in(path);
+  require(in.good(), "cannot open task file '" + path + "'");
+  return reader(in);
+}
+}  // namespace
+
+FrameTaskSet read_frame_tasks_file(const std::string& path) {
+  return read_file(path, [](std::istream& in) { return read_frame_tasks(in); });
+}
+
+PeriodicTaskSet read_periodic_tasks_file(const std::string& path) {
+  return read_file(path, [](std::istream& in) { return read_periodic_tasks(in); });
+}
+
+void write_frame_tasks(std::ostream& out, const FrameTaskSet& tasks) {
+  out << "id,cycles,penalty\n";
+  for (const FrameTask& task : tasks.tasks()) {
+    out << task.id << ',' << task.cycles << ',' << task.penalty << '\n';
+  }
+}
+
+void write_periodic_tasks(std::ostream& out, const PeriodicTaskSet& tasks) {
+  out << "id,cycles,period,penalty\n";
+  for (const PeriodicTask& task : tasks.tasks()) {
+    out << task.id << ',' << task.cycles << ',' << task.period << ',' << task.penalty << '\n';
+  }
+}
+
+void write_solution_csv(std::ostream& out, const RejectionProblem& problem,
+                        const RejectionSolution& solution) {
+  require(solution.accepted.size() == problem.size(), "write_solution_csv: size mismatch");
+  out << "id,cycles,penalty,decision,processor\n";
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    const FrameTask& task = problem.tasks()[i];
+    out << task.id << ',' << task.cycles << ',' << task.penalty << ','
+        << (solution.accepted[i] ? "accept" : "reject") << ',' << solution.processor_of[i]
+        << '\n';
+  }
+}
+
+}  // namespace retask

@@ -1,0 +1,45 @@
+// Task-set file I/O.
+//
+// Text formats are deliberately simple CSV so task sets can be produced by
+// hand, spreadsheets, or trace-processing scripts:
+//
+//   frame tasks    : id,cycles,penalty
+//   periodic tasks : id,cycles,period,penalty
+//
+// '#'-prefixed lines and blank lines are ignored; one optional header line
+// (detected by a non-numeric first field) is skipped. Errors carry the line
+// number. Writers emit the same format back, so round-trips are exact.
+#ifndef RETASK_IO_TASK_IO_HPP
+#define RETASK_IO_TASK_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "retask/core/solution.hpp"
+#include "retask/task/task_set.hpp"
+
+namespace retask {
+
+/// Parses frame tasks from `in`; throws retask::Error with the offending
+/// line number on malformed input.
+FrameTaskSet read_frame_tasks(std::istream& in);
+
+/// Parses periodic tasks from `in`.
+PeriodicTaskSet read_periodic_tasks(std::istream& in);
+
+/// Reads a whole file; throws retask::Error when the file cannot be opened.
+FrameTaskSet read_frame_tasks_file(const std::string& path);
+PeriodicTaskSet read_periodic_tasks_file(const std::string& path);
+
+/// Writes the matching CSV (with a header line).
+void write_frame_tasks(std::ostream& out, const FrameTaskSet& tasks);
+void write_periodic_tasks(std::ostream& out, const PeriodicTaskSet& tasks);
+
+/// Writes a per-task decision report for a solved instance:
+/// id,cycles,penalty,decision,processor.
+void write_solution_csv(std::ostream& out, const RejectionProblem& problem,
+                        const RejectionSolution& solution);
+
+}  // namespace retask
+
+#endif  // RETASK_IO_TASK_IO_HPP

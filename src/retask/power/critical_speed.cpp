@@ -1,0 +1,32 @@
+#include "retask/power/critical_speed.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "retask/common/error.hpp"
+#include "retask/common/math.hpp"
+
+namespace retask {
+
+double critical_speed(const PowerModel& model) {
+  if (!model.is_continuous()) {
+    double best_speed = 0.0;
+    double best_epc = std::numeric_limits<double>::infinity();
+    for (const double s : model.available_speeds()) {
+      const double epc = model.energy_per_cycle(s);
+      if (epc < best_epc) {
+        best_epc = epc;
+        best_speed = s;
+      }
+    }
+    RETASK_ASSERT(best_speed > 0.0);
+    return best_speed;
+  }
+
+  // Continuous: avoid the singular point s = 0 when the range starts there.
+  const double hi = model.max_speed();
+  const double lo = std::max(model.min_speed(), hi * 1e-9);
+  return minimize_unimodal([&](double s) { return model.energy_per_cycle(s); }, lo, hi);
+}
+
+}  // namespace retask

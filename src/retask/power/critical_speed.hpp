@@ -1,0 +1,23 @@
+// Critical-speed computation.
+//
+// The critical speed `s*` is the execution speed minimizing the energy per
+// cycle `P(s)/s`. On dormant-enable processors it is never energy-efficient
+// to execute below `s*`: sprinting at `s*` and sleeping dominates. The
+// rejection schedulers and the energy curve rely on `s*` to decide the
+// execution speed of lightly loaded processors.
+#ifndef RETASK_POWER_CRITICAL_SPEED_HPP
+#define RETASK_POWER_CRITICAL_SPEED_HPP
+
+#include "retask/power/power_model.hpp"
+
+namespace retask {
+
+/// Returns the speed in the model's usable range minimizing energy per cycle
+/// `P(s)/s`. Continuous models are solved by golden-section search (P(s)/s
+/// is convex for convex increasing P); table models by scanning the
+/// operating points.
+double critical_speed(const PowerModel& model);
+
+}  // namespace retask
+
+#endif  // RETASK_POWER_CRITICAL_SPEED_HPP

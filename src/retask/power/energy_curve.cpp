@@ -1,0 +1,251 @@
+#include "retask/power/energy_curve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "retask/common/error.hpp"
+#include "retask/common/math.hpp"
+
+namespace retask {
+
+double ExecutionPlan::total_cycles() const {
+  double cycles = 0.0;
+  for (const PlanSegment& seg : segments) cycles += seg.speed * seg.duration;
+  return cycles;
+}
+
+double ExecutionPlan::total_time() const {
+  double time = 0.0;
+  for (const PlanSegment& seg : segments) time += seg.duration;
+  return time;
+}
+
+EnergyCurve::EnergyCurve(const PowerModel& model, double window, IdleDiscipline idle,
+                         SleepParams sleep)
+    : model_(model.clone()), window_(window), idle_(idle), sleep_(sleep) {
+  require(window > 0.0, "EnergyCurve: window must be positive");
+  validate(sleep_);
+  max_workload_ = model_->max_speed() * window_;
+  if (!model_->is_continuous()) build_hull();
+}
+
+EnergyCurve::EnergyCurve(const EnergyCurve& other)
+    : model_(other.model_->clone()),
+      window_(other.window_),
+      idle_(other.idle_),
+      sleep_(other.sleep_),
+      max_workload_(other.max_workload_),
+      hull_(other.hull_) {}
+
+EnergyCurve& EnergyCurve::operator=(const EnergyCurve& other) {
+  if (this != &other) {
+    model_ = other.model_->clone();
+    window_ = other.window_;
+    idle_ = other.idle_;
+    sleep_ = other.sleep_;
+    max_workload_ = other.max_workload_;
+    hull_ = other.hull_;
+  }
+  return *this;
+}
+
+double EnergyCurve::static_power() const { return model_->static_power(); }
+
+double EnergyCurve::idle_cost(double t) const {
+  require(t >= 0.0, "EnergyCurve::idle_cost: negative idle interval");
+  if (idle_ == IdleDiscipline::kDormantDisable) return static_power() * t;
+  return idle_interval_energy(static_power(), sleep_, t);
+}
+
+void EnergyCurve::build_hull() {
+  // Lower convex hull of the operating points (monotone chain). Unlike the
+  // idle interval, execution time-sharing is linear in (speed, power), so
+  // mixing two adjacent hull speeds realizes any average execution speed.
+  hull_.clear();
+  for (const double s : model_->available_speeds()) {
+    const HullPoint p{s, model_->power(s)};
+    while (hull_.size() >= 2) {
+      const HullPoint& a = hull_[hull_.size() - 2];
+      const HullPoint& b = hull_[hull_.size() - 1];
+      const double cross =
+          (b.speed - a.speed) * (p.power - a.power) - (b.power - a.power) * (p.speed - a.speed);
+      if (cross <= 0.0) {
+        hull_.pop_back();
+      } else {
+        break;
+      }
+    }
+    hull_.push_back(p);
+  }
+  RETASK_ASSERT(!hull_.empty());
+}
+
+double EnergyCurve::hull_power(double s) const {
+  RETASK_ASSERT(!hull_.empty());
+  if (s <= hull_.front().speed) return hull_.front().power;
+  for (std::size_t i = 0; i + 1 < hull_.size(); ++i) {
+    const HullPoint& a = hull_[i];
+    const HullPoint& b = hull_[i + 1];
+    if (leq_tol(s, b.speed)) {
+      const double theta = (b.speed - s) / (b.speed - a.speed);
+      return theta * a.power + (1.0 - theta) * b.power;
+    }
+  }
+  return hull_.back().power;
+}
+
+bool EnergyCurve::feasible(double cycles) const {
+  return cycles >= 0.0 && leq_tol(cycles, max_workload_);
+}
+
+EnergyCurve::Choice EnergyCurve::best_choice(double cycles) const {
+  RETASK_ASSERT(cycles > 0.0);
+  const double smax = model_->max_speed();
+  const double s_req = std::min(cycles / window_, smax);
+  const bool enable = idle_ == IdleDiscipline::kDormantEnable;
+  const double pind = static_power();
+
+  Choice best;
+  best.cost = std::numeric_limits<double>::infinity();
+  const auto consider = [&](double exec_speed, double busy_power, bool sleeps) {
+    const double busy = cycles / exec_speed;
+    const double idle = std::max(0.0, window_ - busy);
+    if (sleeps && (!enable || idle < sleep_.switch_time)) return;
+    const double cost =
+        busy * busy_power + (sleeps ? sleep_.switch_energy : pind * idle);
+    if (cost < best.cost) best = Choice{exec_speed, busy, sleeps && idle > 0.0, cost};
+  };
+
+  if (model_->is_continuous()) {
+    const double lo =
+        clamp(std::max(model_->min_speed(), s_req), std::max(smax * 1e-12, 1e-300), smax);
+    // Awake branch: convex in s, golden section.
+    const auto awake_cost = [&](double s) {
+      const double busy = cycles / s;
+      return busy * model_->power(s) + pind * (window_ - busy);
+    };
+    const double s_awake = lo >= smax ? smax : minimize_unimodal(awake_cost, lo, smax);
+    consider(s_awake, model_->power(s_awake), false);
+
+    if (enable) {
+      // Sleep branch: idle tail must cover the mode switch.
+      double sleep_lo = lo;
+      if (sleep_.switch_time > 0.0) {
+        if (window_ - sleep_.switch_time <= 0.0) sleep_lo = smax * 2.0;  // invalid
+        else sleep_lo = std::max(sleep_lo, cycles / (window_ - sleep_.switch_time));
+      }
+      if (sleep_lo <= smax) {
+        const auto sleep_cost = [&](double s) { return (cycles / s) * model_->power(s); };
+        const double s_sleep =
+            sleep_lo >= smax ? smax : minimize_unimodal(sleep_cost, sleep_lo, smax);
+        consider(s_sleep, model_->power(s_sleep), true);
+      }
+    }
+  } else {
+    // Candidate average speeds: the lower feasibility boundary, the sleep
+    // boundary, and every hull vertex at or above the boundary. Both branch
+    // costs are fractional-linear per hull segment, so their optima lie at
+    // these candidates.
+    const double lower = clamp(std::max(s_req, hull_.front().speed), hull_.front().speed, smax);
+    std::vector<double> candidates{lower, smax};
+    for (const HullPoint& p : hull_) {
+      if (p.speed > lower && p.speed < smax) candidates.push_back(p.speed);
+    }
+    if (enable && sleep_.switch_time > 0.0 && window_ - sleep_.switch_time > 0.0) {
+      const double s_boundary = cycles / (window_ - sleep_.switch_time);
+      if (s_boundary > lower && s_boundary < smax) candidates.push_back(s_boundary);
+    }
+    for (const double s : candidates) {
+      const double p = hull_power(s);
+      consider(s, p, false);
+      if (enable) consider(s, p, true);
+    }
+  }
+  RETASK_ASSERT(best.cost < std::numeric_limits<double>::infinity());
+  return best;
+}
+
+double EnergyCurve::energy(double cycles) const {
+  require(feasible(cycles), "EnergyCurve::energy: workload exceeds smax * window");
+  if (cycles <= 0.0) {
+    // Dormant-enable processors stay dormant through an empty window.
+    return idle_ == IdleDiscipline::kDormantEnable ? 0.0 : static_power() * window_;
+  }
+  return best_choice(cycles).cost;
+}
+
+double EnergyCurve::marginal(double cycles) const {
+  require(feasible(cycles), "EnergyCurve::marginal: workload exceeds smax * window");
+  const double h = std::max(max_workload_ * 1e-7, 1e-12);
+  const double lo = std::max(0.0, cycles - h);
+  const double hi = std::min(max_workload_, cycles + h);
+  RETASK_ASSERT(hi > lo);
+  return (energy(hi) - energy(lo)) / (hi - lo);
+}
+
+ExecutionPlan EnergyCurve::plan(double cycles) const {
+  require(feasible(cycles), "EnergyCurve::plan: workload exceeds smax * window");
+  ExecutionPlan out;
+  if (cycles <= 0.0) {
+    out.segments.push_back({0.0, window_});
+    return out;
+  }
+  const Choice choice = best_choice(cycles);
+
+  if (model_->is_continuous()) {
+    out.segments.push_back({choice.exec_speed, choice.busy});
+  } else {
+    // Decompose the average execution speed into the two adjacent hull
+    // speeds (time-sharing), or a single segment when it is a vertex.
+    const double s = choice.exec_speed;
+    std::size_t seg = hull_.size();  // index of segment start
+    for (std::size_t i = 0; i + 1 < hull_.size(); ++i) {
+      if (s >= hull_[i].speed && s <= hull_[i + 1].speed) {
+        seg = i;
+        break;
+      }
+    }
+    if (seg == hull_.size() || almost_equal(s, hull_.front().speed) ||
+        (seg + 1 < hull_.size() && almost_equal(s, hull_[seg + 1].speed))) {
+      // A vertex (or outside the hull range, clamped): single segment at the
+      // nearest available hull speed.
+      double vertex = hull_.front().speed;
+      double gap = std::fabs(s - vertex);
+      for (const HullPoint& p : hull_) {
+        if (std::fabs(s - p.speed) < gap) {
+          vertex = p.speed;
+          gap = std::fabs(s - p.speed);
+        }
+      }
+      out.segments.push_back({vertex, cycles / vertex});
+    } else {
+      const HullPoint& a = hull_[seg];
+      const HullPoint& b = hull_[seg + 1];
+      const double theta = (b.speed - s) / (b.speed - a.speed);
+      const double t_a = choice.busy * theta;
+      const double t_b = choice.busy * (1.0 - theta);
+      if (t_a > 0.0) out.segments.push_back({a.speed, t_a});
+      if (t_b > 0.0) out.segments.push_back({b.speed, t_b});
+    }
+  }
+  double busy = 0.0;
+  for (const PlanSegment& seg : out.segments) busy += seg.duration;
+  if (busy < window_) out.segments.push_back({0.0, window_ - busy});
+  return out;
+}
+
+double EnergyCurve::plan_energy(const ExecutionPlan& plan) const {
+  double total = 0.0;
+  for (const PlanSegment& seg : plan.segments) {
+    require(seg.duration >= 0.0, "EnergyCurve::plan_energy: negative segment duration");
+    if (seg.speed <= 0.0) {
+      total += idle_cost(seg.duration);
+    } else {
+      total += seg.duration * model_->power(seg.speed);
+    }
+  }
+  return total;
+}
+
+}  // namespace retask

@@ -1,0 +1,159 @@
+// The energy curve E(W): minimum energy to execute W cycles within a fixed
+// scheduling window on one DVS processor.
+//
+// This is the load-bearing abstraction of the library. Every rejection
+// algorithm optimizes `E(sum of accepted cycles) + rejected penalty`, so by
+// writing the algorithms against E(W) they become independent of the power
+// model (polynomial/table), the idle discipline (dormant-enable vs.
+// dormant-disable), the speed granularity (ideal vs. non-ideal) and the
+// dormant-mode overheads (free vs. costly sleep).
+//
+// Construction of E(W): the window splits into a busy part executing W
+// cycles at an (average) speed s and an idle tail of length D - W/s. Busy
+// energy is (W/s) * P(s), where for non-ideal processors P at a non-listed
+// speed means time-sharing the two adjacent operating points on the lower
+// convex hull of the table (the classic two-speed emulation). The idle tail
+// costs
+//     dormant-disable: Pind * t                    (leakage cannot be shed)
+//     dormant-enable : min(Pind * t, Esw) if t >= tsw, else Pind * t
+// i.e. sleeping through the tail is worth the switch pair (Esw, tsw) only
+// past the break-even point; free sleep (Esw = tsw = 0, the default) gives
+// idle cost 0. E minimizes over the execution speed, which with free sleep
+// reproduces the classic critical-speed rule (never execute below
+// s* = argmin P(s)/s on a dormant-enable processor) automatically.
+//
+// With free sleep E is convex and increasing; positive switch overheads add
+// a jump at W = 0+ (the first cycle forces the processor to wake at all),
+// so E stays increasing but is no longer convex — exactly the structural
+// change that motivates consolidation heuristics (see
+// core/leakage_aware.hpp). Algorithms that require convexity (the
+// fractional lower bound) document that requirement.
+#ifndef RETASK_POWER_ENERGY_CURVE_HPP
+#define RETASK_POWER_ENERGY_CURVE_HPP
+
+#include <memory>
+#include <vector>
+
+#include "retask/power/power_model.hpp"
+#include "retask/power/sleep.hpp"
+
+namespace retask {
+
+/// What an idle processor may do. Dormant-enable processors can enter a
+/// zero-power dormant mode (paying the SleepParams overheads per sleep/wake
+/// pair); dormant-disable processors keep drawing the speed-independent
+/// power Pind whenever idle.
+enum class IdleDiscipline {
+  kDormantEnable,
+  kDormantDisable,
+};
+
+/// One constant-speed execution segment (speed 0 denotes an idle interval).
+struct PlanSegment {
+  double speed = 0.0;
+  double duration = 0.0;
+};
+
+/// A window-filling execution recipe: segments whose durations sum to the
+/// window length and whose cycle total equals the planned workload.
+struct ExecutionPlan {
+  std::vector<PlanSegment> segments;
+
+  /// Total cycles executed by the plan.
+  double total_cycles() const;
+
+  /// Total wall-clock time covered by the plan.
+  double total_time() const;
+};
+
+/// Minimum-energy curve for one processor and one scheduling window.
+class EnergyCurve {
+ public:
+  /// Requires window > 0 and valid sleep parameters. The curve keeps its own
+  /// copy of the model. SleepParams are only meaningful for dormant-enable
+  /// processors (dormant-disable processors never sleep); the default is
+  /// free sleeping.
+  EnergyCurve(const PowerModel& model, double window, IdleDiscipline idle,
+              SleepParams sleep = SleepParams{});
+
+  EnergyCurve(const EnergyCurve& other);
+  EnergyCurve& operator=(const EnergyCurve& other);
+  EnergyCurve(EnergyCurve&&) noexcept = default;
+  EnergyCurve& operator=(EnergyCurve&&) noexcept = default;
+
+  /// Scheduling window length D.
+  double window() const { return window_; }
+
+  /// Idle discipline the curve was built for.
+  IdleDiscipline idle() const { return idle_; }
+
+  /// Sleep-transition overheads (all-zero for free sleep).
+  const SleepParams& sleep() const { return sleep_; }
+
+  /// The processor model (valid as long as the curve lives).
+  const PowerModel& model() const { return *model_; }
+
+  /// Largest feasible workload, smax * D.
+  double max_workload() const { return max_workload_; }
+
+  /// True when `cycles` fit in the window at top speed (tolerant compare).
+  bool feasible(double cycles) const;
+
+  /// Minimum energy to execute `cycles` in the window; requires
+  /// feasible(cycles) and cycles >= 0. E(0) is 0 for dormant-enable (the
+  /// processor stays dormant) and Pind * D for dormant-disable.
+  double energy(double cycles) const;
+
+  /// Cost of an idle interval of length `t` under this curve's discipline
+  /// and sleep parameters.
+  double idle_cost(double t) const;
+
+  /// Numeric marginal energy dE/dW at `cycles` (one-sided difference at the
+  /// domain boundary). Used by greedy thresholds and the fractional lower
+  /// bound; with free sleep E is convex so the marginal is non-decreasing.
+  double marginal(double cycles) const;
+
+  /// An execution plan achieving energy(cycles): at most two execution
+  /// segments (one for continuous models) plus at most one idle segment.
+  /// The plan's cycle total reproduces `cycles` and plan_energy(plan)
+  /// reproduces energy(cycles); tests verify both.
+  ExecutionPlan plan(double cycles) const;
+
+  /// Energy drawn by an arbitrary plan under this curve's model, idle
+  /// discipline and sleep parameters (each speed-0 segment is one idle
+  /// interval of a WOKEN processor: with overheads it costs
+  /// min(Pind * t, Esw), even if the plan is all-idle). A processor that
+  /// never wakes is the energy(0) == 0 stay-dormant convention instead.
+  /// Used by the simulators to cross-check analytic energies.
+  double plan_energy(const ExecutionPlan& plan) const;
+
+ private:
+  struct HullPoint {
+    double speed = 0.0;
+    double power = 0.0;
+  };
+  struct Choice {
+    double exec_speed = 0.0;  // average execution speed (0 when no work)
+    double busy = 0.0;        // execution time
+    bool sleeps = false;      // idle tail spent dormant
+    double cost = 0.0;
+  };
+
+  double static_power() const;
+  void build_hull();
+  /// Time-shared power at average execution speed `s` on the exec hull.
+  double hull_power(double s) const;
+  /// Best (speed, branch) decision for a positive workload.
+  Choice best_choice(double cycles) const;
+
+  std::unique_ptr<PowerModel> model_;
+  double window_ = 0.0;
+  IdleDiscipline idle_ = IdleDiscipline::kDormantEnable;
+  SleepParams sleep_;
+  double max_workload_ = 0.0;
+  std::vector<HullPoint> hull_;  // discrete models: lower hull of operating points
+};
+
+}  // namespace retask
+
+#endif  // RETASK_POWER_ENERGY_CURVE_HPP

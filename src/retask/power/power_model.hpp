@@ -1,0 +1,66 @@
+// Power model interface for DVS processors.
+//
+// A DVS processor executes `s` cycles per time unit at speed `s` and draws
+// total power `P(s) = Pind + Pd(s)` while executing, where `Pd(s)` is the
+// speed-dependent (dynamic + short-circuit) part — convex and increasing —
+// and `Pind` the speed-independent (leakage) part. The model also declares
+// the processor's speed range and, for non-ideal processors, the finite set
+// of available speeds. Everything downstream (energy curves, critical speed,
+// schedulers) consumes this interface only, so ideal and non-ideal
+// processors are interchangeable.
+#ifndef RETASK_POWER_POWER_MODEL_HPP
+#define RETASK_POWER_POWER_MODEL_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace retask {
+
+/// Abstract DVS processor power model.
+class PowerModel {
+ public:
+  virtual ~PowerModel() = default;
+
+  /// Total power drawn while executing at `speed` (requires speed within
+  /// [min_speed(), max_speed()] and, for non-ideal models, an available
+  /// speed).
+  virtual double power(double speed) const = 0;
+
+  /// Speed-independent (leakage/static) power `Pind`.
+  virtual double static_power() const = 0;
+
+  /// Speed-dependent part, `power(speed) - static_power()`.
+  double dynamic_power(double speed) const { return power(speed) - static_power(); }
+
+  /// Energy to execute one cycle at `speed` (power(speed) / speed);
+  /// requires speed > 0.
+  double energy_per_cycle(double speed) const { return power(speed) / speed; }
+
+  /// Lowest usable execution speed (0 allowed only as "never executes").
+  virtual double min_speed() const = 0;
+
+  /// Highest usable execution speed `smax`.
+  virtual double max_speed() const = 0;
+
+  /// True for ideal processors (continuous speed spectrum).
+  virtual bool is_continuous() const = 0;
+
+  /// Available execution speeds, ascending; empty for continuous models.
+  virtual std::vector<double> available_speeds() const = 0;
+
+  /// Short human-readable description for experiment reports.
+  virtual std::string name() const = 0;
+
+  /// Polymorphic copy.
+  virtual std::unique_ptr<PowerModel> clone() const = 0;
+
+ protected:
+  PowerModel() = default;
+  PowerModel(const PowerModel&) = default;
+  PowerModel& operator=(const PowerModel&) = default;
+};
+
+}  // namespace retask
+
+#endif  // RETASK_POWER_POWER_MODEL_HPP

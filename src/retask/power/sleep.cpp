@@ -1,0 +1,36 @@
+#include "retask/power/sleep.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "retask/common/error.hpp"
+
+namespace retask {
+
+void validate(const SleepParams& params) {
+  require(params.switch_time >= 0.0, "SleepParams: switch_time must be non-negative");
+  require(params.switch_energy >= 0.0, "SleepParams: switch_energy must be non-negative");
+}
+
+double idle_interval_energy(double static_power, const SleepParams& params, double idle) {
+  require(idle >= 0.0, "idle_interval_energy: negative idle interval");
+  require(static_power >= 0.0, "idle_interval_energy: negative static power");
+  const double awake = static_power * idle;
+  if (idle >= params.switch_time) {
+    return std::min(awake, params.switch_energy);
+  }
+  return awake;
+}
+
+double break_even_time(const PowerModel& model, const SleepParams& params) {
+  validate(params);
+  if (params.free()) return 0.0;
+  const double static_power = model.static_power();
+  if (static_power <= 0.0) {
+    return params.switch_energy > 0.0 ? std::numeric_limits<double>::infinity()
+                                      : params.switch_time;
+  }
+  return std::max(params.switch_time, params.switch_energy / static_power);
+}
+
+}  // namespace retask

@@ -1,0 +1,43 @@
+// Dormant-mode (sleep) transition overheads.
+//
+// Turning a dormant-enable processor off and on again is not free: the pair
+// of mode switches costs `switch_energy` (Esw) and takes `switch_time`
+// (tsw). An idle interval is therefore worth sleeping through only when it
+// is at least the break-even time: long enough for the switch (t >= tsw)
+// and long enough that the leakage saved exceeds the switch energy
+// (Pind * t >= Esw). Zero overheads (the default everywhere) reduce to the
+// free-sleep model.
+#ifndef RETASK_POWER_SLEEP_HPP
+#define RETASK_POWER_SLEEP_HPP
+
+#include "retask/power/power_model.hpp"
+
+namespace retask {
+
+/// Dormant-mode transition overheads (a sleep/wake pair).
+struct SleepParams {
+  double switch_time = 0.0;    ///< tsw: wall-clock cost of the mode switches
+  double switch_energy = 0.0;  ///< Esw: energy cost of the mode switches
+
+  /// True when both overheads are zero (free sleeping).
+  bool free() const { return switch_time == 0.0 && switch_energy == 0.0; }
+};
+
+/// Validates sleep parameters (non-negative overheads); throws retask::Error.
+void validate(const SleepParams& params);
+
+/// Cheapest way to spend an idle interval of length `idle` on a
+/// dormant-enable processor with static power `static_power`:
+/// stay awake (static_power * idle) or, when idle >= switch_time, sleep
+/// (switch_energy). Requires idle >= 0.
+double idle_interval_energy(double static_power, const SleepParams& params, double idle);
+
+/// Break-even idle length: the smallest idle interval for which sleeping is
+/// no worse than staying awake, max(switch_time, switch_energy /
+/// static_power). Infinite when the processor has no static power to save
+/// (sleeping can then never pay for the switch) unless switching is free.
+double break_even_time(const PowerModel& model, const SleepParams& params);
+
+}  // namespace retask
+
+#endif  // RETASK_POWER_SLEEP_HPP

@@ -1,0 +1,80 @@
+#include "retask/power/table_power.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "retask/common/error.hpp"
+#include "retask/common/math.hpp"
+
+namespace retask {
+
+TablePowerModel::TablePowerModel(std::vector<OperatingPoint> points, double static_power)
+    : points_(std::move(points)), static_power_(static_power) {
+  require(!points_.empty(), "TablePowerModel: at least one operating point required");
+  std::sort(points_.begin(), points_.end(),
+            [](const OperatingPoint& a, const OperatingPoint& b) { return a.speed < b.speed; });
+  double prev_speed = 0.0;
+  double prev_power = 0.0;
+  for (const OperatingPoint& pt : points_) {
+    require(pt.speed > prev_speed, "TablePowerModel: speeds must be positive and distinct");
+    require(pt.power > prev_power,
+            "TablePowerModel: power must increase strictly with speed (dominated point)");
+    prev_speed = pt.speed;
+    prev_power = pt.power;
+  }
+  require(static_power_ >= 0.0, "TablePowerModel: static power must be non-negative");
+  require(static_power_ <= points_.front().power,
+          "TablePowerModel: idle power cannot exceed the lowest operating-point power");
+}
+
+TablePowerModel TablePowerModel::sampled(double beta1, double beta2, double alpha, double lo,
+                                         double hi, int count) {
+  require(count >= 1, "TablePowerModel::sampled: count must be at least 1");
+  require(lo > 0.0 && lo <= hi, "TablePowerModel::sampled: requires 0 < lo <= hi");
+  std::vector<OperatingPoint> pts;
+  pts.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const double s =
+        count == 1 ? hi : lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(count - 1);
+    pts.push_back({s, beta1 + beta2 * std::pow(s, alpha)});
+  }
+  return TablePowerModel(std::move(pts), beta1);
+}
+
+TablePowerModel TablePowerModel::xscale5() {
+  const double beta1 = 0.08;
+  const double beta2 = 1.52;
+  std::vector<OperatingPoint> pts;
+  for (const double s : {0.15, 0.4, 0.6, 0.8, 1.0}) {
+    pts.push_back({s, beta1 + beta2 * s * s * s});
+  }
+  return TablePowerModel(std::move(pts), beta1);
+}
+
+double TablePowerModel::power(double speed) const {
+  for (const OperatingPoint& pt : points_) {
+    if (almost_equal(pt.speed, speed)) return pt.power;
+  }
+  throw Error("TablePowerModel::power: speed is not an available operating point");
+}
+
+std::vector<double> TablePowerModel::available_speeds() const {
+  std::vector<double> speeds;
+  speeds.reserve(points_.size());
+  for (const OperatingPoint& pt : points_) speeds.push_back(pt.speed);
+  return speeds;
+}
+
+std::string TablePowerModel::name() const {
+  std::ostringstream os;
+  os << "table(" << points_.size() << " speeds in [" << points_.front().speed << ","
+     << points_.back().speed << "], idle " << static_power_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<PowerModel> TablePowerModel::clone() const {
+  return std::make_unique<TablePowerModel>(*this);
+}
+
+}  // namespace retask

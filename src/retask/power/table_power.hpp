@@ -1,0 +1,63 @@
+// Non-ideal DVS processor: a finite table of (speed, power) operating
+// points, as found on real parts (e.g. the XScale family exposes five
+// frequency/voltage steps).
+//
+// The table is the ground truth; helper accessors expose the sorted speed
+// list and per-point powers. Continuous-looking queries (`power` at a
+// non-listed speed) are rejected — emulating intermediate speeds by
+// time-sharing two listed speeds is the job of the EnergyCurve, which owns
+// the convex-hull construction.
+#ifndef RETASK_POWER_TABLE_POWER_HPP
+#define RETASK_POWER_TABLE_POWER_HPP
+
+#include <vector>
+
+#include "retask/power/power_model.hpp"
+
+namespace retask {
+
+/// One operating point of a non-ideal DVS processor.
+struct OperatingPoint {
+  double speed = 0.0;  ///< execution speed (cycles per time unit), > 0
+  double power = 0.0;  ///< total power drawn while executing at this speed
+};
+
+/// Discrete-speed power model backed by an operating-point table.
+class TablePowerModel final : public PowerModel {
+ public:
+  /// Requires at least one point; speeds must be positive and strictly
+  /// increasing after sorting; powers must be positive and strictly
+  /// increasing with speed (a dominated point would never be selected but
+  /// indicates a configuration error). `static_power` is the power drawn
+  /// while idle-but-awake; it must not exceed the smallest table power.
+  TablePowerModel(std::vector<OperatingPoint> points, double static_power);
+
+  /// Samples `count` equally spaced speeds of a polynomial-style curve
+  /// `beta1 + beta2 * s^alpha` between `lo` and `hi` (inclusive) — the
+  /// standard way to build "k-level" processors for granularity experiments.
+  static TablePowerModel sampled(double beta1, double beta2, double alpha, double lo, double hi,
+                                 int count);
+
+  /// Five-level XScale-like table: speeds {0.15, 0.4, 0.6, 0.8, 1.0} on the
+  /// group's normalized curve `0.08 + 1.52 s^3`.
+  static TablePowerModel xscale5();
+
+  double power(double speed) const override;
+  double static_power() const override { return static_power_; }
+  double min_speed() const override { return points_.front().speed; }
+  double max_speed() const override { return points_.back().speed; }
+  bool is_continuous() const override { return false; }
+  std::vector<double> available_speeds() const override;
+  std::string name() const override;
+  std::unique_ptr<PowerModel> clone() const override;
+
+  const std::vector<OperatingPoint>& points() const { return points_; }
+
+ private:
+  std::vector<OperatingPoint> points_;  // ascending by speed
+  double static_power_;
+};
+
+}  // namespace retask
+
+#endif  // RETASK_POWER_TABLE_POWER_HPP

@@ -1,0 +1,50 @@
+// Umbrella header: the complete public API of the retask library.
+//
+// retask reproduces "Energy-efficient real-time task scheduling with task
+// rejection" (DATE 2007): scheduling frame-based or periodic real-time tasks
+// on speed-bounded DVS processors where tasks may be rejected at a penalty,
+// minimizing energy plus total rejection penalty. See DESIGN.md for the
+// system inventory and README.md for a quickstart.
+#ifndef RETASK_RETASK_HPP
+#define RETASK_RETASK_HPP
+
+#include "retask/common/error.hpp"
+#include "retask/common/math.hpp"
+#include "retask/common/rng.hpp"
+#include "retask/common/stats.hpp"
+#include "retask/common/table.hpp"
+#include "retask/core/algorithm_registry.hpp"
+#include "retask/core/allocation.hpp"
+#include "retask/core/budgeted.hpp"
+#include "retask/core/exact_dp.hpp"
+#include "retask/core/exhaustive.hpp"
+#include "retask/core/fptas.hpp"
+#include "retask/core/greedy.hpp"
+#include "retask/core/het_allocation.hpp"
+#include "retask/core/leakage_aware.hpp"
+#include "retask/core/lower_bound.hpp"
+#include "retask/core/multiproc.hpp"
+#include "retask/core/periodic.hpp"
+#include "retask/core/problem.hpp"
+#include "retask/core/solution.hpp"
+#include "retask/core/solver.hpp"
+#include "retask/core/two_pe.hpp"
+#include "retask/exp/harness.hpp"
+#include "retask/exp/workload.hpp"
+#include "retask/power/critical_speed.hpp"
+#include "retask/power/energy_curve.hpp"
+#include "retask/power/polynomial_power.hpp"
+#include "retask/power/power_model.hpp"
+#include "retask/power/table_power.hpp"
+#include "retask/sched/edf_sim.hpp"
+#include "retask/sched/feasibility.hpp"
+#include "retask/sched/frame_sim.hpp"
+#include "retask/sched/online_sim.hpp"
+#include "retask/sched/partition.hpp"
+#include "retask/sched/reclaim.hpp"
+#include "retask/sched/speed_schedule.hpp"
+#include "retask/task/generator.hpp"
+#include "retask/task/task.hpp"
+#include "retask/task/task_set.hpp"
+
+#endif  // RETASK_RETASK_HPP

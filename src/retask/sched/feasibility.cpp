@@ -1,0 +1,25 @@
+#include "retask/sched/feasibility.hpp"
+
+#include "retask/common/error.hpp"
+#include "retask/common/math.hpp"
+
+namespace retask {
+
+bool frame_feasible(const EnergyCurve& curve, double work) { return curve.feasible(work); }
+
+double demanded_rate(const PeriodicTaskSet& tasks, const std::vector<bool>& selected) {
+  if (selected.empty()) return tasks.total_rate();
+  require(selected.size() == tasks.size(), "demanded_rate: selection size mismatch");
+  double rate = 0.0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (selected[i]) rate += tasks[i].rate();
+  }
+  return rate;
+}
+
+bool edf_feasible(const PeriodicTaskSet& tasks, const std::vector<bool>& selected, double speed) {
+  require(speed >= 0.0, "edf_feasible: negative speed");
+  return leq_tol(demanded_rate(tasks, selected), speed);
+}
+
+}  // namespace retask

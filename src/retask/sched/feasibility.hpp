@@ -1,0 +1,32 @@
+// Schedulability tests.
+//
+// Frame-based tasks on one processor are schedulable iff their total work
+// fits at top speed within the frame. Periodic implicit-deadline tasks under
+// EDF at a constant speed s are schedulable iff the demanded rate does not
+// exceed s (Liu & Layland, 1973) — EDF is optimal on one processor, which is
+// why the library (like the source papers) runs EDF after partitioning.
+#ifndef RETASK_SCHED_FEASIBILITY_HPP
+#define RETASK_SCHED_FEASIBILITY_HPP
+
+#include <vector>
+
+#include "retask/power/energy_curve.hpp"
+#include "retask/task/task_set.hpp"
+
+namespace retask {
+
+/// True when `work` (in work units = speed x time) fits the curve's window
+/// at top speed.
+bool frame_feasible(const EnergyCurve& curve, double work);
+
+/// Total demanded rate (sum ci/pi, cycles per time unit) of the selected
+/// periodic tasks; `selected` may be empty meaning "all".
+double demanded_rate(const PeriodicTaskSet& tasks, const std::vector<bool>& selected);
+
+/// EDF schedulability of the selected periodic tasks at constant speed
+/// `speed` (tolerant comparison, to accept analytically tight speeds).
+bool edf_feasible(const PeriodicTaskSet& tasks, const std::vector<bool>& selected, double speed);
+
+}  // namespace retask
+
+#endif  // RETASK_SCHED_FEASIBILITY_HPP

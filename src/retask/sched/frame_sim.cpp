@@ -1,0 +1,39 @@
+#include "retask/sched/frame_sim.hpp"
+
+#include "retask/common/error.hpp"
+#include "retask/common/math.hpp"
+
+namespace retask {
+
+FrameSimResult simulate_frame(const std::vector<FrameTask>& accepted, double work_per_cycle,
+                              const SpeedSchedule& schedule, const EnergyCurve& curve) {
+  require(work_per_cycle > 0.0, "simulate_frame: work_per_cycle must be positive");
+  require(leq_tol(curve.window(), schedule.end_time()),
+          "simulate_frame: schedule shorter than the frame window");
+
+  FrameSimResult result;
+  result.finish_times.reserve(accepted.size());
+
+  double total_work = 0.0;
+  for (const FrameTask& task : accepted) {
+    validate(task);
+    total_work += work_per_cycle * static_cast<double>(task.cycles);
+  }
+  require(leq_tol(total_work, schedule.total_cycles(), 1e-6),
+          "simulate_frame: schedule does not execute enough work for the accepted tasks");
+
+  double done = 0.0;
+  double completion = 0.0;
+  for (const FrameTask& task : accepted) {
+    done += work_per_cycle * static_cast<double>(task.cycles);
+    const double finish = schedule.time_to_cycles(std::min(done, schedule.total_cycles()));
+    result.finish_times.push_back(finish);
+    completion = finish;
+  }
+  result.completion_time = completion;
+  result.deadline_met = leq_tol(completion, curve.window(), 1e-6);
+  result.energy = schedule.energy(curve);
+  return result;
+}
+
+}  // namespace retask

@@ -1,0 +1,34 @@
+// Frame simulator: executes a set of accepted frame tasks back-to-back over
+// a speed schedule and reports per-task finish times and drawn energy.
+//
+// The solvers' energy claims are analytic (EnergyCurve); this simulator
+// re-derives completion and energy from the actual timeline so tests and
+// benches can cross-check every solution instead of trusting the formulas.
+#ifndef RETASK_SCHED_FRAME_SIM_HPP
+#define RETASK_SCHED_FRAME_SIM_HPP
+
+#include <vector>
+
+#include "retask/power/energy_curve.hpp"
+#include "retask/sched/speed_schedule.hpp"
+#include "retask/task/task.hpp"
+
+namespace retask {
+
+/// Result of simulating one frame.
+struct FrameSimResult {
+  bool deadline_met = false;       ///< all accepted work done within the window
+  double completion_time = 0.0;    ///< when the last accepted task finishes
+  double energy = 0.0;             ///< energy drawn over the whole window
+  std::vector<double> finish_times;  ///< per accepted task, in input order
+};
+
+/// Runs `accepted` tasks sequentially over `schedule` (work units =
+/// work_per_cycle * cycles) and accounts energy under `curve`'s model and
+/// idle discipline. The schedule must span the curve's window.
+FrameSimResult simulate_frame(const std::vector<FrameTask>& accepted, double work_per_cycle,
+                              const SpeedSchedule& schedule, const EnergyCurve& curve);
+
+}  // namespace retask
+
+#endif  // RETASK_SCHED_FRAME_SIM_HPP

@@ -1,0 +1,186 @@
+#include "retask/sched/online_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "retask/common/error.hpp"
+#include "retask/common/math.hpp"
+#include "retask/power/critical_speed.hpp"
+
+namespace retask {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Pending {
+  double deadline = 0.0;
+  double remaining = 0.0;  // work units
+  int id = 0;
+};
+
+/// Optimal-Available speed: the maximum density over pending deadlines.
+double oa_speed(double now, std::vector<Pending>& pending) {
+  std::sort(pending.begin(), pending.end(),
+            [](const Pending& a, const Pending& b) { return a.deadline < b.deadline; });
+  double work = 0.0;
+  double speed = 0.0;
+  for (const Pending& job : pending) {
+    work += job.remaining;
+    const double slack = job.deadline - now;
+    if (slack <= 0.0) return kInf;  // already doomed (never happens post-admission)
+    speed = std::max(speed, work / slack);
+  }
+  return speed;
+}
+
+}  // namespace
+
+void validate(const AperiodicJob& job) {
+  require(job.cycles > 0, "AperiodicJob: cycles must be positive");
+  require(job.deadline > job.arrival, "AperiodicJob: deadline must be after arrival");
+  require(job.arrival >= 0.0, "AperiodicJob: arrival must be non-negative");
+  require(job.penalty >= 0.0, "AperiodicJob: penalty must be non-negative");
+}
+
+OnlineSimResult simulate_online(std::vector<AperiodicJob> jobs, const OnlineSimConfig& config,
+                                const PowerModel& model) {
+  require(config.work_per_cycle > 0.0, "simulate_online: work_per_cycle must be positive");
+  require(config.value_threshold >= 0.0, "simulate_online: value_threshold must be >= 0");
+  validate(config.sleep);
+  for (const AperiodicJob& job : jobs) validate(job);
+  std::stable_sort(jobs.begin(), jobs.end(), [](const AperiodicJob& a, const AperiodicJob& b) {
+    if (a.arrival != b.arrival) return a.arrival < b.arrival;
+    return a.id < b.id;
+  });
+
+  const double smax = model.max_speed();
+  const double s_floor = config.dormant_enable ? critical_speed(model) : model.min_speed();
+  const double pind = model.static_power();
+  const auto idle_energy = [&](double gap) {
+    if (gap <= 0.0) return 0.0;
+    return config.dormant_enable ? idle_interval_energy(pind, config.sleep, gap) : pind * gap;
+  };
+
+  OnlineSimResult result;
+  result.jobs = static_cast<std::int64_t>(jobs.size());
+
+  double horizon = config.horizon;
+  for (const AperiodicJob& job : jobs) horizon = std::max(horizon, job.deadline);
+  if (jobs.empty()) {
+    if (horizon > 0.0) {
+      result.idle_time = horizon;
+      result.energy = idle_energy(horizon);
+    }
+    return result;
+  }
+
+  std::vector<Pending> pending;
+  std::size_t next_job = 0;
+  double now = 0.0;
+
+  // Admission decision for one arriving job; updates pending and the
+  // rejected-penalty tally.
+  const auto arrive = [&](const AperiodicJob& job) {
+    const double work = config.work_per_cycle * static_cast<double>(job.cycles);
+    std::vector<Pending> tentative = pending;
+    tentative.push_back({job.deadline, work, job.id});
+    const double oa_with = oa_speed(now, tentative);
+    bool admit = leq_tol(oa_with, smax);
+    if (admit && config.rule == AdmissionRule::kValueDensity) {
+      const double s_est = clamp(std::max(oa_with, s_floor), std::max(smax * 1e-12, 1e-300), smax);
+      const double estimated_energy = work * model.energy_per_cycle(s_est);
+      admit = job.penalty >= config.value_threshold * estimated_energy;
+    }
+    if (admit) {
+      pending.push_back({job.deadline, work, job.id});
+      ++result.admitted;
+    } else {
+      result.rejected_penalty += job.penalty;
+    }
+  };
+
+  while (!pending.empty() || next_job < jobs.size()) {
+    if (pending.empty()) {
+      const double arrival = jobs[next_job].arrival;
+      const double gap = arrival - now;
+      result.idle_time += std::max(0.0, gap);
+      result.energy += idle_energy(gap);
+      now = arrival;
+      while (next_job < jobs.size() && jobs[next_job].arrival <= now) {
+        arrive(jobs[next_job]);
+        ++next_job;
+      }
+      continue;
+    }
+
+    const double oa = oa_speed(now, pending);
+    RETASK_ASSERT(oa < kInf);
+    const double s_exec =
+        clamp(std::max(oa, s_floor), std::max(smax * 1e-12, 1e-300), smax * (1.0 + 1e-12));
+    result.max_speed_used = std::max(result.max_speed_used, s_exec);
+
+    // EDF: the earliest-deadline job runs (pending is deadline-sorted after
+    // oa_speed).
+    Pending& job = pending.front();
+    const double completion = now + job.remaining / s_exec;
+    const double next_arrival = next_job < jobs.size() ? jobs[next_job].arrival : kInf;
+    const double until = std::min(completion, next_arrival);
+    const double dt = until - now;
+    RETASK_ASSERT(dt >= 0.0);
+    result.busy_time += dt;
+    result.energy += dt * model.power(std::min(s_exec, smax));
+    job.remaining -= dt * s_exec;
+    now = until;
+
+    if (job.remaining <= 1e-12 * std::max(1.0, job.remaining + 1.0) &&
+        completion <= next_arrival) {
+      if (now > job.deadline * (1.0 + 1e-9)) ++result.deadline_misses;
+      pending.erase(pending.begin());
+    }
+    while (next_job < jobs.size() && jobs[next_job].arrival <= now) {
+      arrive(jobs[next_job]);
+      ++next_job;
+    }
+  }
+
+  const double tail = horizon - now;
+  if (tail > 0.0) {
+    result.idle_time += tail;
+    result.energy += idle_energy(tail);
+  }
+  return result;
+}
+
+std::vector<AperiodicJob> generate_aperiodic_jobs(const AperiodicWorkloadConfig& config,
+                                                  double max_speed, Rng& rng) {
+  require(config.duration > 0.0, "generate_aperiodic_jobs: duration must be positive");
+  require(config.arrival_rate > 0.0, "generate_aperiodic_jobs: arrival rate must be positive");
+  require(config.mean_work > 0.0, "generate_aperiodic_jobs: mean work must be positive");
+  require(config.resolution >= 1.0, "generate_aperiodic_jobs: resolution must be >= 1");
+  require(max_speed > 0.0, "generate_aperiodic_jobs: max_speed must be positive");
+
+  std::vector<AperiodicJob> jobs;
+  double t = 0.0;
+  int id = 0;
+  while (true) {
+    // Exponential inter-arrival gap.
+    double u = rng.uniform();
+    while (u <= 0.0) u = rng.uniform();
+    t += -std::log(u) / config.arrival_rate;
+    if (t >= config.duration) break;
+    const double work = rng.log_uniform(config.mean_work / 3.0, config.mean_work * 3.0);
+    const double exec_at_top = work / max_speed;
+    AperiodicJob job;
+    job.id = id++;
+    job.arrival = t;
+    job.cycles = std::max<Cycles>(1, static_cast<Cycles>(std::llround(work * config.resolution)));
+    job.deadline = t + exec_at_top * rng.uniform(2.0, 6.0);
+    job.penalty =
+        config.penalty_scale * config.energy_per_work_ref * work * rng.uniform(0.5, 1.5);
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+}  // namespace retask

@@ -1,0 +1,73 @@
+#include "retask/sched/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "retask/common/error.hpp"
+#include "retask/common/math.hpp"
+
+namespace retask {
+
+double Partition::max_load() const {
+  require(!loads.empty(), "Partition::max_load: no bins");
+  return *std::max_element(loads.begin(), loads.end());
+}
+
+Partition partition_items(const std::vector<double>& weights, int bin_count,
+                          PartitionPolicy policy, double capacity, Rng* rng) {
+  require(bin_count >= 1, "partition_items: bin_count must be at least 1");
+  for (const double w : weights) require(w >= 0.0, "partition_items: negative weight");
+
+  std::vector<std::size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  switch (policy) {
+    case PartitionPolicy::kLargestFirst:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) { return weights[a] > weights[b]; });
+      break;
+    case PartitionPolicy::kShuffled:
+      require(rng != nullptr, "partition_items: kShuffled requires an rng");
+      rng->shuffle(order);
+      break;
+    case PartitionPolicy::kInOrder:
+    case PartitionPolicy::kFirstFit:
+    case PartitionPolicy::kBestFit:
+      break;
+  }
+
+  Partition result;
+  result.bin_of.assign(weights.size(), -1);
+  result.loads.assign(static_cast<std::size_t>(bin_count), 0.0);
+
+  if (policy == PartitionPolicy::kFirstFit || policy == PartitionPolicy::kBestFit) {
+    require(capacity > 0.0, "partition_items: capacity-based policies require a positive capacity");
+    for (const std::size_t i : order) {
+      std::size_t chosen = result.loads.size();
+      for (std::size_t b = 0; b < result.loads.size(); ++b) {
+        if (!leq_tol(result.loads[b] + weights[i], capacity)) continue;
+        if (policy == PartitionPolicy::kFirstFit) {
+          chosen = b;
+          break;
+        }
+        if (chosen == result.loads.size() || result.loads[b] > result.loads[chosen]) {
+          chosen = b;  // best fit: tightest remaining space
+        }
+      }
+      if (chosen < result.loads.size()) {
+        result.bin_of[i] = static_cast<int>(chosen);
+        result.loads[chosen] += weights[i];
+      }
+    }
+    return result;
+  }
+
+  for (const std::size_t i : order) {
+    const auto lightest = std::min_element(result.loads.begin(), result.loads.end());
+    const auto b = static_cast<std::size_t>(lightest - result.loads.begin());
+    result.bin_of[i] = static_cast<int>(b);
+    result.loads[b] += weights[i];
+  }
+  return result;
+}
+
+}  // namespace retask

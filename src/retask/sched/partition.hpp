@@ -1,0 +1,47 @@
+// Partition heuristics for multiprocessor scheduling.
+//
+// The source papers schedule partitioned task sets: each task is bound to
+// one processor and EDF runs locally. The Largest-Task-First strategy (sort
+// by size descending, assign to the least-loaded processor) is the group's
+// flagship heuristic; RAND (same assignment rule without the sort) is their
+// standard baseline; first-fit with a capacity is the bin-packing step of
+// the leakage-aware and allocation-cost algorithms.
+#ifndef RETASK_SCHED_PARTITION_HPP
+#define RETASK_SCHED_PARTITION_HPP
+
+#include <vector>
+
+#include "retask/common/rng.hpp"
+
+namespace retask {
+
+/// Partition policy over item weights.
+enum class PartitionPolicy {
+  kLargestFirst,  ///< LTF: sort descending, then least-loaded bin
+  kInOrder,       ///< RAND baseline: input order, least-loaded bin
+  kShuffled,      ///< random order, least-loaded bin
+  kFirstFit,      ///< input order, first bin whose load stays within capacity
+  kBestFit,       ///< input order, tightest bin whose load stays within capacity
+};
+
+/// Result of a partition: `bin_of[i]` is the bin of item i; `loads[b]` the
+/// total weight in bin b.
+struct Partition {
+  std::vector<int> bin_of;
+  std::vector<double> loads;
+
+  /// Largest bin load (0 for no bins... requires at least one bin).
+  double max_load() const;
+};
+
+/// Partitions `weights` into `bin_count` bins under `policy`.
+/// * Least-loaded policies always succeed (no capacity).
+/// * kFirstFit/kBestFit use `capacity`; items that fit nowhere get bin -1.
+/// * `rng` is only used by kShuffled (may be null for the others).
+/// Requires bin_count >= 1 and non-negative weights.
+Partition partition_items(const std::vector<double>& weights, int bin_count,
+                          PartitionPolicy policy, double capacity = 0.0, Rng* rng = nullptr);
+
+}  // namespace retask
+
+#endif  // RETASK_SCHED_PARTITION_HPP

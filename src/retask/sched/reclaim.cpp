@@ -1,0 +1,115 @@
+#include "retask/sched/reclaim.hpp"
+
+#include <algorithm>
+
+#include "retask/common/error.hpp"
+#include "retask/common/math.hpp"
+#include "retask/common/rng.hpp"
+#include "retask/power/critical_speed.hpp"
+
+namespace retask {
+namespace {
+
+/// Execution-speed floor: critical speed on dormant-enable processors (free
+/// sleep makes slower speeds wasteful), the model's minimum otherwise.
+double speed_floor(const EnergyCurve& curve) {
+  if (curve.idle() == IdleDiscipline::kDormantEnable) return critical_speed(curve.model());
+  return curve.model().min_speed();
+}
+
+/// Speed for `work` remaining within `window` time.
+double speed_for(const EnergyCurve& curve, double work, double window) {
+  const double smax = curve.model().max_speed();
+  require(window > 0.0, "reclaim: no time left in the window");
+  const double demanded = work / window;
+  require(leq_tol(demanded, smax), "reclaim: remaining work no longer fits the window");
+  return clamp(std::max(demanded, speed_floor(curve)), std::max(smax * 1e-12, 1e-300), smax);
+}
+
+}  // namespace
+
+ReclaimResult simulate_frame_reclaim(const std::vector<FrameTask>& accepted,
+                                     const std::vector<Cycles>& actual_cycles,
+                                     double work_per_cycle, const EnergyCurve& curve,
+                                     ReclaimPolicy policy) {
+  require(curve.model().is_continuous(),
+          "simulate_frame_reclaim: continuous (ideal) power models only");
+  require(accepted.size() == actual_cycles.size(),
+          "simulate_frame_reclaim: actual-cycle vector size mismatch");
+  require(work_per_cycle > 0.0, "simulate_frame_reclaim: work_per_cycle must be positive");
+
+  double wcet_work = 0.0;
+  double actual_work = 0.0;
+  for (std::size_t i = 0; i < accepted.size(); ++i) {
+    validate(accepted[i]);
+    require(actual_cycles[i] > 0 && actual_cycles[i] <= accepted[i].cycles,
+            "simulate_frame_reclaim: actual cycles must be in [1, WCET]");
+    wcet_work += work_per_cycle * static_cast<double>(accepted[i].cycles);
+    actual_work += work_per_cycle * static_cast<double>(actual_cycles[i]);
+  }
+  const double window = curve.window();
+  require(curve.feasible(wcet_work), "simulate_frame_reclaim: WCET load infeasible");
+
+  ReclaimResult result;
+  double now = 0.0;
+  double energy = 0.0;
+
+  if (accepted.empty()) {
+    result.deadline_met = true;
+    result.energy = curve.idle_cost(window);
+    return result;
+  }
+
+  switch (policy) {
+    case ReclaimPolicy::kStatic: {
+      const double s = speed_for(curve, wcet_work, window);
+      result.initial_speed = s;
+      result.final_speed = s;
+      now = actual_work / s;
+      energy = (actual_work / s) * curve.model().power(s);
+      break;
+    }
+    case ReclaimPolicy::kClairvoyant: {
+      const double s = speed_for(curve, actual_work, window);
+      result.initial_speed = s;
+      result.final_speed = s;
+      now = actual_work / s;
+      energy = (actual_work / s) * curve.model().power(s);
+      break;
+    }
+    case ReclaimPolicy::kGreedy: {
+      double remaining_wcet = wcet_work;
+      for (std::size_t i = 0; i < accepted.size(); ++i) {
+        const double s = speed_for(curve, remaining_wcet, window - now);
+        if (i == 0) result.initial_speed = s;
+        result.final_speed = s;
+        const double work_i = work_per_cycle * static_cast<double>(actual_cycles[i]);
+        const double dt = work_i / s;
+        energy += dt * curve.model().power(s);
+        now += dt;
+        remaining_wcet -= work_per_cycle * static_cast<double>(accepted[i].cycles);
+      }
+      break;
+    }
+  }
+
+  result.completion = now;
+  result.deadline_met = leq_tol(now, window, 1e-6);
+  result.energy = energy + curve.idle_cost(std::max(0.0, window - now));
+  return result;
+}
+
+std::vector<Cycles> draw_actual_cycles(const std::vector<FrameTask>& accepted, double ratio_lo,
+                                       double ratio_hi, Rng& rng) {
+  require(ratio_lo > 0.0 && ratio_lo <= ratio_hi && ratio_hi <= 1.0,
+          "draw_actual_cycles: ratios must satisfy 0 < lo <= hi <= 1");
+  std::vector<Cycles> actual(accepted.size());
+  for (std::size_t i = 0; i < accepted.size(); ++i) {
+    const double ratio = rng.uniform(ratio_lo, ratio_hi);
+    actual[i] = std::max<Cycles>(
+        1, static_cast<Cycles>(static_cast<double>(accepted[i].cycles) * ratio));
+  }
+  return actual;
+}
+
+}  // namespace retask

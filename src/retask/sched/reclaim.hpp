@@ -1,0 +1,61 @@
+// Run-time slack reclamation for frame schedules.
+//
+// Offline plans are sized for worst-case execution cycles; at run time tasks
+// usually finish early. What the scheduler does with that slack decides how
+// much of the WCET pessimism is paid in energy:
+//
+//  * kStatic      — keep the precomputed WCET speed; early completions only
+//                   lengthen the idle tail.
+//  * kGreedy      — after every completion, re-derive the speed for the
+//                   REMAINING worst-case work over the remaining window
+//                   (the classic greedy reclamation of the slack-reclaiming
+//                   DVS line). Speeds only ever decrease, so the schedule
+//                   stays feasible by construction — and the simulator
+//                   checks the deadline anyway.
+//  * kClairvoyant — knows actual cycles upfront; the energy lower bound.
+//
+// Continuous (ideal) models only: per-completion re-planning with two-speed
+// emulation is out of scope here and documented as such.
+#ifndef RETASK_SCHED_RECLAIM_HPP
+#define RETASK_SCHED_RECLAIM_HPP
+
+#include <vector>
+
+#include "retask/common/rng.hpp"
+#include "retask/power/energy_curve.hpp"
+#include "retask/task/task.hpp"
+
+namespace retask {
+
+/// How run-time slack from early completions is used.
+enum class ReclaimPolicy {
+  kStatic,
+  kGreedy,
+  kClairvoyant,
+};
+
+/// Outcome of one frame executed with actual (possibly < WCET) cycles.
+struct ReclaimResult {
+  bool deadline_met = false;
+  double completion = 0.0;    ///< when the last task finishes
+  double energy = 0.0;        ///< busy energy + idle tail under the curve
+  double initial_speed = 0.0;
+  double final_speed = 0.0;   ///< speed of the last executed task
+};
+
+/// Executes `accepted` tasks (in order) whose true demands are
+/// `actual_cycles[i] <= accepted[i].cycles`, under `policy`. Requires a
+/// continuous power model, matching sizes, and positive actual cycles.
+ReclaimResult simulate_frame_reclaim(const std::vector<FrameTask>& accepted,
+                                     const std::vector<Cycles>& actual_cycles,
+                                     double work_per_cycle, const EnergyCurve& curve,
+                                     ReclaimPolicy policy);
+
+/// Draws per-task actual cycles as `ratio_lo..ratio_hi` of WCET (uniform,
+/// at least 1 cycle each).
+std::vector<Cycles> draw_actual_cycles(const std::vector<FrameTask>& accepted, double ratio_lo,
+                                       double ratio_hi, Rng& rng);
+
+}  // namespace retask
+
+#endif  // RETASK_SCHED_RECLAIM_HPP

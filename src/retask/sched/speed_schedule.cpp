@@ -1,0 +1,68 @@
+#include "retask/sched/speed_schedule.hpp"
+
+#include <algorithm>
+
+#include "retask/common/error.hpp"
+#include "retask/common/math.hpp"
+
+namespace retask {
+
+SpeedSchedule SpeedSchedule::from_plan(const ExecutionPlan& plan) {
+  std::vector<PlanSegment> ordered = plan.segments;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const PlanSegment& a, const PlanSegment& b) { return a.speed > b.speed; });
+  SpeedSchedule schedule;
+  for (const PlanSegment& seg : ordered) schedule.append(seg.speed, seg.duration);
+  return schedule;
+}
+
+void SpeedSchedule::append(double speed, double duration) {
+  require(speed >= 0.0, "SpeedSchedule::append: negative speed");
+  require(duration >= 0.0, "SpeedSchedule::append: negative duration");
+  if (duration == 0.0) return;
+  segments_.push_back({speed, duration});
+}
+
+double SpeedSchedule::end_time() const {
+  double t = 0.0;
+  for (const PlanSegment& seg : segments_) t += seg.duration;
+  return t;
+}
+
+double SpeedSchedule::cycles_by(double t) const {
+  double cycles = 0.0;
+  double clock = 0.0;
+  for (const PlanSegment& seg : segments_) {
+    if (t <= clock) break;
+    const double span = std::min(seg.duration, t - clock);
+    cycles += seg.speed * span;
+    clock += seg.duration;
+  }
+  return cycles;
+}
+
+double SpeedSchedule::time_to_cycles(double cycles) const {
+  require(cycles >= 0.0, "SpeedSchedule::time_to_cycles: negative cycle count");
+  if (cycles == 0.0) return 0.0;
+  double remaining = cycles;
+  double clock = 0.0;
+  for (const PlanSegment& seg : segments_) {
+    const double available = seg.speed * seg.duration;
+    if (available >= remaining && seg.speed > 0.0) {
+      return clock + remaining / seg.speed;
+    }
+    remaining -= available;
+    clock += seg.duration;
+  }
+  require(leq_tol(remaining, 0.0) || almost_equal(remaining, 0.0, 1e-6),
+          "SpeedSchedule::time_to_cycles: schedule executes fewer cycles than requested");
+  return clock;
+}
+
+double SpeedSchedule::energy(const EnergyCurve& curve) const {
+  ExecutionPlan plan;
+  plan.segments = segments_;
+  return curve.plan_energy(plan);
+}
+
+}  // namespace retask

@@ -1,0 +1,55 @@
+// Piecewise-constant speed schedules over absolute time.
+//
+// Solvers emit ExecutionPlans (bags of constant-speed segments); the
+// simulators need the same information pinned to a timeline so that task
+// completions can be located. SpeedSchedule is that timeline: consecutive
+// segments starting at time 0, with queries for the cycles executed up to a
+// time and the earliest time a cycle count is reached.
+#ifndef RETASK_SCHED_SPEED_SCHEDULE_HPP
+#define RETASK_SCHED_SPEED_SCHEDULE_HPP
+
+#include <vector>
+
+#include "retask/power/energy_curve.hpp"
+
+namespace retask {
+
+/// Timeline of constant-speed intervals starting at time 0.
+class SpeedSchedule {
+ public:
+  SpeedSchedule() = default;
+
+  /// Builds a timeline from a plan, keeping segment order. Execution
+  /// segments are sorted fastest-first ahead of idle so that work finishes
+  /// as early as possible (any order is energy-equivalent; earliest-finish
+  /// is the canonical choice and keeps deadline checks conservative-free).
+  static SpeedSchedule from_plan(const ExecutionPlan& plan);
+
+  /// Appends a segment (duration >= 0, speed >= 0).
+  void append(double speed, double duration);
+
+  const std::vector<PlanSegment>& segments() const { return segments_; }
+
+  /// Timeline end.
+  double end_time() const;
+
+  /// Cycles executed in [0, t] (t clamped to the timeline).
+  double cycles_by(double t) const;
+
+  /// Earliest time at which `cycles` cycles have been executed; requires the
+  /// schedule to execute at least that many in total.
+  double time_to_cycles(double cycles) const;
+
+  /// Total cycles executed by the whole timeline.
+  double total_cycles() const { return cycles_by(end_time()); }
+
+  /// Energy drawn under `curve`'s model and idle discipline.
+  double energy(const EnergyCurve& curve) const;
+
+ private:
+  std::vector<PlanSegment> segments_;
+};
+
+}  // namespace retask
+
+#endif  // RETASK_SCHED_SPEED_SCHEDULE_HPP

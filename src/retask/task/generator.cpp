@@ -1,0 +1,172 @@
+#include "retask/task/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "retask/common/error.hpp"
+#include "retask/common/math.hpp"
+
+namespace retask {
+namespace {
+
+double penalty_for(PenaltyModel model, double scale, double e_ref, double cycles,
+                   double mean_cycles, Rng& rng) {
+  const double base = scale * e_ref;
+  switch (model) {
+    case PenaltyModel::kUniform:
+      return base * mean_cycles * rng.uniform(0.5, 1.5);
+    case PenaltyModel::kProportionalCycles:
+      return base * cycles * rng.uniform(0.8, 1.25);
+    case PenaltyModel::kInverseCycles:
+      return base * (mean_cycles * mean_cycles / cycles) * rng.uniform(0.8, 1.25);
+  }
+  throw Error("penalty_for: unknown penalty model");
+}
+
+}  // namespace
+
+std::vector<double> uunifast(int count, double total, Rng& rng) {
+  require(count >= 1, "uunifast: count must be at least 1");
+  require(total >= 0.0, "uunifast: total must be non-negative");
+  std::vector<double> shares(static_cast<std::size_t>(count));
+  double remaining = total;
+  for (int i = count; i > 1; --i) {
+    const double next = remaining * std::pow(rng.uniform(), 1.0 / static_cast<double>(i - 1));
+    shares[static_cast<std::size_t>(count - i)] = remaining - next;
+    remaining = next;
+  }
+  shares.back() = remaining;
+  return shares;
+}
+
+FrameTaskSet generate_frame_tasks(const FrameWorkloadConfig& config, Rng& rng) {
+  require(config.task_count >= 1, "generate_frame_tasks: task_count must be at least 1");
+  require(config.target_load > 0.0, "generate_frame_tasks: target_load must be positive");
+  require(config.frame > 0.0 && config.max_speed > 0.0,
+          "generate_frame_tasks: frame and max_speed must be positive");
+  require(config.resolution >= static_cast<double>(config.task_count),
+          "generate_frame_tasks: resolution too coarse for the task count");
+  require(config.cycle_spread >= 1.0, "generate_frame_tasks: cycle_spread must be >= 1");
+  require(config.penalty_scale >= 0.0 && config.energy_per_cycle_ref > 0.0,
+          "generate_frame_tasks: penalty scale/reference must be valid");
+
+  const auto n = static_cast<std::size_t>(config.task_count);
+  // Cycle budget: `resolution` cycles correspond to system load 1.
+  const double budget = config.target_load * config.resolution;
+
+  std::vector<double> raw(n);
+  double raw_sum = 0.0;
+  for (double& r : raw) {
+    r = rng.log_uniform(1.0, config.cycle_spread);
+    raw_sum += r;
+  }
+
+  std::vector<FrameTask> tasks(n);
+  double mean_cycles = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto cycles = static_cast<Cycles>(
+        std::max<long long>(1, std::llround(budget * raw[i] / raw_sum)));
+    tasks[i].id = static_cast<int>(i);
+    tasks[i].cycles = cycles;
+    mean_cycles += static_cast<double>(cycles);
+  }
+  mean_cycles /= static_cast<double>(n);
+
+  // Anchor penalties to the energy scale implied by the cycle resolution:
+  // one "typical task" costs roughly e_ref * mean_cycles * (smax * D /
+  // resolution) energy units when cycles are mapped back to real workload.
+  const double cycle_to_work = config.max_speed * config.frame / config.resolution;
+  for (FrameTask& task : tasks) {
+    task.penalty =
+        penalty_for(config.penalty_model, config.penalty_scale,
+                    config.energy_per_cycle_ref * cycle_to_work,
+                    static_cast<double>(task.cycles), mean_cycles, rng);
+  }
+  return FrameTaskSet(std::move(tasks));
+}
+
+std::vector<TwoPeTask> generate_two_pe_tasks(const TwoPeWorkloadConfig& config, Rng& rng) {
+  require(config.task_count >= 1, "generate_two_pe_tasks: task_count must be at least 1");
+  require(config.dvs_load > 0.0, "generate_two_pe_tasks: dvs_load must be positive");
+  require(config.u2_total > 0.0, "generate_two_pe_tasks: u2_total must be positive");
+  require(config.cycle_spread >= 1.0, "generate_two_pe_tasks: cycle_spread must be >= 1");
+  require(config.resolution >= static_cast<double>(config.task_count),
+          "generate_two_pe_tasks: resolution too coarse for the task count");
+
+  // DVS cycles: same recipe as the frame generator.
+  FrameWorkloadConfig frame;
+  frame.task_count = config.task_count;
+  frame.target_load = config.dvs_load;
+  frame.resolution = config.resolution;
+  frame.cycle_spread = config.cycle_spread;
+  frame.penalty_model = config.penalty_model;
+  frame.penalty_scale = config.penalty_scale;
+  frame.energy_per_cycle_ref = config.energy_per_cycle_ref;
+  const FrameTaskSet base = generate_frame_tasks(frame, rng);
+
+  const auto n = static_cast<std::size_t>(config.task_count);
+  std::vector<double> weight(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double jitter = rng.uniform(0.8, 1.25);
+    switch (config.relation) {
+      case Pe2Relation::kProportional:
+        weight[i] = static_cast<double>(base[i].cycles) * jitter;
+        break;
+      case Pe2Relation::kInverse:
+        weight[i] = jitter / static_cast<double>(base[i].cycles);
+        break;
+      case Pe2Relation::kIndependent:
+        weight[i] = jitter;
+        break;
+    }
+  }
+  double weight_sum = 0.0;
+  for (const double w : weight) weight_sum += w;
+
+  std::vector<TwoPeTask> tasks(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tasks[i].id = base[i].id;
+    tasks[i].cycles = base[i].cycles;
+    tasks[i].penalty = base[i].penalty;
+    tasks[i].pe2_utilization =
+        clamp(config.u2_total * weight[i] / weight_sum, 1e-6, 1.0);
+    validate(tasks[i]);
+  }
+  return tasks;
+}
+
+PeriodicTaskSet generate_periodic_tasks(const PeriodicWorkloadConfig& config, Rng& rng) {
+  require(config.task_count >= 1, "generate_periodic_tasks: task_count must be at least 1");
+  require(config.total_rate > 0.0, "generate_periodic_tasks: total_rate must be positive");
+  require(!config.period_menu.empty(), "generate_periodic_tasks: period menu must not be empty");
+  for (const std::int64_t p : config.period_menu) {
+    require(p > 0, "generate_periodic_tasks: periods must be positive");
+  }
+
+  const auto n = static_cast<std::size_t>(config.task_count);
+  const std::vector<double> rates = uunifast(config.task_count, config.total_rate, rng);
+
+  std::vector<PeriodicTask> tasks(n);
+  double mean_cycles = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t period =
+        config.period_menu[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(config.period_menu.size()) - 1))];
+    const auto cycles = static_cast<Cycles>(
+        std::max<long long>(1, std::llround(rates[i] * static_cast<double>(period))));
+    tasks[i].id = static_cast<int>(i);
+    tasks[i].period = period;
+    tasks[i].cycles = cycles;
+    mean_cycles += static_cast<double>(cycles);
+  }
+  mean_cycles /= static_cast<double>(n);
+
+  for (PeriodicTask& task : tasks) {
+    task.penalty = penalty_for(config.penalty_model, config.penalty_scale,
+                               config.energy_per_cycle_ref, static_cast<double>(task.cycles),
+                               mean_cycles, rng);
+  }
+  return PeriodicTaskSet(std::move(tasks));
+}
+
+}  // namespace retask

@@ -1,0 +1,25 @@
+#include "retask/task/task.hpp"
+
+#include "retask/common/error.hpp"
+
+namespace retask {
+
+void validate(const FrameTask& task) {
+  require(task.cycles > 0, "FrameTask: cycles must be positive");
+  require(task.penalty >= 0.0, "FrameTask: penalty must be non-negative");
+}
+
+void validate(const TwoPeTask& task) {
+  require(task.cycles > 0, "TwoPeTask: cycles must be positive");
+  require(task.pe2_utilization > 0.0 && task.pe2_utilization <= 1.0,
+          "TwoPeTask: pe2_utilization must be in (0, 1]");
+  require(task.penalty >= 0.0, "TwoPeTask: penalty must be non-negative");
+}
+
+void validate(const PeriodicTask& task) {
+  require(task.cycles > 0, "PeriodicTask: cycles must be positive");
+  require(task.period > 0, "PeriodicTask: period must be positive");
+  require(task.penalty >= 0.0, "PeriodicTask: penalty must be non-negative");
+}
+
+}  // namespace retask

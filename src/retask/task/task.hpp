@@ -1,0 +1,67 @@
+// Task types for the rejection-scheduling problem.
+//
+// Frame-based tasks all arrive at time 0 and share one common deadline (the
+// frame length D); this is the model under which the task-rejection problem
+// is stated, because a bounded top speed makes an overloaded frame
+// unschedulable without rejections. Periodic tasks generalize the model:
+// each task releases a job every `period` with an implicit deadline, and the
+// periodic problem reduces to the frame problem over the hyper-period (see
+// core/periodic.hpp).
+#ifndef RETASK_TASK_TASK_HPP
+#define RETASK_TASK_TASK_HPP
+
+#include <cstdint>
+
+namespace retask {
+
+/// Worst-case execution cycles are integral: the exact DP and the FPTAS
+/// index their tables by cycles.
+using Cycles = std::int64_t;
+
+/// Frame-based task: `cycles` of work due at the common frame deadline, and
+/// the penalty charged if the task is rejected.
+struct FrameTask {
+  int id = 0;
+  Cycles cycles = 0;
+  double penalty = 0.0;
+};
+
+/// Periodic task with implicit deadline: a job of `cycles` cycles is
+/// released every `period` time units. `penalty` is the cost of rejecting
+/// the whole task (all of its jobs) for one hyper-period.
+struct PeriodicTask {
+  int id = 0;
+  Cycles cycles = 0;
+  std::int64_t period = 1;  ///< integral so that the hyper-period is an lcm
+  double penalty = 0.0;
+
+  /// Utilization in cycles per time unit (the demanded execution rate).
+  double rate() const { return static_cast<double>(cycles) / static_cast<double>(period); }
+};
+
+/// Task for the heterogeneous two-PE system: it can run on the DVS processor
+/// (costing `cycles` of DVS work), on the non-DVS processing element
+/// (costing `pe2_utilization` of that PE's unit capacity — e.g. area share
+/// on a 1-D FPGA), or be rejected at `penalty`.
+struct TwoPeTask {
+  int id = 0;
+  Cycles cycles = 0;           ///< execution cycles on the DVS PE
+  double pe2_utilization = 0;  ///< share of the non-DVS PE, in (0, 1]
+  double penalty = 0.0;
+};
+
+/// Validates a frame task (positive cycles, non-negative penalty); throws
+/// retask::Error otherwise.
+void validate(const FrameTask& task);
+
+/// Validates a two-PE task (positive cycles, utilization in (0, 1],
+/// non-negative penalty); throws retask::Error otherwise.
+void validate(const TwoPeTask& task);
+
+/// Validates a periodic task (positive cycles and period, non-negative
+/// penalty); throws retask::Error otherwise.
+void validate(const PeriodicTask& task);
+
+}  // namespace retask
+
+#endif  // RETASK_TASK_TASK_HPP

@@ -1,0 +1,120 @@
+// Tests for the allocation-cost synthesis: lower bound validity, budget
+// compliance, the First-Fit vs. balanced comparison, and edge cases.
+#include "retask/core/allocation.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "retask/common/error.hpp"
+#include "retask/power/polynomial_power.hpp"
+#include "retask/task/generator.hpp"
+
+namespace retask {
+namespace {
+
+AllocationProblem make_problem(std::vector<FrameTask> tasks, double budget,
+                               IdleDiscipline idle = IdleDiscipline::kDormantEnable) {
+  AllocationProblem problem{FrameTaskSet(std::move(tasks)),
+                            EnergyCurve(PolynomialPowerModel::xscale(), 1.0, idle),
+                            0.01, budget, 1.0};
+  return problem;
+}
+
+AllocationProblem random_problem(std::uint64_t seed, int n, double total_load, double budget) {
+  FrameWorkloadConfig config;
+  config.task_count = n;
+  config.target_load = total_load;
+  config.resolution = 400.0;
+  Rng rng(seed);
+  AllocationProblem problem{generate_frame_tasks(config, rng),
+                            EnergyCurve(PolynomialPowerModel::xscale(), 1.0,
+                                        IdleDiscipline::kDormantEnable),
+                            1.0 / 400.0, budget, 1.0};
+  return problem;
+}
+
+TEST(Allocation, ValidatesInstances) {
+  EXPECT_THROW(validate(make_problem({{0, 50, 0.0}}, 0.0)), Error);          // no budget
+  EXPECT_THROW(validate(make_problem({{0, 150, 0.0}}, 1.0)), Error);         // oversized task
+  EXPECT_NO_THROW(validate(make_problem({{0, 50, 0.0}}, 1.0)));
+}
+
+TEST(Allocation, BalancedEnergyMatchesClosedForm) {
+  // Two processors, W = 1.2 work total: share 0.6 each, E = P(0.6) each
+  // (above the critical speed).
+  const AllocationProblem p = make_problem({{0, 60, 0.0}, {1, 60, 0.0}}, 10.0);
+  const double p06 = 0.08 + 1.52 * 0.216;
+  EXPECT_NEAR(balanced_energy(p, 2), 2.0 * p06, 1e-9);
+  EXPECT_TRUE(std::isinf(balanced_energy(p, 1)));  // 1.2 > capacity 1
+}
+
+TEST(Allocation, LowerBoundRespectsTimingAndEnergy) {
+  // Timing floor: 1.8 total work needs 2 processors regardless of budget.
+  const AllocationProblem roomy = make_problem({{0, 90, 0.0}, {1, 90, 0.0}}, 100.0);
+  EXPECT_EQ(allocation_lower_bound(roomy), 2);
+  // Energy floor: 2 procs at share 0.9 cost 2*P(0.9) ~ 2.38; a budget of 1.5
+  // forces more processors even though timing allows 2.
+  const AllocationProblem tight = make_problem({{0, 90, 0.0}, {1, 90, 0.0}}, 1.5);
+  EXPECT_GT(allocation_lower_bound(tight), 2);
+}
+
+TEST(Allocation, ImpossibleBudgetThrows) {
+  // Below the minimum energy (everything at the critical speed) no count works.
+  const PolynomialPowerModel m = PolynomialPowerModel::xscale();
+  const double e_min_per_work = m.energy_per_cycle(m.analytic_critical_speed());
+  const AllocationProblem p = make_problem({{0, 90, 0.0}}, 0.5 * e_min_per_work * 0.9);
+  EXPECT_THROW(allocation_lower_bound(p), Error);
+}
+
+TEST(Allocation, AllocatorsMeetBudgetAndValidate) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const AllocationProblem p = random_problem(seed, 12, 3.0, 2.2);
+    const AllocationResult ff = allocate_first_fit(p);
+    const AllocationResult bal = allocate_balanced(p);
+    check_allocation(p, ff);
+    check_allocation(p, bal);
+    EXPECT_GE(ff.processors, allocation_lower_bound(p));
+    EXPECT_GE(bal.processors, allocation_lower_bound(p));
+  }
+}
+
+TEST(Allocation, BalancedNeverNeedsMoreProcessorsOnAverage) {
+  double ff_total = 0.0;
+  double bal_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    // Tight budget: 1.25x the balanced optimum at the timing floor.
+    AllocationProblem p = random_problem(seed, 14, 2.6, 1.0);
+    const int m_timing = 3;
+    p.energy_budget = 1.25 * balanced_energy(p, m_timing);
+    ff_total += allocate_first_fit(p).cost;
+    bal_total += allocate_balanced(p).cost;
+  }
+  EXPECT_LE(bal_total, ff_total + 1e-9);
+}
+
+TEST(Allocation, GenerousBudgetHitsTimingFloor) {
+  const AllocationProblem p = random_problem(3, 10, 2.4, 100.0);
+  const AllocationResult bal = allocate_balanced(p);
+  EXPECT_EQ(bal.processors, 3);  // ceil(2.4)
+}
+
+TEST(Allocation, TighterBudgetBuysMoreProcessors) {
+  AllocationProblem p = random_problem(5, 12, 2.5, 0.0);
+  p.energy_budget = 100.0;
+  const int roomy = allocate_balanced(p).processors;
+  p.energy_budget = 1.02 * balanced_energy(p, roomy + 2);
+  const int tight = allocate_balanced(p).processors;
+  EXPECT_GT(tight, roomy);
+}
+
+TEST(Allocation, CheckDetectsTampering) {
+  const AllocationProblem p = random_problem(7, 8, 1.6, 5.0);
+  AllocationResult r = allocate_balanced(p);
+  EXPECT_NO_THROW(check_allocation(p, r));
+  r.energy *= 0.5;
+  EXPECT_THROW(check_allocation(p, r), Error);
+}
+
+}  // namespace
+}  // namespace retask

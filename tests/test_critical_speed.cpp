@@ -1,0 +1,62 @@
+// Unit tests for the critical-speed solver against the closed form.
+#include "retask/power/critical_speed.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "retask/power/polynomial_power.hpp"
+#include "retask/power/table_power.hpp"
+
+namespace retask {
+namespace {
+
+TEST(CriticalSpeed, MatchesClosedFormForXscale) {
+  const PolynomialPowerModel m = PolynomialPowerModel::xscale();
+  EXPECT_NEAR(critical_speed(m), m.analytic_critical_speed(), 1e-6);
+}
+
+TEST(CriticalSpeed, PureDynamicModelPrefersSlowest) {
+  // With beta1 = 0 energy per cycle is s^2: minimized at the range bottom.
+  const PolynomialPowerModel m(0.0, 1.0, 3.0, 0.1, 1.0);
+  EXPECT_NEAR(critical_speed(m), 0.1, 1e-6);
+}
+
+TEST(CriticalSpeed, HighLeakagePushesCriticalSpeedUp) {
+  const PolynomialPowerModel low(0.05, 1.52, 3.0, 0.0, 1.0);
+  const PolynomialPowerModel high(0.4, 1.52, 3.0, 0.0, 1.0);
+  EXPECT_GT(critical_speed(high), critical_speed(low));
+}
+
+TEST(CriticalSpeed, ClampedToTopSpeedWhenLeakageDominates) {
+  // Huge leakage: the unconstrained critical speed exceeds smax, so the
+  // constrained optimum is smax itself.
+  const PolynomialPowerModel m(100.0, 1.0, 3.0, 0.0, 1.0);
+  EXPECT_GT(m.analytic_critical_speed(), 1.0);
+  EXPECT_NEAR(critical_speed(m), 1.0, 1e-6);
+}
+
+TEST(CriticalSpeed, TableModelScansOperatingPoints) {
+  const TablePowerModel m = TablePowerModel::xscale5();
+  // Energy per cycle at the five speeds; 0.4 is the minimizer for the
+  // XScale-normalized curve (analytic critical speed ~0.297, nearest menu
+  // point by energy-per-cycle comparison).
+  double best_s = 0.0;
+  double best = 1e9;
+  for (const double s : m.available_speeds()) {
+    const double epc = m.energy_per_cycle(s);
+    if (epc < best) {
+      best = epc;
+      best_s = s;
+    }
+  }
+  EXPECT_DOUBLE_EQ(critical_speed(m), best_s);
+}
+
+TEST(CriticalSpeed, SingleSpeedTableReturnsThatSpeed) {
+  const TablePowerModel m({{0.7, 0.9}}, 0.1);
+  EXPECT_DOUBLE_EQ(critical_speed(m), 0.7);
+}
+
+}  // namespace
+}  // namespace retask

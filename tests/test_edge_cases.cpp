@@ -1,0 +1,157 @@
+// Boundary and degenerate-input tests across the stack: exact capacity
+// fits, single-task instances, extreme penalty ranges, zero-capacity
+// processors, and numerical extremes the sweeps do not reach.
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "retask/retask.hpp"
+#include "test_util.hpp"
+
+namespace retask {
+namespace {
+
+TEST(EdgeCases, TaskExactlyFillsTheProcessor) {
+  // One task of exactly capacity cycles: acceptance runs at smax for the
+  // whole window.
+  const FrameTaskSet tasks({{0, 100, 10.0}});
+  EnergyCurve curve(PolynomialPowerModel::xscale(), 1.0, IdleDiscipline::kDormantEnable);
+  const RejectionProblem p(tasks, std::move(curve), 0.01, 1);
+  EXPECT_EQ(p.cycle_capacity(), 100);
+  const RejectionSolution s = ExactDpSolver().solve(p);
+  EXPECT_EQ(s.accepted_count(), 1u);
+  EXPECT_NEAR(s.energy, 0.08 + 1.52, 1e-6);  // P(1) for one time unit
+}
+
+TEST(EdgeCases, TaskOneCycleOverCapacityMustBeRejected) {
+  const FrameTaskSet tasks({{0, 101, 1e9}});
+  EnergyCurve curve(PolynomialPowerModel::xscale(), 1.0, IdleDiscipline::kDormantEnable);
+  const RejectionProblem p(tasks, std::move(curve), 0.01, 1);
+  const RejectionSolution s = ExactDpSolver().solve(p);
+  EXPECT_EQ(s.accepted_count(), 0u);
+  EXPECT_DOUBLE_EQ(s.penalty, 1e9);
+}
+
+TEST(EdgeCases, SingleTaskInstanceAcrossSolvers) {
+  const FrameTaskSet tasks({{0, 60, 0.3}});
+  EnergyCurve curve(PolynomialPowerModel::xscale(), 1.0, IdleDiscipline::kDormantEnable);
+  const RejectionProblem p(tasks, std::move(curve), 0.01, 1);
+  const double expected = std::min(0.3, p.energy_of_cycles(60));
+  for (const auto& solver : standard_uniproc_lineup()) {
+    if (solver->name() == "RAND" || solver->name() == "ALL-ACCEPT") continue;
+    EXPECT_NEAR(solver->solve(p).objective(), expected, 1e-9) << solver->name();
+  }
+}
+
+TEST(EdgeCases, ExtremePenaltyMagnitudeSpread) {
+  // Penalties spanning 12 orders of magnitude: the FPTAS scaling must not
+  // lose the small ones or overflow on the big ones.
+  std::vector<FrameTask> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back({i, 20 + 3 * i, std::pow(10.0, i - 6)});  // 1e-6 .. 1e1
+  }
+  EnergyCurve curve(PolynomialPowerModel::xscale(), 1.0, IdleDiscipline::kDormantEnable);
+  const RejectionProblem p(FrameTaskSet(std::move(tasks)), std::move(curve), 0.01, 1);
+  const double opt = ExactDpSolver().solve(p).objective();
+  const double approx = FptasSolver(0.1).solve(p).objective();
+  EXPECT_LE(approx, opt * 1.1 + 1e-12);
+  EXPECT_GE(approx, opt - 1e-12);
+}
+
+TEST(EdgeCases, AllTasksIdenticalTiesAreStable) {
+  std::vector<FrameTask> tasks;
+  for (int i = 0; i < 10; ++i) tasks.push_back({i, 25, 0.2});
+  EnergyCurve curve(PolynomialPowerModel::xscale(), 1.0, IdleDiscipline::kDormantEnable);
+  const RejectionProblem p(FrameTaskSet(std::move(tasks)), std::move(curve), 0.01, 1);
+  const RejectionSolution a = ExactDpSolver().solve(p);
+  const RejectionSolution b = ExactDpSolver().solve(p);
+  EXPECT_EQ(a.accepted, b.accepted);  // deterministic tie-breaking
+  EXPECT_NEAR(a.objective(), ExhaustiveSolver().solve(p).objective(), 1e-9);
+}
+
+TEST(EdgeCases, TinyWindowHugeResolution) {
+  // Millisecond-scale frames with fine cycle resolution: no precision cliff.
+  const PolynomialPowerModel model = PolynomialPowerModel::xscale();
+  EnergyCurve curve(model, 1e-3, IdleDiscipline::kDormantEnable);
+  const double kappa = 1e-3 / 1e6;  // one million cycles per frame at smax
+  std::vector<FrameTask> tasks;
+  for (int i = 0; i < 6; ++i) tasks.push_back({i, 300000 + 1000 * i, 1e-4});
+  const RejectionProblem p(FrameTaskSet(std::move(tasks)), std::move(curve), kappa, 1);
+  const RejectionSolution greedy = DensityGreedySolver().solve(p);
+  check_solution(p, greedy);
+  EXPECT_LE(p.accepted_cycles(greedy.accepted), p.cycle_capacity());
+}
+
+TEST(EdgeCases, ZeroPenaltyTasksNeverHurtTheObjective) {
+  // Mixing zero-penalty tasks in cannot raise the optimal objective.
+  const RejectionProblem base = test::small_instance(3, 8, 1.2);
+  std::vector<FrameTask> tasks = base.tasks().tasks();
+  const double before = ExactDpSolver().solve(base).objective();
+  tasks.push_back({100, 50, 0.0});
+  tasks.push_back({101, 70, 0.0});
+  const RejectionProblem bigger(FrameTaskSet(std::move(tasks)), base.curve(),
+                                base.work_per_cycle(), 1);
+  const double after = ExactDpSolver().solve(bigger).objective();
+  EXPECT_NEAR(after, before, 1e-9);
+}
+
+TEST(EdgeCases, ManyProcessorsFewTasks) {
+  // More processors than tasks: every accepted task can run alone; the
+  // multiprocessor optimum equals the sum of per-task accept/reject calls.
+  const FrameTaskSet tasks({{0, 60, 0.3}, {1, 80, 0.1}, {2, 40, 5.0}});
+  EnergyCurve curve(PolynomialPowerModel::xscale(), 1.0, IdleDiscipline::kDormantEnable);
+  const RejectionProblem p(tasks, std::move(curve), 0.01, 8);
+  double expected = 0.0;
+  for (const FrameTask& task : tasks.tasks()) {
+    expected += std::min(task.penalty, p.energy_of_cycles(task.cycles));
+  }
+  EXPECT_NEAR(MultiProcExhaustiveSolver().solve(p).objective(), expected, 1e-9);
+  EXPECT_NEAR(MultiProcGreedySolver().solve(p).objective(), expected, 1e-9);
+}
+
+TEST(EdgeCases, PeriodicSingleJobHyperPeriod) {
+  // All periods equal: the hyper-period is one period, one job per task.
+  // Penalties above the hyper-period energy (~60 J total) so both stay.
+  const PeriodicTaskSet tasks({{0, 30, 100, 50.0}, {1, 40, 100, 50.0}});
+  const PolynomialPowerModel model = PolynomialPowerModel::xscale();
+  const PeriodicRejectionAdapter adapter(tasks, model, IdleDiscipline::kDormantEnable);
+  EXPECT_DOUBLE_EQ(adapter.hyper_period(), 100.0);
+  EXPECT_EQ(adapter.frame_problem().tasks()[0].cycles, 30);
+  const RejectionSolution s = ExactDpSolver().solve(adapter.frame_problem());
+  EXPECT_EQ(s.accepted_count(), 2u);  // U = 0.7, E ~ 60 < 100 penalty
+}
+
+TEST(EdgeCases, CurveAtMinSpeedBoundary) {
+  // min_speed > 0 with workload demanding less than min speed: the
+  // processor runs at min speed and idles; energy must use min speed.
+  const PolynomialPowerModel model(0.0, 1.0, 3.0, 0.5, 1.0);
+  const EnergyCurve disable(model, 1.0, IdleDiscipline::kDormantDisable);
+  // W = 0.1: busy = 0.1/0.5 = 0.2 at P(0.5) = 0.125; idle 0.8 at Pind 0.
+  EXPECT_NEAR(disable.energy(0.1), 0.2 * 0.125, 1e-9);
+}
+
+TEST(EdgeCases, OnlineJobArrivingAtItsDeadlineHorizon) {
+  // A job arriving with minimal slack exactly equal to its top-speed
+  // execution time: admissible, runs flat out.
+  const PolynomialPowerModel model = PolynomialPowerModel::xscale();
+  OnlineSimConfig config;
+  config.work_per_cycle = 0.001;
+  const std::vector<AperiodicJob> jobs{{0, 1.0, 500, 1.5, 3.0}};  // density exactly 1.0
+  const OnlineSimResult r = simulate_online(jobs, config, model);
+  EXPECT_EQ(r.admitted, 1);
+  EXPECT_EQ(r.deadline_misses, 0);
+  EXPECT_NEAR(r.max_speed_used, 1.0, 1e-9);
+}
+
+TEST(EdgeCases, BudgetedExactlyAtAcceptAllEnergy) {
+  const FrameTaskSet tasks({{0, 30, 1.0}, {1, 40, 2.0}});
+  EnergyCurve curve(PolynomialPowerModel::xscale(), 1.0, IdleDiscipline::kDormantEnable);
+  const RejectionProblem base(tasks, curve, 0.01, 1);
+  const double e_all = base.energy_of_cycles(70);
+  const BudgetedProblem p{tasks, curve, 0.01, e_all * (1.0 + 1e-9)};
+  EXPECT_NEAR(solve_budgeted_dp(p).value, 3.0, 1e-12);  // everything fits
+}
+
+}  // namespace
+}  // namespace retask

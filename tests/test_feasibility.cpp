@@ -1,0 +1,41 @@
+// Unit tests for the schedulability tests.
+#include "retask/sched/feasibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "retask/common/error.hpp"
+#include "retask/power/polynomial_power.hpp"
+
+namespace retask {
+namespace {
+
+TEST(FrameFeasible, MatchesCurveCap) {
+  const PolynomialPowerModel m = PolynomialPowerModel::cubic();
+  const EnergyCurve curve(m, 2.0, IdleDiscipline::kDormantEnable);
+  EXPECT_TRUE(frame_feasible(curve, 0.0));
+  EXPECT_TRUE(frame_feasible(curve, 2.0));
+  EXPECT_FALSE(frame_feasible(curve, 2.01));
+}
+
+TEST(DemandedRate, AllAndSubset) {
+  const PeriodicTaskSet tasks({{0, 10, 100, 0.0}, {1, 50, 200, 0.0}, {2, 30, 100, 0.0}});
+  EXPECT_DOUBLE_EQ(demanded_rate(tasks, {}), 0.1 + 0.25 + 0.3);
+  EXPECT_DOUBLE_EQ(demanded_rate(tasks, {true, false, true}), 0.1 + 0.3);
+  EXPECT_DOUBLE_EQ(demanded_rate(tasks, {false, false, false}), 0.0);
+}
+
+TEST(DemandedRate, RejectsWrongSelectionSize) {
+  const PeriodicTaskSet tasks({{0, 10, 100, 0.0}});
+  EXPECT_THROW(demanded_rate(tasks, {true, false}), Error);
+}
+
+TEST(EdfFeasible, LiuLaylandBound) {
+  const PeriodicTaskSet tasks({{0, 50, 100, 0.0}, {1, 100, 200, 0.0}});  // rate 1.0
+  EXPECT_TRUE(edf_feasible(tasks, {}, 1.0));   // exactly full
+  EXPECT_FALSE(edf_feasible(tasks, {}, 0.9));  // overloaded
+  EXPECT_TRUE(edf_feasible(tasks, {true, false}, 0.5));
+  EXPECT_THROW(edf_feasible(tasks, {}, -0.1), Error);
+}
+
+}  // namespace
+}  // namespace retask

@@ -1,0 +1,82 @@
+// Tests for the frame simulator: finish times, deadline verdicts, and
+// agreement between simulated and analytic energy.
+#include "retask/sched/frame_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "retask/common/error.hpp"
+#include "retask/power/polynomial_power.hpp"
+
+namespace retask {
+namespace {
+
+TEST(FrameSim, SequentialFinishTimesAtConstantSpeed) {
+  const PolynomialPowerModel m = PolynomialPowerModel::cubic();
+  const EnergyCurve curve(m, 1.0, IdleDiscipline::kDormantEnable);
+  // Two tasks of 0.25 work units each, executed at speed 0.5 for the whole
+  // frame: finishes at 0.5 and 1.0.
+  SpeedSchedule schedule;
+  schedule.append(0.5, 1.0);
+  const std::vector<FrameTask> tasks{{0, 25, 0.0}, {1, 25, 0.0}};
+  const FrameSimResult result = simulate_frame(tasks, 0.01, schedule, curve);
+  EXPECT_TRUE(result.deadline_met);
+  ASSERT_EQ(result.finish_times.size(), 2u);
+  EXPECT_NEAR(result.finish_times[0], 0.5, 1e-9);
+  EXPECT_NEAR(result.finish_times[1], 1.0, 1e-9);
+  EXPECT_NEAR(result.completion_time, 1.0, 1e-9);
+}
+
+TEST(FrameSim, EnergyMatchesCurveForOptimalPlan) {
+  const PolynomialPowerModel m = PolynomialPowerModel::xscale();
+  const EnergyCurve curve(m, 1.0, IdleDiscipline::kDormantEnable);
+  const double work = 0.6;
+  const SpeedSchedule schedule = SpeedSchedule::from_plan(curve.plan(work));
+  const std::vector<FrameTask> tasks{{0, 60, 0.0}};
+  const FrameSimResult result = simulate_frame(tasks, 0.01, schedule, curve);
+  EXPECT_TRUE(result.deadline_met);
+  EXPECT_NEAR(result.energy, curve.energy(work), 1e-6);
+}
+
+TEST(FrameSim, DetectsScheduleWithTooLittleWork) {
+  const PolynomialPowerModel m = PolynomialPowerModel::cubic();
+  const EnergyCurve curve(m, 1.0, IdleDiscipline::kDormantEnable);
+  SpeedSchedule schedule;
+  schedule.append(0.5, 1.0);  // executes only 0.5 work units
+  const std::vector<FrameTask> tasks{{0, 80, 0.0}};
+  EXPECT_THROW(simulate_frame(tasks, 0.01, schedule, curve), Error);
+}
+
+TEST(FrameSim, RejectsScheduleShorterThanWindow) {
+  const PolynomialPowerModel m = PolynomialPowerModel::cubic();
+  const EnergyCurve curve(m, 2.0, IdleDiscipline::kDormantEnable);
+  SpeedSchedule schedule;
+  schedule.append(1.0, 1.0);  // only covers half the window
+  EXPECT_THROW(simulate_frame({}, 0.01, schedule, curve), Error);
+}
+
+TEST(FrameSim, EmptyAcceptSetIsTriviallyOnTime) {
+  const PolynomialPowerModel m = PolynomialPowerModel::xscale();
+  const EnergyCurve curve(m, 1.0, IdleDiscipline::kDormantDisable);
+  const SpeedSchedule schedule = SpeedSchedule::from_plan(curve.plan(0.0));
+  const FrameSimResult result = simulate_frame({}, 0.01, schedule, curve);
+  EXPECT_TRUE(result.deadline_met);
+  EXPECT_NEAR(result.completion_time, 0.0, 1e-12);
+  // Dormant-disable idles at leakage power for the whole window.
+  EXPECT_NEAR(result.energy, 0.08, 1e-9);
+}
+
+TEST(FrameSim, LateCompletionIsFlagged) {
+  const PolynomialPowerModel m = PolynomialPowerModel::cubic();
+  const EnergyCurve curve(m, 1.0, IdleDiscipline::kDormantEnable);
+  // Schedule longer than the window executing the work only near the end.
+  SpeedSchedule schedule;
+  schedule.append(0.0, 1.0);
+  schedule.append(1.0, 0.5);
+  const std::vector<FrameTask> tasks{{0, 40, 0.0}};
+  const FrameSimResult result = simulate_frame(tasks, 0.01, schedule, curve);
+  EXPECT_FALSE(result.deadline_met);
+  EXPECT_GT(result.completion_time, 1.0);
+}
+
+}  // namespace
+}  // namespace retask

@@ -1,0 +1,182 @@
+// Tests for the synthetic workload generators: UUniFast correctness, cycle
+// budgets, penalty models, determinism.
+#include "retask/task/generator.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "retask/common/error.hpp"
+
+namespace retask {
+namespace {
+
+TEST(UUniFast, SharesSumToTotalAndAreNonNegative) {
+  Rng rng(1);
+  for (const int count : {1, 2, 5, 20}) {
+    const auto shares = uunifast(count, 3.0, rng);
+    ASSERT_EQ(shares.size(), static_cast<std::size_t>(count));
+    double sum = 0.0;
+    for (const double s : shares) {
+      EXPECT_GE(s, 0.0);
+      sum += s;
+    }
+    EXPECT_NEAR(sum, 3.0, 1e-9);
+  }
+}
+
+TEST(UUniFast, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_THROW(uunifast(0, 1.0, rng), Error);
+  EXPECT_THROW(uunifast(3, -1.0, rng), Error);
+}
+
+TEST(UUniFast, MeanShareIsTotalOverCount) {
+  Rng rng(2);
+  double sum_first = 0.0;
+  const int reps = 2000;
+  for (int r = 0; r < reps; ++r) {
+    const auto shares = uunifast(4, 1.0, rng);
+    sum_first += shares[0];
+  }
+  EXPECT_NEAR(sum_first / reps, 0.25, 0.02);
+}
+
+TEST(FrameGenerator, HitsTargetLoadApproximately) {
+  FrameWorkloadConfig config;
+  config.task_count = 12;
+  config.target_load = 1.5;
+  config.resolution = 10000.0;
+  Rng rng(3);
+  const FrameTaskSet set = generate_frame_tasks(config, rng);
+  ASSERT_EQ(set.size(), 12u);
+  const double achieved = static_cast<double>(set.total_cycles()) / config.resolution;
+  EXPECT_NEAR(achieved, 1.5, 0.01);  // rounding slack only
+}
+
+TEST(FrameGenerator, EveryTaskHasPositiveCyclesAndPenalty) {
+  FrameWorkloadConfig config;
+  config.task_count = 30;
+  config.target_load = 0.8;
+  config.cycle_spread = 32.0;
+  Rng rng(4);
+  const FrameTaskSet set = generate_frame_tasks(config, rng);
+  for (const FrameTask& t : set.tasks()) {
+    EXPECT_GT(t.cycles, 0);
+    EXPECT_GT(t.penalty, 0.0);
+  }
+}
+
+TEST(FrameGenerator, DeterministicForFixedSeed) {
+  FrameWorkloadConfig config;
+  Rng rng1(99);
+  Rng rng2(99);
+  const FrameTaskSet a = generate_frame_tasks(config, rng1);
+  const FrameTaskSet b = generate_frame_tasks(config, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cycles, b[i].cycles);
+    EXPECT_DOUBLE_EQ(a[i].penalty, b[i].penalty);
+  }
+}
+
+TEST(FrameGenerator, PenaltyScaleIsLinear) {
+  FrameWorkloadConfig lo;
+  lo.penalty_scale = 1.0;
+  FrameWorkloadConfig hi = lo;
+  hi.penalty_scale = 10.0;
+  Rng rng1(7);
+  Rng rng2(7);
+  const FrameTaskSet a = generate_frame_tasks(lo, rng1);
+  const FrameTaskSet b = generate_frame_tasks(hi, rng2);
+  EXPECT_NEAR(b.total_penalty() / a.total_penalty(), 10.0, 1e-9);
+}
+
+TEST(FrameGenerator, ProportionalPenaltiesTrackCycles) {
+  FrameWorkloadConfig config;
+  config.task_count = 40;
+  config.penalty_model = PenaltyModel::kProportionalCycles;
+  Rng rng(8);
+  const FrameTaskSet set = generate_frame_tasks(config, rng);
+  // Penalty per cycle must sit within the generator's jitter band [0.8, 1.25]
+  // times a common constant for every task.
+  double min_density = 1e300;
+  double max_density = 0.0;
+  for (const FrameTask& t : set.tasks()) {
+    const double d = t.penalty / static_cast<double>(t.cycles);
+    min_density = std::min(min_density, d);
+    max_density = std::max(max_density, d);
+  }
+  EXPECT_LE(max_density / min_density, 1.26 / 0.79);
+}
+
+TEST(FrameGenerator, InversePenaltiesFavorSmallTasks) {
+  FrameWorkloadConfig config;
+  config.task_count = 40;
+  config.cycle_spread = 64.0;
+  config.penalty_model = PenaltyModel::kInverseCycles;
+  Rng rng(9);
+  const FrameTaskSet set = generate_frame_tasks(config, rng);
+  const FrameTask* smallest = &set[0];
+  const FrameTask* largest = &set[0];
+  for (const FrameTask& t : set.tasks()) {
+    if (t.cycles < smallest->cycles) smallest = &t;
+    if (t.cycles > largest->cycles) largest = &t;
+  }
+  EXPECT_GT(smallest->penalty, largest->penalty);
+}
+
+TEST(FrameGenerator, RejectsBadConfig) {
+  Rng rng(1);
+  FrameWorkloadConfig bad;
+  bad.task_count = 0;
+  EXPECT_THROW(generate_frame_tasks(bad, rng), Error);
+  bad = FrameWorkloadConfig{};
+  bad.target_load = 0.0;
+  EXPECT_THROW(generate_frame_tasks(bad, rng), Error);
+  bad = FrameWorkloadConfig{};
+  bad.cycle_spread = 0.5;
+  EXPECT_THROW(generate_frame_tasks(bad, rng), Error);
+  bad = FrameWorkloadConfig{};
+  bad.task_count = 100;
+  bad.resolution = 10.0;  // coarser than the task count
+  EXPECT_THROW(generate_frame_tasks(bad, rng), Error);
+}
+
+TEST(PeriodicGenerator, RespectsRateAndMenu) {
+  PeriodicWorkloadConfig config;
+  config.task_count = 10;
+  config.total_rate = 0.8;
+  Rng rng(10);
+  const PeriodicTaskSet set = generate_periodic_tasks(config, rng);
+  ASSERT_EQ(set.size(), 10u);
+  // Rounding to integer cycles moves each task rate by < 1/period.
+  EXPECT_NEAR(set.total_rate(), 0.8, 10.0 / 100.0);
+  for (const PeriodicTask& t : set.tasks()) {
+    bool in_menu = false;
+    for (const std::int64_t p : config.period_menu) in_menu = in_menu || (p == t.period);
+    EXPECT_TRUE(in_menu);
+    EXPECT_GT(t.cycles, 0);
+  }
+}
+
+TEST(PeriodicGenerator, HyperPeriodBoundedByMenuLcm) {
+  PeriodicWorkloadConfig config;
+  config.task_count = 25;
+  Rng rng(11);
+  const PeriodicTaskSet set = generate_periodic_tasks(config, rng);
+  EXPECT_LE(set.hyper_period(), 2000);
+}
+
+TEST(PeriodicGenerator, RejectsBadConfig) {
+  Rng rng(1);
+  PeriodicWorkloadConfig bad;
+  bad.period_menu.clear();
+  EXPECT_THROW(generate_periodic_tasks(bad, rng), Error);
+  bad = PeriodicWorkloadConfig{};
+  bad.total_rate = 0.0;
+  EXPECT_THROW(generate_periodic_tasks(bad, rng), Error);
+}
+
+}  // namespace
+}  // namespace retask

@@ -1,0 +1,144 @@
+// End-to-end integration tests: the full pipeline from workload generation
+// through solving to independent simulation, across power models, idle
+// disciplines and processor counts. These tests are the library's
+// self-consistency net: every analytic claim a solver makes is re-derived by
+// executing the schedule.
+#include <gtest/gtest.h>
+
+#include "retask/retask.hpp"
+
+namespace retask {
+namespace {
+
+// Solve a frame instance, materialize the per-processor execution plans, run
+// the frame simulator, and check (a) deadlines, (b) energy bookkeeping.
+void verify_frame_solution(const RejectionProblem& problem, const RejectionSolution& solution) {
+  check_solution(problem, solution);
+  double simulated_energy = 0.0;
+  for (int proc = 0; proc < problem.processor_count(); ++proc) {
+    std::vector<FrameTask> assigned;
+    double work = 0.0;
+    for (std::size_t i = 0; i < problem.size(); ++i) {
+      if (solution.accepted[i] && solution.processor_of[i] == proc) {
+        assigned.push_back(problem.tasks()[i]);
+        work += problem.work_of(i);
+      }
+    }
+    const ExecutionPlan plan = problem.curve().plan(work);
+    const SpeedSchedule schedule = SpeedSchedule::from_plan(plan);
+    const FrameSimResult sim =
+        simulate_frame(assigned, problem.work_per_cycle(), schedule, problem.curve());
+    EXPECT_TRUE(sim.deadline_met) << "processor " << proc;
+    simulated_energy += sim.energy;
+  }
+  EXPECT_NEAR(simulated_energy, solution.energy, 1e-4 * std::max(1.0, solution.energy));
+}
+
+struct PipelineCase {
+  const char* label;
+  bool discrete;
+  IdleDiscipline idle;
+  int processors;
+  double load;
+};
+
+class FullPipeline : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(FullPipeline, EverySolverSurvivesSimulation) {
+  const PipelineCase& c = GetParam();
+  const PolynomialPowerModel ideal = PolynomialPowerModel::xscale();
+  const TablePowerModel table = TablePowerModel::xscale5();
+  const PowerModel& model = c.discrete ? static_cast<const PowerModel&>(table)
+                                       : static_cast<const PowerModel&>(ideal);
+
+  ScenarioConfig config;
+  config.task_count = 10;
+  config.load = c.load * c.processors;
+  config.resolution = 500.0;
+  config.idle = c.idle;
+  config.processor_count = c.processors;
+
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    config.seed = seed;
+    const RejectionProblem problem = make_scenario(config, model);
+    const auto& lineup =
+        c.processors == 1 ? standard_uniproc_lineup() : standard_multiproc_lineup();
+    for (const auto& solver : lineup) {
+      const RejectionSolution solution = solver->solve(problem);
+      verify_frame_solution(problem, solution);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pipelines, FullPipeline,
+    ::testing::Values(PipelineCase{"ideal_enable_1p", false, IdleDiscipline::kDormantEnable, 1, 1.6},
+                      PipelineCase{"ideal_disable_1p", false, IdleDiscipline::kDormantDisable, 1, 1.6},
+                      PipelineCase{"table_enable_1p", true, IdleDiscipline::kDormantEnable, 1, 1.6},
+                      PipelineCase{"table_disable_1p", true, IdleDiscipline::kDormantDisable, 1, 0.9},
+                      PipelineCase{"ideal_enable_3p", false, IdleDiscipline::kDormantEnable, 3, 0.9},
+                      PipelineCase{"table_enable_2p", true, IdleDiscipline::kDormantEnable, 2, 1.2}),
+    [](const ::testing::TestParamInfo<PipelineCase>& param_info) { return param_info.param.label; });
+
+TEST(Integration, ObjectiveDecomposesAcrossRegimes) {
+  // At vanishing penalty scale the optimal objective tends to the pure
+  // rejection regime (tiny); at huge scale it tends to the all-accept energy
+  // (when feasible) — the crossover the paper's problem is about.
+  const PolynomialPowerModel model = PolynomialPowerModel::xscale();
+  ScenarioConfig config;
+  config.task_count = 10;
+  config.load = 0.9;  // feasible without rejection
+  config.resolution = 500.0;
+  config.seed = 7;
+
+  config.penalty_scale = 1e-4;
+  const RejectionProblem cheap = make_scenario(config, model);
+  const double obj_cheap = ExactDpSolver().solve(cheap).objective();
+
+  config.penalty_scale = 1e4;
+  const RejectionProblem dear = make_scenario(config, model);
+  const RejectionSolution sol_dear = ExactDpSolver().solve(dear);
+
+  EXPECT_LT(obj_cheap, 0.01);  // nearly everything rejected for almost free
+  EXPECT_EQ(sol_dear.accepted_count(), dear.size());  // nothing rejected
+  // Accept-all energy: E(total work).
+  EXPECT_NEAR(sol_dear.objective(),
+              dear.curve().energy(dear.total_work()), 1e-6);
+}
+
+TEST(Integration, DormantDisableRaisesEveryObjective) {
+  const PolynomialPowerModel model = PolynomialPowerModel::xscale();
+  ScenarioConfig config;
+  config.task_count = 10;
+  config.load = 1.4;
+  config.resolution = 500.0;
+  config.seed = 11;
+  config.idle = IdleDiscipline::kDormantEnable;
+  const double enable_obj = ExactDpSolver().solve(make_scenario(config, model)).objective();
+  config.idle = IdleDiscipline::kDormantDisable;
+  const double disable_obj = ExactDpSolver().solve(make_scenario(config, model)).objective();
+  EXPECT_GE(disable_obj, enable_obj - 1e-9);
+}
+
+TEST(Integration, AcceptanceFallsMonotonicallyWithLoadOnAverage) {
+  const PolynomialPowerModel model = PolynomialPowerModel::xscale();
+  double prev_acceptance = 1.1;
+  for (const double load : {0.5, 1.0, 1.5, 2.0, 3.0}) {
+    OnlineStats acceptance;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      ScenarioConfig config;
+      config.task_count = 10;
+      config.load = load;
+      config.resolution = 500.0;
+      config.seed = seed;
+      const RejectionSolution s = ExactDpSolver().solve(make_scenario(config, model));
+      acceptance.add(s.acceptance_ratio());
+    }
+    EXPECT_LE(acceptance.mean(), prev_acceptance + 0.05) << "load " << load;
+    prev_acceptance = acceptance.mean();
+  }
+  EXPECT_LT(prev_acceptance, 0.9);  // heavy overload forces real rejection
+}
+
+}  // namespace
+}  // namespace retask

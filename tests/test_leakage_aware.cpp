@@ -1,0 +1,104 @@
+// Tests for the leakage-aware consolidation solver and the sleep-overhead
+// problem plumbing.
+#include "retask/core/leakage_aware.hpp"
+
+#include <gtest/gtest.h>
+
+#include "retask/core/exhaustive.hpp"
+#include "retask/core/lower_bound.hpp"
+#include "retask/core/multiproc.hpp"
+#include "retask/power/polynomial_power.hpp"
+#include "test_util.hpp"
+
+namespace retask {
+namespace {
+
+/// Many-processor instance with per-wake overheads: a handful of small,
+/// valuable tasks that LTF spreads one-per-processor.
+RejectionProblem sleepy_instance(std::uint64_t seed, int tasks, int processors,
+                                 double switch_energy) {
+  ScenarioConfig config;
+  config.task_count = tasks;
+  // Light per-processor load so every task runs at the critical speed.
+  config.load = 0.15 * processors;
+  config.resolution = 400.0;
+  config.penalty_scale = 20.0;  // keep everything: this is about placement
+  config.processor_count = processors;
+  config.seed = seed;
+  const PolynomialPowerModel model = PolynomialPowerModel::xscale();
+  RejectionProblem base = make_scenario(config, model);
+  // Rebind the curve with sleep overheads.
+  return RejectionProblem(base.tasks(),
+                          EnergyCurve(model, base.curve().window(), IdleDiscipline::kDormantEnable,
+                                      SleepParams{0.0, switch_energy}),
+                          base.work_per_cycle(), processors);
+}
+
+TEST(StripSleep, RemovesOverheadsOnly) {
+  const RejectionProblem p = sleepy_instance(1, 6, 4, 0.05);
+  const RejectionProblem stripped = strip_sleep_overheads(p);
+  EXPECT_TRUE(stripped.curve().sleep().free());
+  EXPECT_EQ(stripped.size(), p.size());
+  EXPECT_EQ(stripped.processor_count(), p.processor_count());
+  // Stripping can only lower the energy of any fixed load.
+  for (const Cycles load : {Cycles{0}, Cycles{30}, Cycles{120}}) {
+    EXPECT_LE(stripped.energy_of_cycles(load), p.energy_of_cycles(load) + 1e-12);
+  }
+}
+
+TEST(LeakageAware, ConsolidatesLightLoadsUnderWakeCost) {
+  const RejectionProblem p = sleepy_instance(2, 6, 6, 0.05);
+  const RejectionSolution spread = MultiProcLtfRejectSolver().solve(p);
+  const RejectionSolution packed = LeakageAwareLtfFfSolver().solve(p);
+  check_solution(p, packed);
+  // LTF wakes many processors; consolidation must strictly beat it here.
+  EXPECT_LT(packed.objective(), spread.objective());
+  // The packed schedule uses fewer woken processors.
+  int woken_spread = 0;
+  int woken_packed = 0;
+  for (const Cycles load : processor_loads(p, spread)) woken_spread += load > 0 ? 1 : 0;
+  for (const Cycles load : processor_loads(p, packed)) woken_packed += load > 0 ? 1 : 0;
+  EXPECT_LT(woken_packed, woken_spread);
+}
+
+TEST(LeakageAware, NoWorseThanLtfOnFreeSleep) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const RejectionProblem p = test::small_instance(seed, 12, 2.0, 1.0, 3);
+    const double ltf = MultiProcLtfRejectSolver().solve(p).objective();
+    const double la = LeakageAwareLtfFfSolver().solve(p).objective();
+    EXPECT_LE(la, ltf + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(LeakageAware, NeverBeatsStrippedLowerBound) {
+  // Lower bound on the free-sleep relaxation is a valid lower bound for the
+  // overhead problem.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const RejectionProblem p = sleepy_instance(seed, 8, 4, 0.03);
+    const double lb = fractional_lower_bound(strip_sleep_overheads(p));
+    const double la = LeakageAwareLtfFfSolver().solve(p).objective();
+    EXPECT_GE(la, lb - 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(LeakageAware, MatchesExhaustiveOnTinyInstances) {
+  // Sanity on optimality gap: within a modest factor of the multiprocessor
+  // exhaustive optimum under overheads.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const RejectionProblem p = sleepy_instance(seed, 7, 2, 0.04);
+    const double opt = MultiProcExhaustiveSolver().solve(p).objective();
+    const double la = LeakageAwareLtfFfSolver().solve(p).objective();
+    EXPECT_GE(la, opt - 1e-9);
+    EXPECT_LE(la, 2.0 * opt + 1e-9) << "seed " << seed;  // the LA+FF pedigree bound
+  }
+}
+
+TEST(LeakageAware, SingleProcessorDegeneratesToDp) {
+  const RejectionProblem p = test::small_instance(3, 10, 1.5);
+  const double dp = MultiProcLtfRejectSolver().solve(p).objective();
+  const double la = LeakageAwareLtfFfSolver().solve(p).objective();
+  EXPECT_NEAR(la, dp, 1e-12);
+}
+
+}  // namespace
+}  // namespace retask

@@ -1,0 +1,70 @@
+// Tests for the fractional lower bound: validity (never above the true
+// optimum), tightness on fractional-friendly instances, and multiprocessor
+// behaviour.
+#include "retask/core/lower_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include "retask/core/exact_dp.hpp"
+#include "retask/core/exhaustive.hpp"
+#include "test_util.hpp"
+
+namespace retask {
+namespace {
+
+TEST(LowerBound, NeverExceedsOptimalUniproc) {
+  const ExactDpSolver dp;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    for (const double load : {0.6, 1.2, 2.0, 3.0}) {
+      const RejectionProblem p = test::small_instance(seed, 10, load, 1.0);
+      const double lb = fractional_lower_bound(p);
+      const double opt = dp.solve(p).objective();
+      EXPECT_LE(lb, opt + 1e-6 * std::max(1.0, opt)) << "seed " << seed << " load " << load;
+    }
+  }
+}
+
+TEST(LowerBound, NeverExceedsOptimalMultiproc) {
+  const MultiProcExhaustiveSolver opt;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const RejectionProblem p = test::small_instance(seed, 8, 1.8, 1.0, 2);
+    const double lb = fractional_lower_bound(p);
+    const double o = opt.solve(p).objective();
+    EXPECT_LE(lb, o + 1e-6 * std::max(1.0, o)) << "seed " << seed;
+  }
+}
+
+TEST(LowerBound, TightWhenNoRejectionIsNeeded) {
+  // Light load, huge penalties: the fractional optimum accepts everything,
+  // exactly like the integral optimum.
+  const RejectionProblem p = test::small_instance(3, 10, 0.7, 50.0);
+  const double lb = fractional_lower_bound(p);
+  const double opt = ExactDpSolver().solve(p).objective();
+  EXPECT_NEAR(lb, opt, 1e-4 * opt);
+}
+
+TEST(LowerBound, TightWhenEverythingIsFree) {
+  // Zero penalties: both the relaxation and the optimum reject everything.
+  const FrameTaskSet tasks({{0, 50, 0.0}, {1, 70, 0.0}});
+  EnergyCurve curve(PolynomialPowerModel::xscale(), 1.0, IdleDiscipline::kDormantEnable);
+  const RejectionProblem p(tasks, std::move(curve), 0.01, 1);
+  EXPECT_NEAR(fractional_lower_bound(p), 0.0, 1e-9);
+}
+
+TEST(LowerBound, CountsIdleEnergyOfAllProcessorsUnderDormantDisable) {
+  // Dormant-disable: every processor pays leakage for the whole window even
+  // when empty, so the bound must include M * E(0).
+  const FrameTaskSet tasks({{0, 10, 0.001}});
+  EnergyCurve curve(PolynomialPowerModel::xscale(), 1.0, IdleDiscipline::kDormantDisable);
+  const RejectionProblem p(tasks, std::move(curve), 0.01, 4);
+  EXPECT_GE(fractional_lower_bound(p), 4 * 0.08 - 1e-9);
+}
+
+TEST(LowerBound, IncreasesWithPenaltyScale) {
+  const RejectionProblem cheap = test::small_instance(9, 10, 2.0, 0.3);
+  const RejectionProblem dear = test::small_instance(9, 10, 2.0, 3.0);
+  EXPECT_LT(fractional_lower_bound(cheap), fractional_lower_bound(dear));
+}
+
+}  // namespace
+}  // namespace retask

@@ -1,0 +1,105 @@
+// Unit tests for the numeric toolbox (tolerant comparisons, convex
+// minimization, checked integer arithmetic).
+#include "retask/common/math.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "retask/common/error.hpp"
+
+namespace retask {
+namespace {
+
+TEST(AlmostEqual, EqualValuesMatch) {
+  EXPECT_TRUE(almost_equal(1.0, 1.0));
+  EXPECT_TRUE(almost_equal(0.0, 0.0));
+  EXPECT_TRUE(almost_equal(-5.5, -5.5));
+}
+
+TEST(AlmostEqual, RelativeToleranceScalesWithMagnitude) {
+  EXPECT_TRUE(almost_equal(1e12, 1e12 * (1.0 + 1e-10)));
+  EXPECT_FALSE(almost_equal(1e12, 1e12 * (1.0 + 1e-6)));
+}
+
+TEST(AlmostEqual, AbsoluteNearZero) {
+  EXPECT_TRUE(almost_equal(0.0, 1e-12));
+  EXPECT_FALSE(almost_equal(0.0, 1e-3));
+}
+
+TEST(AlmostEqual, NonFiniteValuesCompareExactly) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(almost_equal(inf, 1.0));
+  EXPECT_FALSE(almost_equal(1.0, inf));
+  EXPECT_TRUE(almost_equal(inf, inf));
+  EXPECT_FALSE(almost_equal(inf, -inf));
+  EXPECT_FALSE(almost_equal(nan, nan));
+  EXPECT_FALSE(almost_equal(nan, 0.0));
+  // leq_tol inherits the hardening: infinity is not "<=" a finite bound.
+  EXPECT_FALSE(leq_tol(inf, 1.0));
+  EXPECT_TRUE(leq_tol(1.0, inf));
+}
+
+TEST(LeqTol, AcceptsTightBoundaries) {
+  EXPECT_TRUE(leq_tol(1.0, 1.0));
+  EXPECT_TRUE(leq_tol(1.0 + 1e-12, 1.0));
+  EXPECT_TRUE(leq_tol(0.5, 1.0));
+  EXPECT_FALSE(leq_tol(1.1, 1.0));
+}
+
+TEST(Clamp, ClampsIntoRange) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(0.25, 0.0, 1.0), 0.25);
+}
+
+TEST(Clamp, RejectsInvertedBounds) { EXPECT_THROW(clamp(0.0, 2.0, 1.0), Error); }
+
+TEST(MinimizeUnimodal, FindsParabolaMinimum) {
+  const double x = minimize_unimodal([](double v) { return (v - 3.0) * (v - 3.0); }, 0.0, 10.0);
+  EXPECT_NEAR(x, 3.0, 1e-6);
+}
+
+TEST(MinimizeUnimodal, FindsBoundaryMinimum) {
+  const double left = minimize_unimodal([](double v) { return v; }, 2.0, 9.0);
+  EXPECT_NEAR(left, 2.0, 1e-5);
+  const double right = minimize_unimodal([](double v) { return -v; }, 2.0, 9.0);
+  EXPECT_NEAR(right, 9.0, 1e-5);
+}
+
+TEST(MinimizeUnimodal, HandlesDegenerateInterval) {
+  EXPECT_DOUBLE_EQ(minimize_unimodal([](double v) { return v * v; }, 4.0, 4.0), 4.0);
+}
+
+TEST(MinimizeUnimodal, EnergyPerCycleShape) {
+  // P(s)/s for P = 0.08 + 1.52 s^3 has its minimum at (0.08 / (2*1.52))^(1/3).
+  const auto epc = [](double s) { return (0.08 + 1.52 * s * s * s) / s; };
+  const double expected = std::pow(0.08 / (2.0 * 1.52), 1.0 / 3.0);
+  EXPECT_NEAR(minimize_unimodal(epc, 1e-6, 1.0), expected, 1e-6);
+}
+
+TEST(CheckedMul, MultipliesAndDetectsOverflow) {
+  EXPECT_EQ(checked_mul(1 << 20, 1 << 20), std::int64_t{1} << 40);
+  EXPECT_THROW(checked_mul(std::int64_t{1} << 40, std::int64_t{1} << 40), Error);
+}
+
+TEST(CheckedLcm, ComputesLcm) {
+  EXPECT_EQ(checked_lcm(4, 6), 12);
+  EXPECT_EQ(checked_lcm(100, 2000), 2000);
+  EXPECT_EQ(checked_lcm(7, 13), 91);
+}
+
+TEST(CheckedLcm, RejectsNonPositive) {
+  EXPECT_THROW(checked_lcm(0, 5), Error);
+  EXPECT_THROW(checked_lcm(5, -1), Error);
+}
+
+TEST(RetaskAssert, ThrowsOnFailure) {
+  EXPECT_THROW(RETASK_ASSERT(1 == 2), Error);
+  EXPECT_NO_THROW(RETASK_ASSERT(2 == 2));
+}
+
+}  // namespace
+}  // namespace retask

@@ -1,0 +1,120 @@
+// Tests for the multiprocessor solvers: validity, optimality gap against the
+// exhaustive optimum on small instances, dominance over the RAND baseline on
+// average, and the lower-bound sandwich.
+#include "retask/core/multiproc.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "retask/common/error.hpp"
+#include "retask/core/exhaustive.hpp"
+#include "retask/core/lower_bound.hpp"
+#include "test_util.hpp"
+
+namespace retask {
+namespace {
+
+TEST(MultiProcLtf, ProducesValidSolutions) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const RejectionProblem p = test::small_instance(seed, 12, 2.6, 1.0, 3);
+    const RejectionSolution s = MultiProcLtfRejectSolver().solve(p);
+    check_solution(p, s);
+    for (const Cycles load : processor_loads(p, s)) {
+      EXPECT_LE(load, p.cycle_capacity());
+    }
+  }
+}
+
+TEST(MultiProcLtf, UsesAllProcessorsUnderLoad) {
+  const RejectionProblem p = test::small_instance(3, 12, 2.4, 2.0, 3);
+  const RejectionSolution s = MultiProcLtfRejectSolver().solve(p);
+  const auto loads = processor_loads(p, s);
+  for (const Cycles load : loads) EXPECT_GT(load, 0);
+}
+
+TEST(MultiProcGreedy, ProducesValidSolutions) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const RejectionProblem p = test::small_instance(seed, 12, 2.6, 1.0, 3);
+    check_solution(p, MultiProcGreedySolver().solve(p));
+  }
+}
+
+TEST(MultiProcRand, FeasibleEvenUnderHeavyOverload) {
+  const RejectionProblem p = test::small_instance(5, 16, 5.0, 1.0, 2);
+  const RejectionSolution s = MultiProcRandSolver().solve(p);
+  check_solution(p, s);
+  EXPECT_LT(s.accepted_count(), p.size());
+}
+
+TEST(MultiProcExhaustive, MatchesUniprocessorExhaustiveWhenMIsOne) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const RejectionProblem p = test::small_instance(seed, 9, 1.6);
+    const double a = MultiProcExhaustiveSolver().solve(p).objective();
+    const double b = ExhaustiveSolver().solve(p).objective();
+    EXPECT_NEAR(a, b, 1e-9 * std::max(1.0, b)) << "seed " << seed;
+  }
+}
+
+TEST(MultiProcHeuristics, SandwichedBetweenBoundAndBaseline) {
+  // LB <= OPT <= heuristics on every instance; heuristics <= RAND on sums.
+  const MultiProcExhaustiveSolver opt;
+  const MultiProcLtfRejectSolver ltf;
+  const MultiProcGreedySolver greedy;
+  const MultiProcRandSolver rnd;
+  double sum_ltf = 0.0;
+  double sum_greedy = 0.0;
+  double sum_rand = 0.0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const RejectionProblem p = test::small_instance(seed, 8, 1.8, 1.0, 2);
+    const double lb = fractional_lower_bound(p);
+    const double o = opt.solve(p).objective();
+    const double l = ltf.solve(p).objective();
+    const double g = greedy.solve(p).objective();
+    const double r = rnd.solve(p).objective();
+    EXPECT_LE(lb, o + 1e-6 * std::max(1.0, o)) << "seed " << seed;
+    EXPECT_GE(l, o - 1e-9) << "seed " << seed;
+    EXPECT_GE(g, o - 1e-9) << "seed " << seed;
+    sum_ltf += l;
+    sum_greedy += g;
+    sum_rand += r;
+  }
+  EXPECT_LE(sum_ltf, sum_rand + 1e-9);
+  EXPECT_LE(sum_greedy, sum_rand + 1e-9);
+}
+
+TEST(MultiProcLtf, CloseToOptimalOnSmallInstances) {
+  // The venue-style check: LTF+DP stays within a modest factor of optimal.
+  const MultiProcExhaustiveSolver opt;
+  const MultiProcLtfRejectSolver ltf;
+  double worst_ratio = 1.0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const RejectionProblem p = test::small_instance(seed, 8, 2.0, 1.0, 2);
+    const double o = opt.solve(p).objective();
+    const double l = ltf.solve(p).objective();
+    if (o > 0.0) worst_ratio = std::max(worst_ratio, l / o);
+  }
+  EXPECT_LE(worst_ratio, 1.5);
+}
+
+TEST(MultiProcExhaustive, GuardsHugeInstances) {
+  const RejectionProblem p = test::small_instance(1, 20, 1.0, 1.0, 4);
+  EXPECT_THROW(MultiProcExhaustiveSolver().solve(p), Error);
+}
+
+TEST(MultiProc, MoreProcessorsNeverHurtOnAverage) {
+  // With dormant-enable idle processors cost nothing, so added capacity can
+  // only reduce the optimal objective.
+  double sum1 = 0.0;
+  double sum2 = 0.0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const RejectionProblem p1 = test::small_instance(seed, 8, 2.0, 1.0, 1);
+    const RejectionProblem p2 = test::small_instance(seed, 8, 2.0, 1.0, 2);
+    sum1 += ExhaustiveSolver().solve(p1).objective();
+    sum2 += MultiProcExhaustiveSolver().solve(p2).objective();
+  }
+  EXPECT_LE(sum2, sum1 + 1e-9);
+}
+
+}  // namespace
+}  // namespace retask

@@ -1,0 +1,196 @@
+// Tests for the online admission simulator: OA speed behaviour, admission
+// rules, the zero-miss invariant across random streams, and energy
+// accounting.
+#include "retask/sched/online_sim.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "retask/common/error.hpp"
+#include "retask/power/critical_speed.hpp"
+#include "retask/power/polynomial_power.hpp"
+
+namespace retask {
+namespace {
+
+const PolynomialPowerModel& xscale() {
+  static const PolynomialPowerModel model = PolynomialPowerModel::xscale();
+  return model;
+}
+
+TEST(OnlineSim, ValidatesJobsAndConfig) {
+  OnlineSimConfig config;
+  EXPECT_THROW(simulate_online({{0, 0.0, 0, 1.0, 0.0}}, config, xscale()), Error);
+  EXPECT_THROW(simulate_online({{0, 2.0, 10, 1.0, 0.0}}, config, xscale()), Error);
+  config.work_per_cycle = 0.0;
+  EXPECT_THROW(simulate_online({}, config, xscale()), Error);
+}
+
+TEST(OnlineSim, EmptyStreamIdlesOverHorizon) {
+  OnlineSimConfig config;
+  config.horizon = 10.0;
+  config.dormant_enable = false;  // leak to make the idle energy visible
+  const OnlineSimResult r = simulate_online({}, config, xscale());
+  EXPECT_DOUBLE_EQ(r.idle_time, 10.0);
+  EXPECT_NEAR(r.energy, 10.0 * 0.08, 1e-12);
+  EXPECT_DOUBLE_EQ(r.admission_ratio(), 1.0);
+}
+
+TEST(OnlineSim, SingleJobRunsAtDensityOrCriticalSpeed) {
+  OnlineSimConfig config;
+  // Job: 0.3 work due in 1.0 -> density 0.3 > critical speed (~0.297):
+  // runs at 0.3 for 1.0 time units.
+  const std::vector<AperiodicJob> jobs{{0, 0.0, 300, 1.0, 10.0}};
+  config.work_per_cycle = 0.001;
+  const OnlineSimResult r = simulate_online(jobs, config, xscale());
+  EXPECT_EQ(r.admitted, 1);
+  EXPECT_EQ(r.deadline_misses, 0);
+  EXPECT_NEAR(r.max_speed_used, 0.3, 1e-9);
+  EXPECT_NEAR(r.busy_time, 1.0, 1e-9);
+  // A lazier deadline: density below critical speed; the processor sprints
+  // at s_crit and sleeps.
+  const std::vector<AperiodicJob> lazy{{0, 0.0, 100, 2.0, 10.0}};
+  const OnlineSimResult r2 = simulate_online(lazy, config, xscale());
+  EXPECT_NEAR(r2.max_speed_used, critical_speed(xscale()), 1e-6);
+  EXPECT_EQ(r2.deadline_misses, 0);
+}
+
+TEST(OnlineSim, InfeasibleArrivalIsRejected) {
+  OnlineSimConfig config;
+  config.work_per_cycle = 0.001;
+  // First job saturates the processor until t=1 (density 1.0); the second
+  // wants 0.5 work by t=1 on top of that: impossible.
+  const std::vector<AperiodicJob> jobs{{0, 0.0, 1000, 1.0, 5.0}, {1, 0.1, 500, 1.0, 3.0}};
+  const OnlineSimResult r = simulate_online(jobs, config, xscale());
+  EXPECT_EQ(r.admitted, 1);
+  EXPECT_EQ(r.deadline_misses, 0);
+  EXPECT_DOUBLE_EQ(r.rejected_penalty, 3.0);
+}
+
+TEST(OnlineSim, ValueDensityRuleFiltersCheapJobs) {
+  OnlineSimConfig config;
+  config.work_per_cycle = 0.001;
+  config.rule = AdmissionRule::kValueDensity;
+  config.value_threshold = 1.0;
+  // Two identical feasible jobs; one with a penalty far below its energy,
+  // one far above.
+  const std::vector<AperiodicJob> jobs{{0, 0.0, 300, 1.0, 0.001}, {1, 2.0, 300, 3.0, 10.0}};
+  const OnlineSimResult r = simulate_online(jobs, config, xscale());
+  EXPECT_EQ(r.admitted, 1);
+  EXPECT_DOUBLE_EQ(r.rejected_penalty, 0.001);
+}
+
+TEST(OnlineSim, EnergyMatchesHandComputation) {
+  OnlineSimConfig config;
+  config.work_per_cycle = 0.001;
+  config.horizon = 2.0;
+  const std::vector<AperiodicJob> jobs{{0, 0.0, 500, 1.0, 10.0}};  // density 0.5
+  const OnlineSimResult r = simulate_online(jobs, config, xscale());
+  // Runs at 0.5 for 1.0, sleeps 1.0 (dormant-enable, free).
+  EXPECT_NEAR(r.energy, xscale().power(0.5) * 1.0, 1e-9);
+  EXPECT_NEAR(r.idle_time, 1.0, 1e-9);
+}
+
+TEST(OnlineSim, PreemptionByTighterJobIsHandled) {
+  OnlineSimConfig config;
+  config.work_per_cycle = 0.001;
+  // Long lax job, then a tight job arriving mid-flight with an earlier
+  // deadline: EDF must switch to it and both must finish on time.
+  const std::vector<AperiodicJob> jobs{{0, 0.0, 400, 4.0, 10.0}, {1, 1.0, 300, 1.5, 10.0}};
+  const OnlineSimResult r = simulate_online(jobs, config, xscale());
+  EXPECT_EQ(r.admitted, 2);
+  EXPECT_EQ(r.deadline_misses, 0);
+  // The tight phase needs at least 0.3/0.5 = 0.6 speed.
+  EXPECT_GE(r.max_speed_used, 0.6 - 1e-9);
+}
+
+TEST(OnlineSim, ZeroMissInvariantAcrossRandomStreams) {
+  // The checked invariant behind the admission test: whatever the load,
+  // admitted jobs never miss.
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    AperiodicWorkloadConfig gen;
+    gen.duration = 60.0;
+    gen.arrival_rate = 0.3 + 0.15 * static_cast<double>(seed);  // up to heavy overload
+    gen.mean_work = 0.5;
+    Rng rng(seed);
+    const std::vector<AperiodicJob> jobs = generate_aperiodic_jobs(gen, 1.0, rng);
+    OnlineSimConfig config;
+    config.work_per_cycle = 1.0 / gen.resolution;
+    const OnlineSimResult r = simulate_online(jobs, config, xscale());
+    EXPECT_EQ(r.deadline_misses, 0) << "seed " << seed;
+    EXPECT_LE(r.max_speed_used, 1.0 + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(OnlineSim, HigherLoadLowersAdmissionRatio) {
+  double prev_ratio = 1.1;
+  for (const double rate : {0.5, 1.5, 3.0}) {
+    double admitted = 0.0;
+    double total = 0.0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      AperiodicWorkloadConfig gen;
+      gen.duration = 50.0;
+      gen.arrival_rate = rate;
+      gen.mean_work = 0.5;
+      Rng rng(seed * 7 + 1);
+      const auto jobs = generate_aperiodic_jobs(gen, 1.0, rng);
+      OnlineSimConfig config;
+      config.work_per_cycle = 1.0 / gen.resolution;
+      const OnlineSimResult r = simulate_online(jobs, config, xscale());
+      admitted += static_cast<double>(r.admitted);
+      total += static_cast<double>(r.jobs);
+    }
+    const double ratio = admitted / total;
+    EXPECT_LT(ratio, prev_ratio) << "rate " << rate;
+    prev_ratio = ratio;
+  }
+}
+
+TEST(OnlineSim, ValueRuleBeatsFeasibleOnlyUnderOverload) {
+  // Under overload with many low-value jobs, filtering by value must lower
+  // the combined objective on average.
+  double feasible_only = 0.0;
+  double filtered = 0.0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    AperiodicWorkloadConfig gen;
+    gen.duration = 50.0;
+    gen.arrival_rate = 3.0;
+    gen.mean_work = 0.5;
+    gen.penalty_scale = 0.3;  // jobs are mostly not worth their energy
+    gen.energy_per_work_ref = xscale().energy_per_cycle(0.7);
+    Rng rng(seed * 13 + 5);
+    const auto jobs = generate_aperiodic_jobs(gen, 1.0, rng);
+    OnlineSimConfig config;
+    config.work_per_cycle = 1.0 / gen.resolution;
+    config.horizon = 60.0;
+    feasible_only += simulate_online(jobs, config, xscale()).objective();
+    config.rule = AdmissionRule::kValueDensity;
+    config.value_threshold = 1.0;
+    filtered += simulate_online(jobs, config, xscale()).objective();
+  }
+  EXPECT_LT(filtered, feasible_only);
+}
+
+TEST(AperiodicGenerator, ProducesFeasibleSaneJobs) {
+  AperiodicWorkloadConfig gen;
+  gen.duration = 40.0;
+  gen.arrival_rate = 2.0;
+  Rng rng(3);
+  const auto jobs = generate_aperiodic_jobs(gen, 1.0, rng);
+  EXPECT_GT(jobs.size(), 30u);  // ~80 expected
+  double prev_arrival = 0.0;
+  for (const AperiodicJob& job : jobs) {
+    EXPECT_GE(job.arrival, prev_arrival);
+    prev_arrival = job.arrival;
+    EXPECT_LT(job.arrival, 40.0);
+    EXPECT_GT(job.cycles, 0);
+    // Every job is feasible in isolation (deadline >= 2x top-speed time).
+    const double work = static_cast<double>(job.cycles) / gen.resolution;
+    EXPECT_GE(job.deadline - job.arrival, 2.0 * work - 1e-6);
+    EXPECT_GT(job.penalty, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace retask

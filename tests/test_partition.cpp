@@ -1,0 +1,148 @@
+// Unit tests for the partition heuristics (LTF, in-order, shuffled,
+// first-fit).
+#include "retask/sched/partition.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "retask/common/error.hpp"
+#include "retask/common/rng.hpp"
+
+namespace retask {
+namespace {
+
+TEST(Partition, LtfBalancesKnownInstance) {
+  // Classic LTF behaviour: {7, 5, 4, 2} on 2 bins -> {7, 2} and {5, 4}.
+  const Partition p = partition_items({5.0, 7.0, 2.0, 4.0}, 2, PartitionPolicy::kLargestFirst);
+  ASSERT_EQ(p.loads.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.max_load(), 9.0);
+  EXPECT_DOUBLE_EQ(p.loads[0] + p.loads[1], 18.0);
+  // 7 and 2 share a bin; 5 and 4 share the other.
+  EXPECT_EQ(p.bin_of[1], p.bin_of[2]);
+  EXPECT_EQ(p.bin_of[0], p.bin_of[3]);
+  EXPECT_NE(p.bin_of[0], p.bin_of[1]);
+}
+
+TEST(Partition, LtfMaxLoadWithinGrahamBound) {
+  // LTF (a.k.a. LPT) max load is at most 4/3 - 1/(3m) of optimal; against
+  // the trivial lower bound max(avg, largest) it stays within 4/3.
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> weights(12);
+    double total = 0.0;
+    double largest = 0.0;
+    for (double& w : weights) {
+      w = rng.uniform(0.5, 10.0);
+      total += w;
+      largest = std::max(largest, w);
+    }
+    const int m = 3;
+    const Partition p = partition_items(weights, m, PartitionPolicy::kLargestFirst);
+    const double lb = std::max(total / m, largest);
+    EXPECT_LE(p.max_load(), lb * (4.0 / 3.0) + 1e-9);
+  }
+}
+
+TEST(Partition, InOrderAssignsToLightestBin) {
+  const Partition p = partition_items({3.0, 3.0, 1.0}, 2, PartitionPolicy::kInOrder);
+  EXPECT_EQ(p.bin_of[0], 0);
+  EXPECT_EQ(p.bin_of[1], 1);
+  EXPECT_EQ(p.bin_of[2], 0);  // lightest after {3, 3} is bin 0 (tie -> first)
+  EXPECT_DOUBLE_EQ(p.loads[0], 4.0);
+}
+
+TEST(Partition, EveryItemAssignedWithoutCapacity) {
+  Rng rng(7);
+  const Partition p =
+      partition_items({1.0, 2.0, 3.0, 4.0, 5.0}, 3, PartitionPolicy::kShuffled, 0.0, &rng);
+  double sum = 0.0;
+  for (const int b : p.bin_of) {
+    EXPECT_GE(b, 0);
+    EXPECT_LT(b, 3);
+  }
+  for (const double l : p.loads) sum += l;
+  EXPECT_DOUBLE_EQ(sum, 15.0);
+}
+
+TEST(Partition, ShuffledRequiresRng) {
+  EXPECT_THROW(partition_items({1.0}, 1, PartitionPolicy::kShuffled), Error);
+}
+
+TEST(Partition, FirstFitRespectsCapacity) {
+  const Partition p =
+      partition_items({0.6, 0.6, 0.3, 0.3}, 2, PartitionPolicy::kFirstFit, 1.0);
+  EXPECT_EQ(p.bin_of[0], 0);
+  EXPECT_EQ(p.bin_of[1], 1);
+  EXPECT_EQ(p.bin_of[2], 0);
+  EXPECT_EQ(p.bin_of[3], 1);
+  for (const double l : p.loads) EXPECT_LE(l, 1.0 + 1e-9);
+}
+
+TEST(Partition, FirstFitLeavesOversizedItemsUnassigned) {
+  const Partition p = partition_items({1.5, 0.5}, 1, PartitionPolicy::kFirstFit, 1.0);
+  EXPECT_EQ(p.bin_of[0], -1);
+  EXPECT_EQ(p.bin_of[1], 0);
+}
+
+TEST(Partition, FirstFitRequiresCapacity) {
+  EXPECT_THROW(partition_items({1.0}, 1, PartitionPolicy::kFirstFit, 0.0), Error);
+  EXPECT_THROW(partition_items({1.0}, 1, PartitionPolicy::kBestFit, 0.0), Error);
+}
+
+TEST(Partition, BestFitPicksTightestBin) {
+  // Pre-load two bins via 0.7 and 0.4, then place 0.25: first-fit takes the
+  // first bin with space (bin 0: 0.7 + 0.25 <= 1), best-fit also bin 0 (the
+  // fuller one). Place 0.5 afterwards: only bin 1 fits under either.
+  const Partition ff =
+      partition_items({0.7, 0.4, 0.25, 0.5}, 2, PartitionPolicy::kFirstFit, 1.0);
+  const Partition bf = partition_items({0.7, 0.4, 0.25, 0.5}, 2, PartitionPolicy::kBestFit, 1.0);
+  EXPECT_EQ(ff.bin_of[2], 0);
+  EXPECT_EQ(bf.bin_of[2], 0);
+  EXPECT_EQ(bf.bin_of[3], 1);
+
+  // A case where they genuinely differ: bins end up at 0.5 and 0.6; item
+  // 0.35 goes to bin 0 under first-fit but to the tighter bin 1 under
+  // best-fit.
+  const Partition ff2 =
+      partition_items({0.5, 0.6, 0.35}, 2, PartitionPolicy::kFirstFit, 1.0);
+  const Partition bf2 = partition_items({0.5, 0.6, 0.35}, 2, PartitionPolicy::kBestFit, 1.0);
+  EXPECT_EQ(ff2.bin_of[2], 0);
+  EXPECT_EQ(bf2.bin_of[2], 1);
+}
+
+TEST(Partition, BestFitNeverUsesMoreBinsThanFirstFitHere) {
+  Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> weights(14);
+    for (double& w : weights) w = rng.uniform(0.1, 0.7);
+    const Partition ff = partition_items(weights, 14, PartitionPolicy::kFirstFit, 1.0);
+    const Partition bf = partition_items(weights, 14, PartitionPolicy::kBestFit, 1.0);
+    const auto used = [](const Partition& p) {
+      int bins = 0;
+      for (const double load : p.loads) bins += load > 0.0 ? 1 : 0;
+      return bins;
+    };
+    // Everything placed under both policies.
+    for (const int b : ff.bin_of) EXPECT_GE(b, 0);
+    for (const int b : bf.bin_of) EXPECT_GE(b, 0);
+    // Not a theorem in general, but holds on these instances and guards the
+    // implementation against regressions that waste bins.
+    EXPECT_LE(used(bf), used(ff) + 1) << "trial " << trial;
+  }
+}
+
+TEST(Partition, RejectsBadArguments) {
+  EXPECT_THROW(partition_items({1.0}, 0, PartitionPolicy::kInOrder), Error);
+  EXPECT_THROW(partition_items({-1.0}, 1, PartitionPolicy::kInOrder), Error);
+}
+
+TEST(Partition, EmptyInputYieldsEmptyBins) {
+  const Partition p = partition_items({}, 2, PartitionPolicy::kLargestFirst);
+  EXPECT_TRUE(p.bin_of.empty());
+  EXPECT_DOUBLE_EQ(p.max_load(), 0.0);
+}
+
+}  // namespace
+}  // namespace retask

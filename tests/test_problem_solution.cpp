@@ -1,0 +1,117 @@
+// Tests for the problem container and the solution validator.
+#include <gtest/gtest.h>
+
+#include "retask/common/error.hpp"
+#include "retask/core/problem.hpp"
+#include "retask/core/solution.hpp"
+#include "retask/power/polynomial_power.hpp"
+
+namespace retask {
+namespace {
+
+RejectionProblem small_problem(int processors = 1) {
+  // Capacity: smax * D / kappa = 1 * 1 / 0.01 = 100 cycles per processor.
+  const FrameTaskSet tasks({{0, 40, 1.0}, {1, 50, 2.0}, {2, 30, 0.5}});
+  EnergyCurve curve(PolynomialPowerModel::cubic(), 1.0, IdleDiscipline::kDormantEnable);
+  return RejectionProblem(tasks, std::move(curve), 0.01, processors);
+}
+
+TEST(Problem, BasicAccessors) {
+  const RejectionProblem p = small_problem();
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.cycle_capacity(), 100);
+  EXPECT_DOUBLE_EQ(p.work_of(0), 0.4);
+  EXPECT_DOUBLE_EQ(p.total_work(), 1.2);
+  EXPECT_THROW(p.work_of(5), Error);
+}
+
+TEST(Problem, RejectedPenaltyAndAcceptedCycles) {
+  const RejectionProblem p = small_problem();
+  EXPECT_DOUBLE_EQ(p.rejected_penalty({true, true, true}), 0.0);
+  EXPECT_DOUBLE_EQ(p.rejected_penalty({false, true, false}), 1.5);
+  EXPECT_EQ(p.accepted_cycles({true, false, true}), 70);
+  EXPECT_THROW(p.rejected_penalty({true}), Error);
+}
+
+TEST(Problem, SingleProcessorFeasibilityAndObjective) {
+  const RejectionProblem p = small_problem();
+  EXPECT_FALSE(p.feasible_on_one({true, true, true}));   // 120 > 100
+  EXPECT_TRUE(p.feasible_on_one({true, true, false}));   // 90 <= 100
+  // Objective: E(0.9 work) + penalty(0.5) = 0.9^3 + 0.5.
+  EXPECT_NEAR(p.objective_on_one({true, true, false}), 0.9 * 0.9 * 0.9 + 0.5, 1e-6);
+  EXPECT_THROW(p.objective_on_one({true, true, true}), Error);
+}
+
+TEST(Problem, EnergyOfCyclesMatchesCurve) {
+  const RejectionProblem p = small_problem();
+  EXPECT_NEAR(p.energy_of_cycles(100), 1.0, 1e-6);  // full load at speed 1
+  EXPECT_NEAR(p.energy_of_cycles(0), 0.0, 1e-12);
+  EXPECT_THROW(p.energy_of_cycles(-1), Error);
+}
+
+TEST(Problem, MultiProcHelpersGuarded) {
+  const RejectionProblem p = small_problem(2);
+  EXPECT_THROW(p.feasible_on_one({true, true, true}), Error);
+  EXPECT_THROW(p.objective_on_one({true, true, true}), Error);
+}
+
+TEST(Problem, RejectsBadConstruction) {
+  const FrameTaskSet tasks({{0, 10, 1.0}});
+  EnergyCurve curve(PolynomialPowerModel::cubic(), 1.0, IdleDiscipline::kDormantEnable);
+  EXPECT_THROW(RejectionProblem(tasks, curve, 0.0, 1), Error);
+  EXPECT_THROW(RejectionProblem(tasks, curve, 0.01, 0), Error);
+}
+
+TEST(Solution, MakeSolutionComputesEnergyAndPenalty) {
+  const RejectionProblem p = small_problem();
+  const RejectionSolution s = make_solution_on_one(p, {true, false, true});
+  EXPECT_NEAR(s.penalty, 2.0, 1e-12);
+  EXPECT_NEAR(s.energy, 0.7 * 0.7 * 0.7, 1e-6);
+  EXPECT_NEAR(s.objective(), s.energy + s.penalty, 1e-12);
+  EXPECT_EQ(s.accepted_count(), 2u);
+  EXPECT_NEAR(s.acceptance_ratio(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(s.processor_of[1], -1);
+}
+
+TEST(Solution, MakeSolutionRejectsOverload) {
+  const RejectionProblem p = small_problem();
+  EXPECT_THROW(make_solution_on_one(p, {true, true, true}), Error);
+}
+
+TEST(Solution, MakeSolutionRejectsInconsistentBinding) {
+  const RejectionProblem p = small_problem();
+  // Rejected task bound to a processor.
+  EXPECT_THROW(make_solution(p, {false, true, false}, {0, 0, -1}), Error);
+  // Accepted task without processor.
+  EXPECT_THROW(make_solution(p, {true, false, false}, {-1, -1, -1}), Error);
+  // Processor index out of range.
+  EXPECT_THROW(make_solution(p, {true, false, false}, {3, -1, -1}), Error);
+  // Size mismatches.
+  EXPECT_THROW(make_solution(p, {true, false}, {0, -1, -1}), Error);
+}
+
+TEST(Solution, MultiProcessorLoadsAndEnergy) {
+  const RejectionProblem p = small_problem(2);
+  const RejectionSolution s = make_solution(p, {true, true, true}, {0, 1, 0});
+  const auto loads = processor_loads(p, s);
+  ASSERT_EQ(loads.size(), 2u);
+  EXPECT_EQ(loads[0], 70);
+  EXPECT_EQ(loads[1], 50);
+  EXPECT_NEAR(s.energy, 0.7 * 0.7 * 0.7 + 0.5 * 0.5 * 0.5, 1e-6);
+}
+
+TEST(Solution, CheckSolutionDetectsTampering) {
+  const RejectionProblem p = small_problem();
+  RejectionSolution s = make_solution_on_one(p, {true, false, true});
+  EXPECT_NO_THROW(check_solution(p, s));
+  s.energy *= 2.0;
+  EXPECT_THROW(check_solution(p, s), Error);
+}
+
+TEST(Solution, EmptyInstanceAcceptanceRatioIsOne) {
+  const RejectionSolution s;
+  EXPECT_DOUBLE_EQ(s.acceptance_ratio(), 1.0);
+}
+
+}  // namespace
+}  // namespace retask

@@ -1,0 +1,208 @@
+// Cross-module property tests: invariants that tie several subsystems
+// together, parameterized across models, disciplines, overheads and loads.
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "retask/retask.hpp"
+#include "test_util.hpp"
+
+namespace retask {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The exact DP stays optimal when the energy curve is NOT convex (sleep
+// overheads add a jump at 0+): it never assumed convexity, only that the
+// objective depends on the accept set through total cycles.
+
+struct OverheadCase {
+  double esw;
+  double tsw;
+  double load;
+};
+
+class DpUnderOverheads : public ::testing::TestWithParam<OverheadCase> {};
+
+TEST_P(DpUnderOverheads, MatchesExhaustiveWithNonConvexCurves) {
+  const OverheadCase& c = GetParam();
+  const PolynomialPowerModel model = PolynomialPowerModel::xscale();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    ScenarioConfig config;
+    config.task_count = 9;
+    config.load = c.load;
+    config.resolution = 300.0;
+    config.seed = seed;
+    const RejectionProblem base = make_scenario(config, model);
+    const RejectionProblem p(base.tasks(),
+                             EnergyCurve(model, 1.0, IdleDiscipline::kDormantEnable,
+                                         SleepParams{c.tsw, c.esw}),
+                             base.work_per_cycle(), 1);
+    const double dp = ExactDpSolver().solve(p).objective();
+    const double exh = ExhaustiveSolver().solve(p).objective();
+    EXPECT_NEAR(dp, exh, 1e-6 * std::max(1.0, exh))
+        << "seed " << seed << " esw " << c.esw << " tsw " << c.tsw;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Overheads, DpUnderOverheads,
+                         ::testing::Values(OverheadCase{0.05, 0.0, 1.4},
+                                           OverheadCase{0.2, 0.0, 1.4},
+                                           OverheadCase{0.05, 0.3, 1.4},
+                                           OverheadCase{0.1, 0.1, 0.7},
+                                           OverheadCase{0.1, 0.1, 2.4}));
+
+// ---------------------------------------------------------------------------
+// The FPTAS guarantee needs only a monotone energy curve; verify it under
+// dormant-disable and under sleep overheads.
+
+TEST(FptasProperty, GuaranteeHoldsOnNonConvexAndDisableCurves) {
+  const PolynomialPowerModel model = PolynomialPowerModel::xscale();
+  const double eps = 0.1;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    ScenarioConfig config;
+    config.task_count = 10;
+    config.load = 1.7;
+    config.resolution = 300.0;
+    config.seed = seed;
+    const RejectionProblem base = make_scenario(config, model);
+    for (const auto& curve :
+         {EnergyCurve(model, 1.0, IdleDiscipline::kDormantDisable),
+          EnergyCurve(model, 1.0, IdleDiscipline::kDormantEnable, SleepParams{0.1, 0.08})}) {
+      const RejectionProblem p(base.tasks(), curve, base.work_per_cycle(), 1);
+      const double opt = ExactDpSolver().solve(p).objective();
+      const double approx = FptasSolver(eps).solve(p).objective();
+      EXPECT_LE(approx, opt * (1.0 + eps) + 1e-9) << "seed " << seed;
+      EXPECT_GE(approx, opt - 1e-9) << "seed " << seed;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Plan -> SpeedSchedule -> frame simulator agreement for every model /
+// discipline / overhead combination (the full execution pipeline).
+
+struct PipelineCurveCase {
+  const char* label;
+  bool discrete;
+  IdleDiscipline idle;
+  SleepParams sleep;
+};
+
+class ExecutionPipeline : public ::testing::TestWithParam<PipelineCurveCase> {};
+
+TEST_P(ExecutionPipeline, SimulatedEnergyMatchesCurve) {
+  const PipelineCurveCase& c = GetParam();
+  const PolynomialPowerModel ideal = PolynomialPowerModel::xscale();
+  const TablePowerModel table = TablePowerModel::xscale5();
+  const PowerModel& model =
+      c.discrete ? static_cast<const PowerModel&>(table) : static_cast<const PowerModel&>(ideal);
+  const EnergyCurve curve(model, 1.0, c.idle, c.sleep);
+  for (int k = 1; k <= 10; ++k) {
+    const double w = curve.max_workload() * static_cast<double>(k) / 10.0;
+    const SpeedSchedule schedule = SpeedSchedule::from_plan(curve.plan(w));
+    const auto cycles = static_cast<Cycles>(std::llround(w * 100.0));
+    if (cycles == 0) continue;
+    const std::vector<FrameTask> tasks{FrameTask{0, cycles, 1.0}};
+    const FrameSimResult sim = simulate_frame(tasks, w / static_cast<double>(cycles),
+                                              schedule, curve);
+    EXPECT_TRUE(sim.deadline_met) << c.label << " W=" << w;
+    EXPECT_NEAR(sim.energy, curve.energy(w), 1e-4 * std::max(1.0, curve.energy(w)))
+        << c.label << " W=" << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Curves, ExecutionPipeline,
+    ::testing::Values(
+        PipelineCurveCase{"ideal_enable", false, IdleDiscipline::kDormantEnable, {}},
+        PipelineCurveCase{"ideal_disable", false, IdleDiscipline::kDormantDisable, {}},
+        PipelineCurveCase{"ideal_sleepcost", false, IdleDiscipline::kDormantEnable, {0.1, 0.05}},
+        PipelineCurveCase{"table_enable", true, IdleDiscipline::kDormantEnable, {}},
+        PipelineCurveCase{"table_disable", true, IdleDiscipline::kDormantDisable, {}},
+        PipelineCurveCase{"table_sleepcost", true, IdleDiscipline::kDormantEnable, {0.1, 0.05}}),
+    [](const ::testing::TestParamInfo<PipelineCurveCase>& param_info) {
+      return std::string(param_info.param.label);
+    });
+
+// ---------------------------------------------------------------------------
+// Multiprocessor solutions are invariant to processor relabeling.
+
+TEST(SymmetryProperty, RelabelingProcessorsKeepsObjective) {
+  const RejectionProblem p = test::small_instance(5, 10, 2.2, 1.0, 3);
+  const RejectionSolution s = MultiProcGreedySolver().solve(p);
+  // Rotate processor ids 0 -> 1 -> 2 -> 0.
+  std::vector<int> rotated = s.processor_of;
+  for (int& proc : rotated) {
+    if (proc >= 0) proc = (proc + 1) % 3;
+  }
+  const RejectionSolution relabeled = make_solution(p, s.accepted, rotated);
+  EXPECT_NEAR(relabeled.objective(), s.objective(), 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the whole pipeline (generator -> solver -> harness) is
+// bit-stable for fixed seeds.
+
+TEST(DeterminismProperty, HarnessRunsAreIdentical) {
+  const auto factory = [](std::uint64_t seed) { return test::small_instance(seed, 9, 1.6); };
+  const auto reference = [](const RejectionProblem& p) {
+    return ExactDpSolver().solve(p).objective();
+  };
+  auto lineup_a = standard_uniproc_lineup();
+  auto lineup_b = standard_uniproc_lineup();
+  const auto a = run_comparison(factory, lineup_a, reference, 6, 42);
+  const auto b = run_comparison(factory, lineup_b, reference, 6, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].ratio.mean(), b[i].ratio.mean()) << a[i].name;
+    EXPECT_DOUBLE_EQ(a[i].objective.mean(), b[i].objective.mean()) << a[i].name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Monotonicity of the optimum in the instance parameters.
+
+TEST(MonotonicityProperty, RaisingOnePenaltyNeverLowersTheObjective) {
+  const RejectionProblem base = test::small_instance(7, 9, 1.8);
+  const double before = ExactDpSolver().solve(base).objective();
+  std::vector<FrameTask> tasks = base.tasks().tasks();
+  tasks[3].penalty *= 4.0;
+  const RejectionProblem bumped(FrameTaskSet(std::move(tasks)), base.curve(),
+                                base.work_per_cycle(), 1);
+  const double after = ExactDpSolver().solve(bumped).objective();
+  EXPECT_GE(after, before - 1e-9);
+}
+
+TEST(MonotonicityProperty, WideningTheWindowNeverHurts) {
+  const PolynomialPowerModel model = PolynomialPowerModel::xscale();
+  const RejectionProblem base = test::small_instance(9, 9, 2.0);
+  double prev = 1e300;
+  for (const double window : {1.0, 1.25, 1.5, 2.0}) {
+    const RejectionProblem p(base.tasks(),
+                             EnergyCurve(model, window, IdleDiscipline::kDormantEnable),
+                             base.work_per_cycle(), 1);
+    const double objective = ExactDpSolver().solve(p).objective();
+    EXPECT_LE(objective, prev + 1e-9) << "window " << window;
+    prev = objective;
+  }
+}
+
+TEST(MonotonicityProperty, FasterProcessorNeverHurts) {
+  // Scale beta2 down (cheaper dynamic power): optimum can only improve.
+  const RejectionProblem base = test::small_instance(11, 9, 1.6);
+  double prev = 1e300;
+  for (const double beta2 : {3.0, 1.52, 0.8, 0.4}) {
+    const PolynomialPowerModel model(0.08, beta2, 3.0, 0.0, 1.0);
+    const RejectionProblem p(base.tasks(),
+                             EnergyCurve(model, 1.0, IdleDiscipline::kDormantEnable),
+                             base.work_per_cycle(), 1);
+    const double objective = ExactDpSolver().solve(p).objective();
+    EXPECT_LE(objective, prev + 1e-9) << "beta2 " << beta2;
+    prev = objective;
+  }
+}
+
+}  // namespace
+}  // namespace retask

@@ -1,0 +1,117 @@
+// Tests for run-time slack reclamation: feasibility, the policy energy
+// ordering, exactness at WCET, and speed monotonicity of the greedy policy.
+#include "retask/sched/reclaim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "retask/common/error.hpp"
+#include "retask/power/polynomial_power.hpp"
+#include "retask/power/table_power.hpp"
+#include "test_util.hpp"
+
+namespace retask {
+namespace {
+
+EnergyCurve curve() {
+  return EnergyCurve(PolynomialPowerModel::xscale(), 1.0, IdleDiscipline::kDormantEnable);
+}
+
+TEST(Reclaim, ValidatesInputs) {
+  const std::vector<FrameTask> tasks{{0, 50, 1.0}};
+  EXPECT_THROW(simulate_frame_reclaim(tasks, {60}, 0.01, curve(), ReclaimPolicy::kStatic),
+               Error);  // actual > WCET
+  EXPECT_THROW(simulate_frame_reclaim(tasks, {}, 0.01, curve(), ReclaimPolicy::kStatic),
+               Error);  // size mismatch
+  EXPECT_THROW(simulate_frame_reclaim(tasks, {50}, 0.0, curve(), ReclaimPolicy::kStatic),
+               Error);  // bad scale
+  const EnergyCurve discrete(TablePowerModel::xscale5(), 1.0, IdleDiscipline::kDormantEnable);
+  EXPECT_THROW(simulate_frame_reclaim(tasks, {50}, 0.01, discrete, ReclaimPolicy::kStatic),
+               Error);  // discrete model unsupported
+}
+
+TEST(Reclaim, AllPoliciesCoincideAtWcet) {
+  const std::vector<FrameTask> tasks{{0, 40, 1.0}, {1, 30, 1.0}, {2, 20, 1.0}};
+  const std::vector<Cycles> actual{40, 30, 20};
+  const EnergyCurve c = curve();
+  const ReclaimResult s = simulate_frame_reclaim(tasks, actual, 0.01, c, ReclaimPolicy::kStatic);
+  const ReclaimResult g = simulate_frame_reclaim(tasks, actual, 0.01, c, ReclaimPolicy::kGreedy);
+  const ReclaimResult o =
+      simulate_frame_reclaim(tasks, actual, 0.01, c, ReclaimPolicy::kClairvoyant);
+  EXPECT_NEAR(s.energy, g.energy, 1e-9);
+  EXPECT_NEAR(g.energy, o.energy, 1e-9);
+  EXPECT_TRUE(s.deadline_met);
+  // Full WCET at 0.9 work: speed = 0.9, energy = P(0.9) * 1.0.
+  EXPECT_NEAR(s.energy, PolynomialPowerModel::xscale().power(0.9), 1e-6);
+}
+
+TEST(Reclaim, EnergyOrderingAcrossPolicies) {
+  const EnergyCurve c = curve();
+  Rng rng(3);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const RejectionProblem instance = test::small_instance(seed, 8, 0.9);
+    const std::vector<FrameTask>& tasks = instance.tasks().tasks();
+    const std::vector<Cycles> actual = draw_actual_cycles(tasks, 0.3, 0.9, rng);
+    const double kappa = instance.work_per_cycle();
+    const ReclaimResult s =
+        simulate_frame_reclaim(tasks, actual, kappa, c, ReclaimPolicy::kStatic);
+    const ReclaimResult g =
+        simulate_frame_reclaim(tasks, actual, kappa, c, ReclaimPolicy::kGreedy);
+    const ReclaimResult o =
+        simulate_frame_reclaim(tasks, actual, kappa, c, ReclaimPolicy::kClairvoyant);
+    EXPECT_TRUE(s.deadline_met && g.deadline_met && o.deadline_met) << "seed " << seed;
+    EXPECT_LE(o.energy, g.energy + 1e-9) << "seed " << seed;
+    EXPECT_LE(g.energy, s.energy + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Reclaim, GreedySpeedsOnlyDecrease) {
+  const std::vector<FrameTask> tasks{{0, 30, 1.0}, {1, 30, 1.0}, {2, 30, 1.0}};
+  const std::vector<Cycles> actual{10, 10, 10};  // everything finishes early
+  const ReclaimResult g =
+      simulate_frame_reclaim(tasks, actual, 0.01, curve(), ReclaimPolicy::kGreedy);
+  EXPECT_TRUE(g.deadline_met);
+  EXPECT_LE(g.final_speed, g.initial_speed + 1e-12);
+  EXPECT_LT(g.final_speed, g.initial_speed);  // strict here: lots of slack
+}
+
+TEST(Reclaim, SpeedsNeverBelowCriticalOnDormantEnable) {
+  const std::vector<FrameTask> tasks{{0, 5, 1.0}};
+  const std::vector<Cycles> actual{1};
+  const ReclaimResult g =
+      simulate_frame_reclaim(tasks, actual, 0.01, curve(), ReclaimPolicy::kGreedy);
+  EXPECT_GE(g.final_speed, PolynomialPowerModel::xscale().analytic_critical_speed() - 1e-6);
+}
+
+TEST(Reclaim, EmptyAcceptSetIdles) {
+  const ReclaimResult r = simulate_frame_reclaim({}, {}, 0.01, curve(), ReclaimPolicy::kGreedy);
+  EXPECT_TRUE(r.deadline_met);
+  EXPECT_NEAR(r.energy, 0.0, 1e-12);  // dormant-enable sleeps for free
+}
+
+TEST(Reclaim, DormantDisableChargesIdleTail) {
+  const EnergyCurve c(PolynomialPowerModel::xscale(), 1.0, IdleDiscipline::kDormantDisable);
+  const std::vector<FrameTask> tasks{{0, 50, 1.0}};
+  const std::vector<Cycles> actual{25};
+  const ReclaimResult r = simulate_frame_reclaim(tasks, actual, 0.01, c, ReclaimPolicy::kStatic);
+  // Static speed 0.5, actual work 0.25 -> busy 0.5, idle 0.5 at 0.08 W.
+  EXPECT_NEAR(r.completion, 0.5, 1e-9);
+  EXPECT_NEAR(r.energy, PolynomialPowerModel::xscale().power(0.5) * 0.5 + 0.08 * 0.5, 1e-9);
+}
+
+TEST(Reclaim, DrawActualCyclesRespectsBounds) {
+  const std::vector<FrameTask> tasks{{0, 100, 1.0}, {1, 7, 1.0}};
+  Rng rng(9);
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto actual = draw_actual_cycles(tasks, 0.4, 0.8, rng);
+    EXPECT_GE(actual[0], 40);
+    EXPECT_LE(actual[0], 80);
+    EXPECT_GE(actual[1], 1);
+    EXPECT_LE(actual[1], 7);
+  }
+  EXPECT_THROW(draw_actual_cycles(tasks, 0.0, 0.5, rng), Error);
+  EXPECT_THROW(draw_actual_cycles(tasks, 0.6, 0.5, rng), Error);
+  EXPECT_THROW(draw_actual_cycles(tasks, 0.5, 1.5, rng), Error);
+}
+
+}  // namespace
+}  // namespace retask

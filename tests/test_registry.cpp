@@ -1,0 +1,51 @@
+// Tests for the algorithm registry.
+#include "retask/core/algorithm_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "retask/common/error.hpp"
+#include "test_util.hpp"
+
+namespace retask {
+namespace {
+
+TEST(Registry, CreatesEveryKnownSolver) {
+  for (const char* name : {"opt-dp", "opt-exh", "greedy", "ls-greedy", "all-accept", "rand",
+                           "mp-ltf-dp", "la-ltf-ff", "mp-greedy", "mp-rand", "mp-opt-exh"}) {
+    const auto solver = make_solver(name);
+    ASSERT_NE(solver, nullptr) << name;
+    EXPECT_FALSE(solver->name().empty());
+  }
+}
+
+TEST(Registry, ParsesFptasEpsilon) {
+  const auto solver = make_solver("fptas:0.25");
+  EXPECT_EQ(solver->name(), "FPTAS(0.25)");
+}
+
+TEST(Registry, RejectsUnknownNamesAndBadEpsilon) {
+  EXPECT_THROW(make_solver("nope"), Error);
+  EXPECT_THROW(make_solver("fptas:"), Error);
+  EXPECT_THROW(make_solver("fptas:-1"), Error);
+  EXPECT_THROW(make_solver("fptas:abc"), Error);
+  EXPECT_THROW(make_solver("fptas:0.1x"), Error);
+}
+
+TEST(Registry, UniprocLineupSolvesInstances) {
+  const RejectionProblem p = test::small_instance(1, 8, 1.5);
+  for (const auto& solver : standard_uniproc_lineup()) {
+    const RejectionSolution s = solver->solve(p);
+    check_solution(p, s);
+  }
+}
+
+TEST(Registry, MultiprocLineupSolvesInstances) {
+  const RejectionProblem p = test::small_instance(1, 10, 2.0, 1.0, 2);
+  for (const auto& solver : standard_multiproc_lineup()) {
+    const RejectionSolution s = solver->solve(p);
+    check_solution(p, s);
+  }
+}
+
+}  // namespace
+}  // namespace retask

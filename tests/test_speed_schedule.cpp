@@ -1,0 +1,85 @@
+// Unit tests for the speed-schedule timeline.
+#include "retask/sched/speed_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "retask/common/error.hpp"
+#include "retask/power/polynomial_power.hpp"
+
+namespace retask {
+namespace {
+
+TEST(SpeedSchedule, AppendAndTotals) {
+  SpeedSchedule s;
+  s.append(1.0, 2.0);
+  s.append(0.5, 4.0);
+  s.append(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.end_time(), 7.0);
+  EXPECT_DOUBLE_EQ(s.total_cycles(), 2.0 + 2.0);
+}
+
+TEST(SpeedSchedule, ZeroDurationSegmentsAreDropped) {
+  SpeedSchedule s;
+  s.append(1.0, 0.0);
+  EXPECT_TRUE(s.segments().empty());
+}
+
+TEST(SpeedSchedule, RejectsNegativeInputs) {
+  SpeedSchedule s;
+  EXPECT_THROW(s.append(-1.0, 1.0), Error);
+  EXPECT_THROW(s.append(1.0, -1.0), Error);
+}
+
+TEST(SpeedSchedule, CyclesByTime) {
+  SpeedSchedule s;
+  s.append(2.0, 1.0);  // 2 cycles
+  s.append(0.0, 1.0);  // idle
+  s.append(1.0, 2.0);  // 2 cycles
+  EXPECT_DOUBLE_EQ(s.cycles_by(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(s.cycles_by(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.cycles_by(1.7), 2.0);
+  EXPECT_DOUBLE_EQ(s.cycles_by(3.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.cycles_by(100.0), 4.0);  // clamped to the end
+}
+
+TEST(SpeedSchedule, TimeToCyclesInvertsCyclesBy) {
+  SpeedSchedule s;
+  s.append(2.0, 1.0);
+  s.append(0.0, 1.0);
+  s.append(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(s.time_to_cycles(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.time_to_cycles(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.time_to_cycles(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.time_to_cycles(3.0), 3.0);  // idle gap skipped
+  EXPECT_DOUBLE_EQ(s.time_to_cycles(4.0), 4.0);
+  EXPECT_THROW(s.time_to_cycles(4.5), Error);
+  EXPECT_THROW(s.time_to_cycles(-1.0), Error);
+}
+
+TEST(SpeedSchedule, FromPlanPutsFastWorkFirst) {
+  ExecutionPlan plan;
+  plan.segments = {{0.0, 0.3}, {0.5, 1.0}, {1.0, 0.5}};
+  const SpeedSchedule s = SpeedSchedule::from_plan(plan);
+  ASSERT_EQ(s.segments().size(), 3u);
+  EXPECT_DOUBLE_EQ(s.segments()[0].speed, 1.0);
+  EXPECT_DOUBLE_EQ(s.segments()[1].speed, 0.5);
+  EXPECT_DOUBLE_EQ(s.segments()[2].speed, 0.0);
+  EXPECT_DOUBLE_EQ(s.total_cycles(), 1.0);
+  EXPECT_DOUBLE_EQ(s.end_time(), 1.8);
+}
+
+TEST(SpeedSchedule, EnergyMatchesCurveAccounting) {
+  const PolynomialPowerModel m = PolynomialPowerModel::xscale();
+  const EnergyCurve curve(m, 2.0, IdleDiscipline::kDormantDisable);
+  SpeedSchedule s;
+  s.append(0.5, 1.0);
+  s.append(0.0, 1.0);
+  const double expected = m.power(0.5) * 1.0 + m.static_power() * 1.0;
+  EXPECT_NEAR(s.energy(curve), expected, 1e-12);
+
+  const EnergyCurve sleepy(m, 2.0, IdleDiscipline::kDormantEnable);
+  EXPECT_NEAR(s.energy(sleepy), m.power(0.5) * 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace retask

@@ -1,0 +1,74 @@
+// Unit tests for descriptive statistics.
+#include "retask/common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "retask/common/error.hpp"
+
+namespace retask {
+namespace {
+
+TEST(OnlineStats, EmptyRejectsQueries) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_THROW(s.mean(), Error);
+  EXPECT_THROW(s.min(), Error);
+  EXPECT_THROW(s.max(), Error);
+}
+
+TEST(OnlineStats, SingleObservation) {
+  OnlineStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the classic dataset: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, StddevIsSqrtVariance) {
+  OnlineStats s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_NEAR(s.stddev() * s.stddev(), s.variance(), 1e-12);
+}
+
+TEST(OnlineStats, NumericallyStableForLargeOffsets) {
+  OnlineStats s;
+  const double offset = 1e9;
+  for (const double x : {offset + 1.0, offset + 2.0, offset + 3.0}) s.add(x);
+  EXPECT_NEAR(s.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.75), 7.5);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  EXPECT_THROW(quantile({}, 0.5), Error);
+  EXPECT_THROW(quantile({1.0}, -0.1), Error);
+  EXPECT_THROW(quantile({1.0}, 1.1), Error);
+}
+
+}  // namespace
+}  // namespace retask

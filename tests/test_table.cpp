@@ -1,0 +1,62 @@
+// Unit tests for the results-table emitter.
+#include "retask/common/table.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "retask/common/error.hpp"
+
+namespace retask {
+namespace {
+
+TEST(Table, RejectsEmptyColumnsAndMismatchedRows) {
+  EXPECT_THROW(Table("t", {}), Error);
+  Table t("t", {"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only-one")}), Error);
+}
+
+TEST(Table, CountsRows) {
+  Table t("t", {"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({std::string("x")});
+  t.add_row(std::vector<double>{1.5});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, PrettyOutputContainsTitleHeaderAndCells) {
+  Table t("My Figure", {"load", "ratio"});
+  t.add_row(std::vector<double>{0.5, 1.25});
+  std::ostringstream os;
+  t.write_pretty(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("My Figure"), std::string::npos);
+  EXPECT_NE(out.find("load"), std::string::npos);
+  EXPECT_NE(out.find("ratio"), std::string::npos);
+  EXPECT_NE(out.find("1.25"), std::string::npos);
+}
+
+TEST(Table, CsvOutputIsParseable) {
+  Table t("fig", {"x", "y"});
+  t.add_row({std::string("a"), std::string("b")});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "x,y\na,b\n");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t("fig", {"name"});
+  t.add_row({std::string("has,comma")});
+  t.add_row({std::string("has\"quote")});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "name\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(FormatDouble, RespectsPrecision) {
+  EXPECT_EQ(format_double(1.0 / 3.0, 3), "0.333");
+  EXPECT_EQ(format_double(2.0, 6), "2");
+}
+
+}  // namespace
+}  // namespace retask

@@ -1,0 +1,70 @@
+// Unit tests for task validation and task-set aggregates.
+#include "retask/task/task_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "retask/common/error.hpp"
+
+namespace retask {
+namespace {
+
+TEST(FrameTask, Validation) {
+  EXPECT_NO_THROW(validate(FrameTask{0, 10, 1.0}));
+  EXPECT_THROW(validate(FrameTask{0, 0, 1.0}), Error);
+  EXPECT_THROW(validate(FrameTask{0, -5, 1.0}), Error);
+  EXPECT_THROW(validate(FrameTask{0, 10, -0.1}), Error);
+  EXPECT_NO_THROW(validate(FrameTask{0, 10, 0.0}));  // zero penalty allowed
+}
+
+TEST(PeriodicTask, Validation) {
+  EXPECT_NO_THROW(validate(PeriodicTask{0, 10, 100, 1.0}));
+  EXPECT_THROW(validate(PeriodicTask{0, 0, 100, 1.0}), Error);
+  EXPECT_THROW(validate(PeriodicTask{0, 10, 0, 1.0}), Error);
+  EXPECT_THROW(validate(PeriodicTask{0, 10, 100, -1.0}), Error);
+}
+
+TEST(PeriodicTask, RateIsCyclesOverPeriod) {
+  const PeriodicTask t{0, 25, 100, 0.0};
+  EXPECT_DOUBLE_EQ(t.rate(), 0.25);
+}
+
+TEST(FrameTaskSet, Aggregates) {
+  const FrameTaskSet set({{0, 10, 1.5}, {1, 20, 2.5}, {2, 5, 0.0}});
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_FALSE(set.empty());
+  EXPECT_EQ(set.total_cycles(), 35);
+  EXPECT_DOUBLE_EQ(set.total_penalty(), 4.0);
+  EXPECT_EQ(set[1].cycles, 20);
+}
+
+TEST(FrameTaskSet, EmptyDefault) {
+  const FrameTaskSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.total_cycles(), 0);
+  EXPECT_DOUBLE_EQ(set.total_penalty(), 0.0);
+}
+
+TEST(FrameTaskSet, RejectsDuplicateIdsAndBadTasks) {
+  EXPECT_THROW(FrameTaskSet({{0, 10, 1.0}, {0, 20, 1.0}}), Error);
+  EXPECT_THROW(FrameTaskSet({{0, 0, 1.0}}), Error);
+}
+
+TEST(PeriodicTaskSet, Aggregates) {
+  const PeriodicTaskSet set({{0, 10, 100, 1.0}, {1, 30, 200, 2.0}});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_DOUBLE_EQ(set.total_rate(), 0.1 + 0.15);
+  EXPECT_DOUBLE_EQ(set.total_penalty(), 3.0);
+  EXPECT_EQ(set.hyper_period(), 200);
+}
+
+TEST(PeriodicTaskSet, HyperPeriodOfCoprimePeriods) {
+  const PeriodicTaskSet set({{0, 1, 7, 0.0}, {1, 1, 13, 0.0}, {2, 1, 4, 0.0}});
+  EXPECT_EQ(set.hyper_period(), 7 * 13 * 4);
+}
+
+TEST(PeriodicTaskSet, RejectsDuplicateIds) {
+  EXPECT_THROW(PeriodicTaskSet({{3, 10, 100, 1.0}, {3, 10, 100, 1.0}}), Error);
+}
+
+}  // namespace
+}  // namespace retask

@@ -1,0 +1,237 @@
+// Tests for the heterogeneous two-PE rejection system: problem semantics,
+// solution validation, solver ordering against the exhaustive optimum, and
+// generator behaviour.
+#include "retask/core/two_pe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "retask/common/error.hpp"
+#include "retask/power/polynomial_power.hpp"
+#include "retask/task/generator.hpp"
+
+namespace retask {
+namespace {
+
+TwoPeProblem make_problem(std::vector<TwoPeTask> tasks,
+                          Pe2EnergyModel model = Pe2EnergyModel::kWorkloadIndependent,
+                          double pe2_power = 0.2) {
+  EnergyCurve curve(PolynomialPowerModel::xscale(), 1.0, IdleDiscipline::kDormantEnable);
+  return TwoPeProblem(std::move(tasks), std::move(curve), 0.01, pe2_power, model);
+}
+
+TwoPeProblem random_problem(std::uint64_t seed, Pe2Relation relation, double u2_total,
+                            Pe2EnergyModel model, int n = 10) {
+  TwoPeWorkloadConfig config;
+  config.task_count = n;
+  config.dvs_load = 1.3;
+  config.resolution = 400.0;
+  config.u2_total = u2_total;
+  config.relation = relation;
+  config.penalty_scale = 1.5;
+  Rng rng(seed);
+  std::vector<TwoPeTask> tasks = generate_two_pe_tasks(config, rng);
+  EnergyCurve curve(PolynomialPowerModel::xscale(), 1.0, IdleDiscipline::kDormantEnable);
+  return TwoPeProblem(std::move(tasks), std::move(curve), 1.0 / 400.0, 0.3, model);
+}
+
+TEST(TwoPeProblem, EnergyModels) {
+  const TwoPeProblem independent =
+      make_problem({{0, 50, 0.4, 1.0}}, Pe2EnergyModel::kWorkloadIndependent, 0.5);
+  EXPECT_DOUBLE_EQ(independent.pe2_energy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(independent.pe2_energy(0.3), 0.5);  // all-or-nothing
+  EXPECT_DOUBLE_EQ(independent.pe2_energy(1.0), 0.5);
+
+  const TwoPeProblem dependent =
+      make_problem({{0, 50, 0.4, 1.0}}, Pe2EnergyModel::kWorkloadDependent, 0.5);
+  EXPECT_DOUBLE_EQ(dependent.pe2_energy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(dependent.pe2_energy(0.3), 0.15);
+  EXPECT_DOUBLE_EQ(dependent.pe2_energy(1.0), 0.5);
+  EXPECT_THROW(dependent.pe2_energy(1.5), Error);
+}
+
+TEST(TwoPeProblem, ValidatesTasksAndParameters) {
+  EXPECT_THROW(make_problem({{0, 0, 0.4, 1.0}}), Error);    // zero cycles
+  EXPECT_THROW(make_problem({{0, 50, 0.0, 1.0}}), Error);   // zero utilization
+  EXPECT_THROW(make_problem({{0, 50, 1.5, 1.0}}), Error);   // utilization > 1
+  EXPECT_THROW(make_problem({{0, 50, 0.4, -1.0}}), Error);  // negative penalty
+}
+
+TEST(TwoPeSolution, MakeSolutionValidatesCapacities) {
+  const TwoPeProblem p = make_problem({{0, 80, 0.6, 1.0}, {1, 60, 0.6, 1.0}});
+  // Both on DVS: 140 > 100 capacity.
+  EXPECT_THROW(
+      make_two_pe_solution(p, {TwoPePlacement::kDvs, TwoPePlacement::kDvs}), Error);
+  // Both on PE2: 1.2 > 1.
+  EXPECT_THROW(
+      make_two_pe_solution(p, {TwoPePlacement::kNonDvs, TwoPePlacement::kNonDvs}), Error);
+  // Split: fine.
+  const TwoPeSolution s =
+      make_two_pe_solution(p, {TwoPePlacement::kDvs, TwoPePlacement::kNonDvs});
+  EXPECT_EQ(s.count(TwoPePlacement::kDvs), 1u);
+  EXPECT_EQ(s.count(TwoPePlacement::kNonDvs), 1u);
+  EXPECT_NEAR(s.dvs_energy, p.dvs_energy(80), 1e-12);
+  EXPECT_NEAR(s.pe2_energy, 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(s.penalty, 0.0);
+}
+
+TEST(TwoPeSolution, RejectionPaysPenalty) {
+  const TwoPeProblem p = make_problem({{0, 80, 0.6, 2.5}});
+  const TwoPeSolution s = make_two_pe_solution(p, {TwoPePlacement::kRejected});
+  EXPECT_DOUBLE_EQ(s.penalty, 2.5);
+  EXPECT_DOUBLE_EQ(s.dvs_energy + s.pe2_energy, p.dvs_energy(0));
+}
+
+TEST(TwoPeGreedy, OffloadsHighReliefTasks) {
+  // One task dominates the DVS budget but is cheap on the PE2: the classic
+  // "good candidate" from the source papers.
+  const TwoPeProblem p = make_problem(
+      {{0, 90, 0.1, 10.0}, {1, 40, 0.8, 10.0}, {2, 30, 0.8, 10.0}},
+      Pe2EnergyModel::kWorkloadIndependent, 0.05);
+  const TwoPeSolution s = TwoPeGreedySolver().solve(p);
+  EXPECT_EQ(s.placement[0], TwoPePlacement::kNonDvs);
+  // Everything is too valuable to reject, and the instance is small enough
+  // that greedy must land on the exhaustive optimum.
+  EXPECT_EQ(s.count(TwoPePlacement::kRejected), 0u);
+  EXPECT_NEAR(s.objective(), TwoPeExhaustiveSolver().solve(p).objective(), 1e-9);
+}
+
+TEST(TwoPeGreedy, PowersDownWorthlessIndependentPe2) {
+  // The only PE2 candidate is worth less than powering the PE at all.
+  const TwoPeProblem p = make_problem({{0, 90, 0.1, 0.01}, {1, 50, 0.9, 5.0}},
+                                      Pe2EnergyModel::kWorkloadIndependent, 0.5);
+  const TwoPeSolution s = TwoPeGreedySolver().solve(p);
+  EXPECT_EQ(s.pe2_energy, 0.0);
+  EXPECT_EQ(s.count(TwoPePlacement::kNonDvs), 0u);
+}
+
+TEST(TwoPeGreedy, PrunesUnderpricedDependentPe2Tasks) {
+  // Workload-dependent PE2 at high power: a task whose penalty is below its
+  // utilization share must be rejected, not hosted.
+  const TwoPeProblem p = make_problem({{0, 90, 0.8, 0.1}, {1, 50, 0.2, 5.0}},
+                                      Pe2EnergyModel::kWorkloadDependent, 1.0);
+  const TwoPeSolution s = TwoPeGreedySolver().solve(p);
+  EXPECT_NE(s.placement[0], TwoPePlacement::kNonDvs);
+}
+
+TEST(TwoPeSolvers, SandwichAgainstExhaustive) {
+  for (const Pe2EnergyModel model :
+       {Pe2EnergyModel::kWorkloadIndependent, Pe2EnergyModel::kWorkloadDependent}) {
+    for (const Pe2Relation relation :
+         {Pe2Relation::kProportional, Pe2Relation::kInverse, Pe2Relation::kIndependent}) {
+      for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        const TwoPeProblem p = random_problem(seed, relation, 1.6, model);
+        const double opt = TwoPeExhaustiveSolver().solve(p).objective();
+        const double greedy = TwoPeGreedySolver().solve(p).objective();
+        const double e_greedy = TwoPeEGreedySolver().solve(p).objective();
+        const double ls = TwoPeLocalSearchSolver().solve(p).objective();
+        const double dp = TwoPeOffloadDpSolver(0.05).solve(p).objective();
+        const double dvs_only = TwoPeDvsOnlySolver().solve(p).objective();
+        EXPECT_GE(greedy, opt - 1e-9);
+        EXPECT_GE(e_greedy, opt - 1e-9);
+        EXPECT_GE(dp, opt - 1e-9);
+        EXPECT_GE(ls, opt - 1e-9);
+        EXPECT_LE(ls, greedy + 1e-9);        // LS is seeded by greedy
+        EXPECT_GE(dvs_only, opt - 1e-9);     // ignoring the PE2 cannot win
+      }
+    }
+  }
+}
+
+TEST(TwoPeOffloadDp, FineDeltaTracksExhaustiveClosely) {
+  // With a fine grid the offload DP's candidate set covers the optimal
+  // offload volume; the quick-rank + finalize pipeline should land within a
+  // few percent of the exhaustive optimum on every instance.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const TwoPeProblem p = random_problem(seed, Pe2Relation::kIndependent, 1.4,
+                                          Pe2EnergyModel::kWorkloadDependent);
+    const double opt = TwoPeExhaustiveSolver().solve(p).objective();
+    const double fine = TwoPeOffloadDpSolver(0.01).solve(p).objective();
+    EXPECT_LE(fine, 1.08 * opt + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(TwoPeOffloadDp, CoarserDeltaNeverBeatsOptimal) {
+  const TwoPeProblem p = random_problem(2, Pe2Relation::kProportional, 1.8,
+                                        Pe2EnergyModel::kWorkloadIndependent);
+  const double opt = TwoPeExhaustiveSolver().solve(p).objective();
+  for (const double delta : {1.0, 0.3, 0.1, 0.02}) {
+    EXPECT_GE(TwoPeOffloadDpSolver(delta).solve(p).objective(), opt - 1e-9)
+        << "delta " << delta;
+  }
+  EXPECT_THROW(TwoPeOffloadDpSolver(0.0), Error);
+}
+
+TEST(TwoPeEGreedy, BeatsPlainGreedyOnAverage) {
+  // The eviction scan explores every prefix, so it cannot be worse than the
+  // single-pass greedy's offload choice by much; on average over instances
+  // it should win or tie.
+  double greedy_total = 0.0;
+  double e_greedy_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const TwoPeProblem p = random_problem(seed, Pe2Relation::kProportional, 2.0,
+                                          Pe2EnergyModel::kWorkloadIndependent);
+    greedy_total += TwoPeGreedySolver().solve(p).objective();
+    e_greedy_total += TwoPeEGreedySolver().solve(p).objective();
+  }
+  EXPECT_LE(e_greedy_total, greedy_total * 1.02);
+}
+
+TEST(TwoPeSolvers, SecondPeBuysRealImprovement) {
+  // With a cheap PE2 and an overloaded DVS, using the PE2 must beat DVS-only
+  // on average.
+  double with_pe2 = 0.0;
+  double without = 0.0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const TwoPeProblem p = random_problem(seed, Pe2Relation::kInverse, 1.2,
+                                          Pe2EnergyModel::kWorkloadDependent);
+    with_pe2 += TwoPeLocalSearchSolver().solve(p).objective();
+    without += TwoPeDvsOnlySolver().solve(p).objective();
+  }
+  EXPECT_LT(with_pe2, without);
+}
+
+TEST(TwoPeExhaustive, GuardsHugeInstances) {
+  const TwoPeProblem p = random_problem(1, Pe2Relation::kIndependent, 1.0,
+                                        Pe2EnergyModel::kWorkloadIndependent, 20);
+  EXPECT_THROW(TwoPeExhaustiveSolver().solve(p), Error);
+}
+
+TEST(TwoPeGenerator, RelationShapesUtilizations) {
+  TwoPeWorkloadConfig config;
+  config.task_count = 30;
+  config.cycle_spread = 32.0;
+  config.u2_total = 2.0;
+
+  Rng rng1(5);
+  config.relation = Pe2Relation::kProportional;
+  const auto prop = generate_two_pe_tasks(config, rng1);
+  Rng rng2(5);
+  config.relation = Pe2Relation::kInverse;
+  const auto inv = generate_two_pe_tasks(config, rng2);
+
+  // Correlation sign check via big-vs-small halves.
+  const auto mean_u_of_biggest = [](const std::vector<TwoPeTask>& tasks, bool biggest) {
+    std::vector<TwoPeTask> sorted = tasks;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const TwoPeTask& a, const TwoPeTask& b) { return a.cycles < b.cycles; });
+    double sum = 0.0;
+    const std::size_t half = sorted.size() / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      sum += sorted[biggest ? sorted.size() - 1 - i : i].pe2_utilization;
+    }
+    return sum / static_cast<double>(half);
+  };
+  EXPECT_GT(mean_u_of_biggest(prop, true), mean_u_of_biggest(prop, false));
+  EXPECT_LT(mean_u_of_biggest(inv, true), mean_u_of_biggest(inv, false));
+
+  double total = 0.0;
+  for (const TwoPeTask& t : prop) {
+    EXPECT_GT(t.pe2_utilization, 0.0);
+    EXPECT_LE(t.pe2_utilization, 1.0);
+    total += t.pe2_utilization;
+  }
+  EXPECT_NEAR(total, 2.0, 0.2);  // clamping may shave a little
+}
+
+}  // namespace
+}  // namespace retask

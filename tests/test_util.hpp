@@ -1,0 +1,33 @@
+// Shared helpers for solver tests: small random instances with exact-DP
+// friendly cycle resolutions.
+#ifndef RETASK_TESTS_TEST_UTIL_HPP
+#define RETASK_TESTS_TEST_UTIL_HPP
+
+#include "retask/exp/workload.hpp"
+#include "retask/power/polynomial_power.hpp"
+
+namespace retask {
+namespace test {
+
+/// A small instance on the XScale model (dormant-enable) with coarse cycles
+/// so exact DP and exhaustive search stay fast.
+inline RejectionProblem small_instance(std::uint64_t seed, int task_count = 10,
+                                       double load = 1.4, double penalty_scale = 1.0,
+                                       int processors = 1,
+                                       IdleDiscipline idle = IdleDiscipline::kDormantEnable) {
+  ScenarioConfig config;
+  config.task_count = task_count;
+  config.load = load;
+  config.resolution = 400.0;
+  config.penalty_scale = penalty_scale;
+  config.idle = idle;
+  config.processor_count = processors;
+  config.seed = seed;
+  const PolynomialPowerModel model = PolynomialPowerModel::xscale();
+  return make_scenario(config, model);
+}
+
+}  // namespace test
+}  // namespace retask
+
+#endif  // RETASK_TESTS_TEST_UTIL_HPP
