@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig_r10_sleep_overhead.
+# This may be replaced when dependencies are built.

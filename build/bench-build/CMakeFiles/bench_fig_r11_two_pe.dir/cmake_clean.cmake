@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_r11_two_pe"
+  "../bench/bench_fig_r11_two_pe.pdb"
+  "CMakeFiles/bench_fig_r11_two_pe.dir/bench_fig_r11_two_pe.cpp.o"
+  "CMakeFiles/bench_fig_r11_two_pe.dir/bench_fig_r11_two_pe.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_r11_two_pe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig_r11_two_pe.
+# This may be replaced when dependencies are built.

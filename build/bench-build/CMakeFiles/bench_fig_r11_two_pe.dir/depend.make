@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig_r11_two_pe.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_r12_allocation"
+  "../bench/bench_fig_r12_allocation.pdb"
+  "CMakeFiles/bench_fig_r12_allocation.dir/bench_fig_r12_allocation.cpp.o"
+  "CMakeFiles/bench_fig_r12_allocation.dir/bench_fig_r12_allocation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_r12_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

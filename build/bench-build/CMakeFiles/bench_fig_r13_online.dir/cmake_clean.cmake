@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_r13_online"
+  "../bench/bench_fig_r13_online.pdb"
+  "CMakeFiles/bench_fig_r13_online.dir/bench_fig_r13_online.cpp.o"
+  "CMakeFiles/bench_fig_r13_online.dir/bench_fig_r13_online.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_r13_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

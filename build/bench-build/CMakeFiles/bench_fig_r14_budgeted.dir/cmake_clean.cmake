@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_r14_budgeted"
+  "../bench/bench_fig_r14_budgeted.pdb"
+  "CMakeFiles/bench_fig_r14_budgeted.dir/bench_fig_r14_budgeted.cpp.o"
+  "CMakeFiles/bench_fig_r14_budgeted.dir/bench_fig_r14_budgeted.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_r14_budgeted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig_r14_budgeted.
+# This may be replaced when dependencies are built.

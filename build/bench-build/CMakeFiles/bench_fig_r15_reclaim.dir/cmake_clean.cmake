@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_r15_reclaim"
+  "../bench/bench_fig_r15_reclaim.pdb"
+  "CMakeFiles/bench_fig_r15_reclaim.dir/bench_fig_r15_reclaim.cpp.o"
+  "CMakeFiles/bench_fig_r15_reclaim.dir/bench_fig_r15_reclaim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_r15_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

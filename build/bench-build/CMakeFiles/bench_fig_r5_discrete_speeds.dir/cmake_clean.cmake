@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_r5_discrete_speeds"
+  "../bench/bench_fig_r5_discrete_speeds.pdb"
+  "CMakeFiles/bench_fig_r5_discrete_speeds.dir/bench_fig_r5_discrete_speeds.cpp.o"
+  "CMakeFiles/bench_fig_r5_discrete_speeds.dir/bench_fig_r5_discrete_speeds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_r5_discrete_speeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

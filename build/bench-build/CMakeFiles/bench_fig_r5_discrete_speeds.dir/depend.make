@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig_r5_discrete_speeds.
+# This may be replaced when dependencies are built.

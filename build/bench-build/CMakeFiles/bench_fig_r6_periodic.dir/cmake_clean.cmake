@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_r6_periodic"
+  "../bench/bench_fig_r6_periodic.pdb"
+  "CMakeFiles/bench_fig_r6_periodic.dir/bench_fig_r6_periodic.cpp.o"
+  "CMakeFiles/bench_fig_r6_periodic.dir/bench_fig_r6_periodic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_r6_periodic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

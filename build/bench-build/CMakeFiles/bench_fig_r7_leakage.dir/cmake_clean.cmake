@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_r7_leakage"
+  "../bench/bench_fig_r7_leakage.pdb"
+  "CMakeFiles/bench_fig_r7_leakage.dir/bench_fig_r7_leakage.cpp.o"
+  "CMakeFiles/bench_fig_r7_leakage.dir/bench_fig_r7_leakage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_r7_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

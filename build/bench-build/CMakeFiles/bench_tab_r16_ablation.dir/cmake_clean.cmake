@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab_r16_ablation"
+  "../bench/bench_tab_r16_ablation.pdb"
+  "CMakeFiles/bench_tab_r16_ablation.dir/bench_tab_r16_ablation.cpp.o"
+  "CMakeFiles/bench_tab_r16_ablation.dir/bench_tab_r16_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_r16_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

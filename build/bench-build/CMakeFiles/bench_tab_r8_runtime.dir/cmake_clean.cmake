@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab_r8_runtime"
+  "../bench/bench_tab_r8_runtime.pdb"
+  "CMakeFiles/bench_tab_r8_runtime.dir/bench_tab_r8_runtime.cpp.o"
+  "CMakeFiles/bench_tab_r8_runtime.dir/bench_tab_r8_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_r8_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab_r9_acceptance"
+  "../bench/bench_tab_r9_acceptance.pdb"
+  "CMakeFiles/bench_tab_r9_acceptance.dir/bench_tab_r9_acceptance.cpp.o"
+  "CMakeFiles/bench_tab_r9_acceptance.dir/bench_tab_r9_acceptance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_r9_acceptance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_periodic.dir/sensor_periodic.cpp.o"
+  "CMakeFiles/sensor_periodic.dir/sensor_periodic.cpp.o.d"
+  "sensor_periodic"
+  "sensor_periodic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_periodic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_frames.dir/video_frames.cpp.o"
+  "CMakeFiles/video_frames.dir/video_frames.cpp.o.d"
+  "video_frames"
+  "video_frames.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_frames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/retask/common/math.cpp" "src/CMakeFiles/retask.dir/retask/common/math.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/common/math.cpp.o.d"
+  "/root/repo/src/retask/common/rng.cpp" "src/CMakeFiles/retask.dir/retask/common/rng.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/common/rng.cpp.o.d"
+  "/root/repo/src/retask/common/stats.cpp" "src/CMakeFiles/retask.dir/retask/common/stats.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/common/stats.cpp.o.d"
+  "/root/repo/src/retask/common/table.cpp" "src/CMakeFiles/retask.dir/retask/common/table.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/common/table.cpp.o.d"
+  "/root/repo/src/retask/core/algorithm_registry.cpp" "src/CMakeFiles/retask.dir/retask/core/algorithm_registry.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/core/algorithm_registry.cpp.o.d"
+  "/root/repo/src/retask/core/allocation.cpp" "src/CMakeFiles/retask.dir/retask/core/allocation.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/core/allocation.cpp.o.d"
+  "/root/repo/src/retask/core/budgeted.cpp" "src/CMakeFiles/retask.dir/retask/core/budgeted.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/core/budgeted.cpp.o.d"
+  "/root/repo/src/retask/core/exact_dp.cpp" "src/CMakeFiles/retask.dir/retask/core/exact_dp.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/core/exact_dp.cpp.o.d"
+  "/root/repo/src/retask/core/exhaustive.cpp" "src/CMakeFiles/retask.dir/retask/core/exhaustive.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/core/exhaustive.cpp.o.d"
+  "/root/repo/src/retask/core/fptas.cpp" "src/CMakeFiles/retask.dir/retask/core/fptas.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/core/fptas.cpp.o.d"
+  "/root/repo/src/retask/core/greedy.cpp" "src/CMakeFiles/retask.dir/retask/core/greedy.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/core/greedy.cpp.o.d"
+  "/root/repo/src/retask/core/het_allocation.cpp" "src/CMakeFiles/retask.dir/retask/core/het_allocation.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/core/het_allocation.cpp.o.d"
+  "/root/repo/src/retask/core/leakage_aware.cpp" "src/CMakeFiles/retask.dir/retask/core/leakage_aware.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/core/leakage_aware.cpp.o.d"
+  "/root/repo/src/retask/core/lower_bound.cpp" "src/CMakeFiles/retask.dir/retask/core/lower_bound.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/core/lower_bound.cpp.o.d"
+  "/root/repo/src/retask/core/multiproc.cpp" "src/CMakeFiles/retask.dir/retask/core/multiproc.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/core/multiproc.cpp.o.d"
+  "/root/repo/src/retask/core/periodic.cpp" "src/CMakeFiles/retask.dir/retask/core/periodic.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/core/periodic.cpp.o.d"
+  "/root/repo/src/retask/core/problem.cpp" "src/CMakeFiles/retask.dir/retask/core/problem.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/core/problem.cpp.o.d"
+  "/root/repo/src/retask/core/solution.cpp" "src/CMakeFiles/retask.dir/retask/core/solution.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/core/solution.cpp.o.d"
+  "/root/repo/src/retask/core/two_pe.cpp" "src/CMakeFiles/retask.dir/retask/core/two_pe.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/core/two_pe.cpp.o.d"
+  "/root/repo/src/retask/exp/harness.cpp" "src/CMakeFiles/retask.dir/retask/exp/harness.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/exp/harness.cpp.o.d"
+  "/root/repo/src/retask/exp/workload.cpp" "src/CMakeFiles/retask.dir/retask/exp/workload.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/exp/workload.cpp.o.d"
+  "/root/repo/src/retask/io/cli_options.cpp" "src/CMakeFiles/retask.dir/retask/io/cli_options.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/io/cli_options.cpp.o.d"
+  "/root/repo/src/retask/io/task_io.cpp" "src/CMakeFiles/retask.dir/retask/io/task_io.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/io/task_io.cpp.o.d"
+  "/root/repo/src/retask/power/critical_speed.cpp" "src/CMakeFiles/retask.dir/retask/power/critical_speed.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/power/critical_speed.cpp.o.d"
+  "/root/repo/src/retask/power/energy_curve.cpp" "src/CMakeFiles/retask.dir/retask/power/energy_curve.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/power/energy_curve.cpp.o.d"
+  "/root/repo/src/retask/power/polynomial_power.cpp" "src/CMakeFiles/retask.dir/retask/power/polynomial_power.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/power/polynomial_power.cpp.o.d"
+  "/root/repo/src/retask/power/sleep.cpp" "src/CMakeFiles/retask.dir/retask/power/sleep.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/power/sleep.cpp.o.d"
+  "/root/repo/src/retask/power/table_power.cpp" "src/CMakeFiles/retask.dir/retask/power/table_power.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/power/table_power.cpp.o.d"
+  "/root/repo/src/retask/sched/edf_sim.cpp" "src/CMakeFiles/retask.dir/retask/sched/edf_sim.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/sched/edf_sim.cpp.o.d"
+  "/root/repo/src/retask/sched/feasibility.cpp" "src/CMakeFiles/retask.dir/retask/sched/feasibility.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/sched/feasibility.cpp.o.d"
+  "/root/repo/src/retask/sched/frame_sim.cpp" "src/CMakeFiles/retask.dir/retask/sched/frame_sim.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/sched/frame_sim.cpp.o.d"
+  "/root/repo/src/retask/sched/online_sim.cpp" "src/CMakeFiles/retask.dir/retask/sched/online_sim.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/sched/online_sim.cpp.o.d"
+  "/root/repo/src/retask/sched/partition.cpp" "src/CMakeFiles/retask.dir/retask/sched/partition.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/sched/partition.cpp.o.d"
+  "/root/repo/src/retask/sched/reclaim.cpp" "src/CMakeFiles/retask.dir/retask/sched/reclaim.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/sched/reclaim.cpp.o.d"
+  "/root/repo/src/retask/sched/speed_schedule.cpp" "src/CMakeFiles/retask.dir/retask/sched/speed_schedule.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/sched/speed_schedule.cpp.o.d"
+  "/root/repo/src/retask/task/generator.cpp" "src/CMakeFiles/retask.dir/retask/task/generator.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/task/generator.cpp.o.d"
+  "/root/repo/src/retask/task/task.cpp" "src/CMakeFiles/retask.dir/retask/task/task.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/task/task.cpp.o.d"
+  "/root/repo/src/retask/task/task_set.cpp" "src/CMakeFiles/retask.dir/retask/task/task_set.cpp.o" "gcc" "src/CMakeFiles/retask.dir/retask/task/task_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_critical_speed.dir/test_critical_speed.cpp.o"
+  "CMakeFiles/test_critical_speed.dir/test_critical_speed.cpp.o.d"
+  "test_critical_speed"
+  "test_critical_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_critical_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edf_sim.dir/test_edf_sim.cpp.o"
+  "CMakeFiles/test_edf_sim.dir/test_edf_sim.cpp.o.d"
+  "test_edf_sim"
+  "test_edf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

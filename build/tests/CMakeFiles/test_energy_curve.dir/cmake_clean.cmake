@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energy_curve.dir/test_energy_curve.cpp.o"
+  "CMakeFiles/test_energy_curve.dir/test_energy_curve.cpp.o.d"
+  "test_energy_curve"
+  "test_energy_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energy_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exact_dp.dir/test_exact_dp.cpp.o"
+  "CMakeFiles/test_exact_dp.dir/test_exact_dp.cpp.o.d"
+  "test_exact_dp"
+  "test_exact_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exact_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fptas.dir/test_fptas.cpp.o"
+  "CMakeFiles/test_fptas.dir/test_fptas.cpp.o.d"
+  "test_fptas"
+  "test_fptas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fptas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

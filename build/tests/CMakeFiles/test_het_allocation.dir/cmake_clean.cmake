@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_het_allocation.dir/test_het_allocation.cpp.o"
+  "CMakeFiles/test_het_allocation.dir/test_het_allocation.cpp.o.d"
+  "test_het_allocation"
+  "test_het_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_het_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

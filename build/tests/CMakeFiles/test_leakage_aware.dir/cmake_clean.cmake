@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_leakage_aware.dir/test_leakage_aware.cpp.o"
+  "CMakeFiles/test_leakage_aware.dir/test_leakage_aware.cpp.o.d"
+  "test_leakage_aware"
+  "test_leakage_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_leakage_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiproc.dir/test_multiproc.cpp.o"
+  "CMakeFiles/test_multiproc.dir/test_multiproc.cpp.o.d"
+  "test_multiproc"
+  "test_multiproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

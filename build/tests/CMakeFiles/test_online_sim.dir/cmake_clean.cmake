@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online_sim.dir/test_online_sim.cpp.o"
+  "CMakeFiles/test_online_sim.dir/test_online_sim.cpp.o.d"
+  "test_online_sim"
+  "test_online_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sleep.dir/test_sleep.cpp.o"
+  "CMakeFiles/test_sleep.dir/test_sleep.cpp.o.d"
+  "test_sleep"
+  "test_sleep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sleep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_speed_schedule.dir/test_speed_schedule.cpp.o"
+  "CMakeFiles/test_speed_schedule.dir/test_speed_schedule.cpp.o.d"
+  "test_speed_schedule"
+  "test_speed_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_speed_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_task_io.dir/test_task_io.cpp.o"
+  "CMakeFiles/test_task_io.dir/test_task_io.cpp.o.d"
+  "test_task_io"
+  "test_task_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_task_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

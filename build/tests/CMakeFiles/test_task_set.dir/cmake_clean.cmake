@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_task_set.dir/test_task_set.cpp.o"
+  "CMakeFiles/test_task_set.dir/test_task_set.cpp.o.d"
+  "test_task_set"
+  "test_task_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_task_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

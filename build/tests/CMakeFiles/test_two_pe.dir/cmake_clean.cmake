@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_two_pe.dir/test_two_pe.cpp.o"
+  "CMakeFiles/test_two_pe.dir/test_two_pe.cpp.o.d"
+  "test_two_pe"
+  "test_two_pe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_two_pe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retask_cli.dir/retask_cli.cpp.o"
+  "CMakeFiles/retask_cli.dir/retask_cli.cpp.o.d"
+  "retask_cli"
+  "retask_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retask_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

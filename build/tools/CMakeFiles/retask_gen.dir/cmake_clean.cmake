@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retask_gen.dir/retask_gen.cpp.o"
+  "CMakeFiles/retask_gen.dir/retask_gen.cpp.o.d"
+  "retask_gen"
+  "retask_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retask_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_frame_demo "/root/repo/build/tools/retask_cli" "--input" "/root/repo/examples/data/frame_demo.csv" "--capacity" "100" "--csv")
+set_tests_properties(cli_frame_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_periodic_demo "/root/repo/build/tools/retask_cli" "--input" "/root/repo/examples/data/periodic_demo.csv" "--mode" "periodic" "--solver" "fptas:0.1")
+set_tests_properties(cli_periodic_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_multiproc_demo "/root/repo/build/tools/retask_cli" "--input" "/root/repo/examples/data/frame_demo.csv" "--capacity" "60" "--processors" "2" "--solver" "mp-ltf-dp")
+set_tests_properties(cli_multiproc_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_help "/root/repo/build/tools/retask_cli" "--help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_unknown_flag "/root/repo/build/tools/retask_cli" "--definitely-not-a-flag")
+set_tests_properties(cli_unknown_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(gen_frame "/root/repo/build/tools/retask_gen" "--tasks" "6" "--load" "1.2" "--seed" "3")
+set_tests_properties(gen_frame PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(gen_periodic "/root/repo/build/tools/retask_gen" "--mode" "periodic" "--tasks" "6" "--load" "0.9")
+set_tests_properties(gen_periodic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
