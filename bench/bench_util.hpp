@@ -34,7 +34,10 @@ struct SweepPoint {
 
 /// Runs `lineup` over every sweep point (instances per point) and prints a
 /// table: value | mean ratio per algorithm. Returns the table for callers
-/// that also want CSV.
+/// that also want CSV. The whole point x instance grid is solved in one
+/// parallel region (RETASK_JOBS workers; see common/parallel.hpp) and
+/// reduced in instance order, so the table is bit-identical at any job
+/// count.
 inline Table run_sweep(const std::string& title, const std::string& axis,
                        const std::vector<SweepPoint>& sweep,
                        const std::vector<std::unique_ptr<RejectionSolver>>& lineup,
@@ -43,10 +46,13 @@ inline Table run_sweep(const std::string& title, const std::string& axis,
   std::vector<std::string> columns{axis};
   for (const auto& solver : lineup) columns.push_back(solver->name());
   Table table(title, columns);
-  for (const SweepPoint& point : sweep) {
-    const auto stats = run_comparison(point.factory, lineup, reference, instances, seed0);
-    std::vector<double> row{point.value};
-    for (const AlgoStats& s : stats) row.push_back(s.ratio.mean());
+  std::vector<ProblemFactory> factories;
+  factories.reserve(sweep.size());
+  for (const SweepPoint& point : sweep) factories.push_back(point.factory);
+  const auto stats = run_comparison_batch(factories, lineup, reference, instances, seed0);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    std::vector<double> row{sweep[i].value};
+    for (const AlgoStats& s : stats[i]) row.push_back(s.ratio.mean());
     table.add_row(row, 4);
   }
   print_table(table);

@@ -1,0 +1,46 @@
+// Flat bit-packed boolean matrix for DP choice tables.
+//
+// The reconstruction tables of the knapsack-style DPs (exact DP, FPTAS
+// rounds, budgeted value DP) are rows-of-bools indexed [task][state]. A
+// vector<vector<bool>> pays one heap allocation per task and loses cache
+// locality across rows; this class packs the whole table into one
+// contiguous uint64_t buffer whose capacity is reused across reset() calls,
+// so a solver that runs many rounds (FPTAS guess refinement) allocates at
+// most once per high-water mark.
+#ifndef RETASK_COMMON_BIT_MATRIX_HPP
+#define RETASK_COMMON_BIT_MATRIX_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace retask {
+
+/// Dense rows x cols bit matrix; all bits start (and reset()) to zero.
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+
+  /// Resizes to rows x cols and clears every bit. Keeps the underlying
+  /// buffer's capacity, so repeated resets at similar sizes do not allocate.
+  void reset(std::size_t rows, std::size_t cols) {
+    words_per_row_ = (cols + 63) / 64;
+    words_.assign(rows * words_per_row_, 0);
+  }
+
+  bool test(std::size_t row, std::size_t col) const {
+    return (words_[row * words_per_row_ + col / 64] >> (col % 64)) & 1u;
+  }
+
+  void set(std::size_t row, std::size_t col) {
+    words_[row * words_per_row_ + col / 64] |= std::uint64_t{1} << (col % 64);
+  }
+
+ private:
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace retask
+
+#endif  // RETASK_COMMON_BIT_MATRIX_HPP

@@ -21,6 +21,27 @@ void OnlineStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  if (other.count_ == 1) {
+    add(other.mean_);  // reproduces the sequential add() stream exactly
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+}
+
 double OnlineStats::mean() const {
   require(count_ > 0, "OnlineStats::mean: no observations");
   return mean_;

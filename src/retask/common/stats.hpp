@@ -15,6 +15,13 @@ class OnlineStats {
   /// Adds one observation.
   void add(double x);
 
+  /// Folds `other` into this accumulator as if its observations had been
+  /// add()ed here. Folding a single-observation accumulator is exactly
+  /// add(x) — bit-for-bit, which the parallel experiment harness relies on
+  /// to make ordered reductions independent of the thread count; folding a
+  /// larger accumulator uses Chan's parallel combination formula.
+  void merge(const OnlineStats& other);
+
   /// Number of observations so far.
   std::size_t count() const { return count_; }
 

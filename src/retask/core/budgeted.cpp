@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "retask/common/bit_matrix.hpp"
 #include "retask/common/error.hpp"
 #include "retask/common/math.hpp"
 
@@ -89,19 +90,25 @@ BudgetedSolution solve_budgeted_dp(const BudgetedProblem& problem) {
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();
   std::vector<double> best(width, kNegInf);
   best[0] = 0.0;
-  std::vector<std::vector<bool>> take(n, std::vector<bool>(width, false));
+  // Bit-packed choice table plus a reachable-row bound, mirroring the
+  // exact-DP hot loop (see core/exact_dp.cpp).
+  BitMatrix take;
+  take.reset(n, width);
 
+  std::size_t reachable = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const FrameTask& task = problem.tasks[i];
     if (task.cycles > cap) continue;
     const auto ci = static_cast<std::size_t>(task.cycles);
-    for (std::size_t w = width; w-- > ci;) {
+    const std::size_t top = std::min(width - 1, reachable + ci);
+    for (std::size_t w = top + 1; w-- > ci;) {
       const double candidate = best[w - ci] == kNegInf ? kNegInf : best[w - ci] + task.penalty;
       if (candidate > best[w]) {
         best[w] = candidate;
-        take[i][w] = true;
+        take.set(i, w);
       }
     }
+    reachable = top;
   }
 
   double best_value = 0.0;
@@ -116,7 +123,7 @@ BudgetedSolution solve_budgeted_dp(const BudgetedProblem& problem) {
   std::vector<bool> accepted(n, false);
   std::size_t w = best_w;
   for (std::size_t i = n; i-- > 0;) {
-    if (take[i][w]) {
+    if (take.test(i, w)) {
       accepted[i] = true;
       w -= static_cast<std::size_t>(problem.tasks[i].cycles);
     }

@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "retask/common/bit_matrix.hpp"
 #include "retask/common/error.hpp"
 
 namespace retask {
@@ -18,32 +19,49 @@ RejectionSolution ExactDpSolver::solve(const RejectionProblem& problem) const {
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
   // kept[w]: maximum total penalty of accepted tasks whose cycles sum to
-  // exactly w. take[i][w]: the update at task i improved state w.
+  // exactly w. take(i, w): the update at task i improved state w. The
+  // choice table is bit-packed into one contiguous buffer.
   std::vector<double> kept(width, kNegInf);
   kept[0] = 0.0;
-  std::vector<std::vector<bool>> take(n, std::vector<bool>(width, false));
+  BitMatrix take;
+  take.reset(n, width);
 
+  // reachable: largest w with kept[w] > -inf so far; rows above it cannot
+  // produce candidates, so the inner loop never visits them.
+  std::size_t reachable = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const FrameTask& task = problem.tasks()[i];
     if (task.cycles > cap) continue;  // can never be accepted
     const auto ci = static_cast<std::size_t>(task.cycles);
-    for (std::size_t w = width; w-- > ci;) {
+    const std::size_t top = std::min(width - 1, reachable + ci);
+    for (std::size_t w = top + 1; w-- > ci;) {
       const double candidate = kept[w - ci] == kNegInf ? kNegInf : kept[w - ci] + task.penalty;
       if (candidate > kept[w]) {
         kept[w] = candidate;
-        take[i][w] = true;
+        take.set(i, w);
       }
     }
+    reachable = top;
   }
 
-  // Sweep achievable accepted-cycle totals for the best objective.
+  // Sweep achievable accepted-cycle totals for the best objective. The
+  // energy evaluation is the expensive part (it optimizes the speed
+  // schedule), so rows that cannot win are pruned before touching it: the
+  // penalty term alone already losing skips the row, and E non-decreasing
+  // in the load (the invariant the budgeted binary search and the
+  // exhaustive bound also rely on) ends the sweep once the energy term
+  // alone loses. Both prunes only drop rows with objective >= the current
+  // best, so the selected row is exactly the naive sweep's.
   const double total_penalty = problem.tasks().total_penalty();
   double best_objective = std::numeric_limits<double>::infinity();
   std::size_t best_w = 0;
   for (std::size_t w = 0; w < width; ++w) {
     if (kept[w] == kNegInf) continue;
-    const double objective =
-        problem.energy_of_cycles(static_cast<Cycles>(w)) + (total_penalty - kept[w]);
+    const double penalty = total_penalty - kept[w];
+    if (penalty >= best_objective) continue;
+    const double energy = problem.energy_of_cycles(static_cast<Cycles>(w));
+    if (energy >= best_objective) break;
+    const double objective = energy + penalty;
     if (objective < best_objective) {
       best_objective = objective;
       best_w = w;
@@ -55,7 +73,7 @@ RejectionSolution ExactDpSolver::solve(const RejectionProblem& problem) const {
   std::vector<bool> accepted(n, false);
   std::size_t w = best_w;
   for (std::size_t i = n; i-- > 0;) {
-    if (take[i][w]) {
+    if (take.test(i, w)) {
       accepted[i] = true;
       w -= static_cast<std::size_t>(problem.tasks()[i].cycles);
     }

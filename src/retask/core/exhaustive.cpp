@@ -28,18 +28,35 @@ RejectionSolution ExhaustiveSolver::solve(const RejectionProblem& problem) const
   double best_objective = std::numeric_limits<double>::infinity();
   std::uint32_t best_mask = 0;
 
+  // Hot loop over 2^n masks: task fields hoisted into flat scratch arrays
+  // (no per-bit indirection through the task set) and the accumulation
+  // aborts as soon as the load exceeds capacity. Summation order matches
+  // the naive loop bit for bit.
+  std::vector<Cycles> cycles(n);
+  std::vector<double> penalty(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cycles[i] = problem.tasks()[i].cycles;
+    penalty[i] = problem.tasks()[i].penalty;
+  }
+  const Cycles capacity = problem.cycle_capacity();
+
   const auto mask_count = std::uint32_t{1} << n;
   for (std::uint32_t mask = 0; mask < mask_count; ++mask) {
     Cycles load = 0;
     double rejected = 0.0;
+    bool feasible = true;
     for (std::size_t i = 0; i < n; ++i) {
       if (mask & (std::uint32_t{1} << i)) {
-        load += problem.tasks()[i].cycles;
+        load += cycles[i];
+        if (load > capacity) {
+          feasible = false;
+          break;
+        }
       } else {
-        rejected += problem.tasks()[i].penalty;
+        rejected += penalty[i];
       }
     }
-    if (load > problem.cycle_capacity()) continue;
+    if (!feasible) continue;
     const double objective = energy_of(load) + rejected;
     if (objective < best_objective) {
       best_objective = objective;
@@ -62,6 +79,7 @@ struct MpSearch {
   std::vector<std::size_t> order;    // tasks by descending cycles
   std::vector<int> choice;           // per order position: -1 reject, else proc
   std::vector<Cycles> loads;         // per processor
+  std::vector<double> load_energy;   // E(loads[p]), maintained incrementally
   double idle_energy_each = 0.0;     // E(0) per processor
   double best_objective = std::numeric_limits<double>::infinity();
   std::vector<int> best_choice;
@@ -97,13 +115,17 @@ struct MpSearch {
     for (int p = 0; p < tryable; ++p) {
       const auto pi = static_cast<std::size_t>(p);
       if (loads[pi] + task.cycles > problem->cycle_capacity()) continue;
-      const double before = problem->energy_of_cycles(loads[pi]);
+      // load_energy caches E(loads[p]) so each placement evaluates the
+      // energy curve once instead of twice (before + after).
+      const double before = load_energy[pi];
       loads[pi] += task.cycles;
       const double after = problem->energy_of_cycles(loads[pi]);
+      load_energy[pi] = after;
       choice[pos] = p;
       run(pos + 1, rejected_penalty, busy_energy_sum + (after - before),
           std::max(used_procs, p + 1));
       loads[pi] -= task.cycles;
+      load_energy[pi] = before;
     }
     choice[pos] = -2;
   }
@@ -130,6 +152,7 @@ RejectionSolution MultiProcExhaustiveSolver::solve(const RejectionProblem& probl
   search.choice.assign(n, -2);
   search.loads.assign(static_cast<std::size_t>(m), 0);
   search.idle_energy_each = problem.energy_of_cycles(0);
+  search.load_energy.assign(static_cast<std::size_t>(m), search.idle_energy_each);
 
   search.run(0, 0.0, 0.0, 0);
   RETASK_ASSERT(search.best_objective < std::numeric_limits<double>::infinity());

@@ -4,28 +4,56 @@
 #include <cmath>
 #include <limits>
 #include <sstream>
+#include <unordered_map>
 #include <vector>
 
+#include "retask/common/bit_matrix.hpp"
 #include "retask/common/error.hpp"
 #include "retask/core/greedy.hpp"
 
 namespace retask {
 namespace {
 
+/// DP buffers reused across the guess-refinement rounds of one solve()
+/// call: every round resizes them to its own table width, but the heap
+/// allocations are amortized to the high-water mark instead of being paid
+/// per round. Local to solve(), so the solver stays safe to call
+/// concurrently.
+struct RoundScratch {
+  std::vector<std::size_t> movable;  ///< task indices with penalty <= guess
+  std::vector<std::size_t> quant;    ///< floor(penalty / delta) per movable task
+  std::vector<Cycles> rej;
+  std::vector<double> true_pen;
+  BitMatrix take;
+  /// Energy per accepted-cycle count, shared across rounds: successive
+  /// guesses revisit mostly the same cycle totals, and the speed-schedule
+  /// optimization behind each energy() call dwarfs a hash lookup.
+  std::unordered_map<Cycles, double> energy_memo;
+};
+
 /// One scaled-DP round under the guess G. Returns the best solution found
 /// (always a genuine feasible solution) or an empty optional-like flag via
 /// `found`.
 RejectionSolution scaled_round(const RejectionProblem& problem, double guess, double eps_int,
-                               bool& found) {
+                               bool& found, RoundScratch& scratch) {
   const std::size_t n = problem.size();
   const double delta = eps_int * guess / static_cast<double>(n);
   RETASK_ASSERT(delta > 0.0);
 
   // Tasks with penalty above the guess cannot be rejected by any solution of
-  // value <= guess: force-accept them.
-  std::vector<std::size_t> movable;
+  // value <= guess: force-accept them. The scaled penalty floor(penalty /
+  // delta) is computed once here and shared by the DP fill and the
+  // reconstruction, so the two sites can never disagree.
+  std::vector<std::size_t>& movable = scratch.movable;
+  std::vector<std::size_t>& quant = scratch.quant;
+  movable.clear();
+  quant.clear();
   for (std::size_t i = 0; i < n; ++i) {
-    if (problem.tasks()[i].penalty <= guess) movable.push_back(i);
+    const FrameTask& task = problem.tasks()[i];
+    if (task.penalty <= guess) {
+      movable.push_back(i);
+      quant.push_back(static_cast<std::size_t>(std::floor(task.penalty / delta)));
+    }
   }
 
   const auto r_max = static_cast<std::size_t>(std::ceil(guess / delta)) + movable.size();
@@ -35,42 +63,67 @@ RejectionSolution scaled_round(const RejectionProblem& problem, double guess, do
   // rej[r]: max cycles rejectable at scaled penalty exactly r; true_pen[r]
   // carries the exact penalty of that set so candidates are evaluated
   // without rounding error.
-  std::vector<Cycles> rej(width, kNone);
-  std::vector<double> true_pen(width, 0.0);
+  std::vector<Cycles>& rej = scratch.rej;
+  std::vector<double>& true_pen = scratch.true_pen;
+  rej.assign(width, kNone);
+  true_pen.assign(width, 0.0);
   rej[0] = 0;
-  std::vector<std::vector<bool>> take(movable.size(), std::vector<bool>(width, false));
+  BitMatrix& take = scratch.take;
+  take.reset(movable.size(), width);
 
+  // reachable: largest row index any processed task combination can have
+  // filled so far; rows above it are all kNone, so the inner loop skips
+  // them without even reading.
+  std::size_t reachable = 0;
   for (std::size_t k = 0; k < movable.size(); ++k) {
     const FrameTask& task = problem.tasks()[movable[k]];
-    const auto q = static_cast<std::size_t>(std::floor(task.penalty / delta));
+    const std::size_t q = quant[k];
     if (q >= width) continue;  // cannot fit any budget row
-    for (std::size_t r = width; r-- > q;) {
+    const std::size_t top = std::min(width - 1, reachable + q);
+    for (std::size_t r = top + 1; r-- > q;) {
       if (rej[r - q] == kNone) continue;
       const Cycles candidate = rej[r - q] + task.cycles;
       if (candidate > rej[r]) {
         rej[r] = candidate;
         true_pen[r] = true_pen[r - q] + task.penalty;
-        take[k][r] = true;
+        take.set(k, r);
       }
     }
+    reachable = top;
   }
 
   // Sweep rows: accepted cycles = total - rejected; keep the best feasible
-  // candidate by its TRUE objective.
+  // candidate by its TRUE objective. Rows whose exact penalty already
+  // matches or exceeds the best objective are skipped before the energy
+  // evaluation (energy >= 0, so they cannot strictly win), and energies are
+  // memoized across guess rounds.
+  // best_objective starts at the incumbent's value (the guess): rows that
+  // cannot strictly beat it would be discarded by solve() anyway, so
+  // pruning them here changes nothing but the number of energy
+  // evaluations. `found` then means "found an improving row".
   const Cycles total = problem.tasks().total_cycles();
-  double best_objective = std::numeric_limits<double>::infinity();
-  std::size_t best_r = 0;
+  double best_objective = guess;
+  std::size_t best_r = width;
   for (std::size_t r = 0; r < width; ++r) {
     if (rej[r] == kNone) continue;
     const Cycles accepted_cycles = total - rej[r];
     if (accepted_cycles > problem.cycle_capacity()) continue;
-    const double objective = problem.energy_of_cycles(accepted_cycles) + true_pen[r];
+    if (true_pen[r] >= best_objective) continue;
+    double energy = 0.0;
+    const auto memo = scratch.energy_memo.find(accepted_cycles);
+    if (memo != scratch.energy_memo.end()) {
+      energy = memo->second;
+    } else {
+      energy = problem.energy_of_cycles(accepted_cycles);
+      scratch.energy_memo.emplace(accepted_cycles, energy);
+    }
+    const double objective = energy + true_pen[r];
     if (objective < best_objective) {
       best_objective = objective;
       best_r = r;
     }
   }
-  if (best_objective == std::numeric_limits<double>::infinity()) {
+  if (best_r == width) {
     found = false;
     return RejectionSolution{};
   }
@@ -80,10 +133,9 @@ RejectionSolution scaled_round(const RejectionProblem& problem, double guess, do
   std::vector<bool> accepted(n, true);
   std::size_t r = best_r;
   for (std::size_t k = movable.size(); k-- > 0;) {
-    if (take[k][r]) {
+    if (take.test(k, r)) {
       accepted[movable[k]] = false;
-      const FrameTask& task = problem.tasks()[movable[k]];
-      r -= static_cast<std::size_t>(std::floor(task.penalty / delta));
+      r -= quant[k];
     }
   }
   RETASK_ASSERT(r == 0);
@@ -112,10 +164,12 @@ RejectionSolution FptasSolver::solve(const RejectionProblem& problem) const {
   // A zero objective is already optimal (nothing to approximate).
   if (best.objective() <= 0.0) return best;
 
+  RoundScratch scratch;
   constexpr int kMaxRounds = 40;
   for (int round = 0; round < kMaxRounds; ++round) {
     bool found = false;
-    const RejectionSolution candidate = scaled_round(problem, best.objective(), eps_int, found);
+    const RejectionSolution candidate =
+        scaled_round(problem, best.objective(), eps_int, found, scratch);
     if (!found) break;
     const double improvement = best.objective() - candidate.objective();
     if (candidate.objective() < best.objective()) best = candidate;

@@ -2,25 +2,41 @@
 
 #include "retask/common/error.hpp"
 #include "retask/common/math.hpp"
+#include "retask/common/parallel.hpp"
 #include "retask/core/solution.hpp"
 
 namespace retask {
 
-std::vector<AlgoStats> run_comparison(const ProblemFactory& factory,
-                                      const std::vector<std::unique_ptr<RejectionSolver>>& lineup,
-                                      const ReferenceObjective& reference, int instances,
-                                      std::uint64_t seed0) {
+void AlgoStats::merge(const AlgoStats& other) {
+  ratio.merge(other.ratio);
+  acceptance.merge(other.acceptance);
+  objective.merge(other.objective);
+}
+
+std::vector<std::vector<AlgoStats>> run_comparison_batch(
+    const std::vector<ProblemFactory>& factories,
+    const std::vector<std::unique_ptr<RejectionSolver>>& lineup,
+    const ReferenceObjective& reference, int instances, std::uint64_t seed0, int jobs) {
+  require(!factories.empty(), "run_comparison: at least one sweep point required");
   require(instances >= 1, "run_comparison: at least one instance required");
   require(!lineup.empty(), "run_comparison: empty algorithm lineup");
 
-  std::vector<AlgoStats> stats(lineup.size());
-  for (std::size_t a = 0; a < lineup.size(); ++a) stats[a].name = lineup[a]->name();
+  const std::size_t points = factories.size();
+  const std::size_t algos = lineup.size();
+  const auto reps = static_cast<std::size_t>(instances);
 
-  for (int k = 0; k < instances; ++k) {
-    const RejectionProblem problem = factory(seed0 + static_cast<std::uint64_t>(k));
+  // One slot per point x instance x algorithm cell, written by exactly one
+  // worker; reduced in index order below so the aggregates do not depend on
+  // the parallel interleaving.
+  std::vector<AlgoStats> slots(points * reps * algos);
+
+  parallel_for(points * reps, [&](std::size_t cell) {
+    const std::size_t point = cell / reps;
+    const std::size_t k = cell % reps;
+    const RejectionProblem problem = factories[point](seed0 + static_cast<std::uint64_t>(k));
     const double ref = reference(problem);
     require(ref >= 0.0, "run_comparison: negative reference objective");
-    for (std::size_t a = 0; a < lineup.size(); ++a) {
+    for (std::size_t a = 0; a < algos; ++a) {
       const RejectionSolution solution = lineup[a]->solve(problem);
       check_solution(problem, solution);
       const double obj = solution.objective();
@@ -29,12 +45,31 @@ std::vector<AlgoStats> run_comparison(const ProblemFactory& factory,
       // reference by more than numerical noise. Lower bounds are <= obj by
       // construction, so the same check applies.
       require(ratio >= 1.0 - 1e-6, "run_comparison: algorithm beat the reference objective");
-      stats[a].ratio.add(ratio);
-      stats[a].acceptance.add(solution.acceptance_ratio());
-      stats[a].objective.add(obj);
+      AlgoStats& slot = slots[(cell * algos) + a];
+      slot.ratio.add(ratio);
+      slot.acceptance.add(solution.acceptance_ratio());
+      slot.objective.add(obj);
+    }
+  }, jobs);
+
+  std::vector<std::vector<AlgoStats>> stats(points, std::vector<AlgoStats>(algos));
+  for (std::size_t point = 0; point < points; ++point) {
+    for (std::size_t a = 0; a < algos; ++a) stats[point][a].name = lineup[a]->name();
+    for (std::size_t k = 0; k < reps; ++k) {
+      for (std::size_t a = 0; a < algos; ++a) {
+        stats[point][a].merge(slots[((point * reps + k) * algos) + a]);
+      }
     }
   }
   return stats;
+}
+
+std::vector<AlgoStats> run_comparison(const ProblemFactory& factory,
+                                      const std::vector<std::unique_ptr<RejectionSolver>>& lineup,
+                                      const ReferenceObjective& reference, int instances,
+                                      std::uint64_t seed0, int jobs) {
+  auto stats = run_comparison_batch({factory}, lineup, reference, instances, seed0, jobs);
+  return std::move(stats.front());
 }
 
 }  // namespace retask

@@ -1,6 +1,12 @@
 // Experiment harness: runs an algorithm lineup over a family of random
 // instances and aggregates the venue-standard metrics (mean/max objective
 // ratio against a reference, acceptance ratio).
+//
+// Instances are solved concurrently (see common/parallel.hpp) into
+// per-instance slots and reduced in instance order, so every aggregate is
+// bit-identical regardless of the job count: per-instance seeding
+// (seed0 + k) makes the inputs deterministic, and the ordered reduction
+// makes the floating-point accumulation order deterministic too.
 #ifndef RETASK_EXP_HARNESS_HPP
 #define RETASK_EXP_HARNESS_HPP
 
@@ -26,15 +32,32 @@ struct AlgoStats {
   OnlineStats ratio;       ///< objective / reference objective
   OnlineStats acceptance;  ///< fraction of tasks accepted
   OnlineStats objective;   ///< raw objective values
+
+  /// Ordered reduce: folds `other`'s accumulators into this one's (the
+  /// name is kept). Folding single-instance slots in instance order yields
+  /// the same bits as the sequential harness.
+  void merge(const AlgoStats& other);
 };
 
 /// Runs every solver on `instances` instances (seeds seed0, seed0+1, ...),
 /// normalizing by `reference`. Solver outputs are revalidated; a reference
-/// of 0 with a 0 objective counts as ratio 1.
+/// of 0 with a 0 objective counts as ratio 1. `jobs` = 0 uses
+/// default_jobs() (RETASK_JOBS / hardware); any job count produces
+/// bit-identical aggregates, and jobs = 1 runs strictly sequentially.
 std::vector<AlgoStats> run_comparison(const ProblemFactory& factory,
                                       const std::vector<std::unique_ptr<RejectionSolver>>& lineup,
                                       const ReferenceObjective& reference, int instances,
-                                      std::uint64_t seed0 = 1);
+                                      std::uint64_t seed0 = 1, int jobs = 0);
+
+/// Batch form used by the sweep drivers: one factory per sweep point, all
+/// point x instance cells solved in a single parallel region (seeds
+/// seed0 ... seed0 + instances - 1 within every point, matching a
+/// run_comparison call per point). Returns one AlgoStats vector per factory,
+/// bit-identical to calling run_comparison point by point.
+std::vector<std::vector<AlgoStats>> run_comparison_batch(
+    const std::vector<ProblemFactory>& factories,
+    const std::vector<std::unique_ptr<RejectionSolver>>& lineup,
+    const ReferenceObjective& reference, int instances, std::uint64_t seed0 = 1, int jobs = 0);
 
 }  // namespace retask
 

@@ -53,6 +53,9 @@ usage: retask_cli --input FILE [options]
   --capacity C        frame mode: cycles one processor executes at top speed
                       within the frame (default 1000)
   --esw E / --tsw T   dormant-mode switch overheads (default 0)
+  --jobs N            worker threads for parallel execution paths
+                      (default: RETASK_JOBS env var, else all hardware
+                      threads; results are identical for every N)
   --csv               print the per-task decision table as CSV
   --help              this text
 )";
@@ -98,6 +101,8 @@ CliOptions parse_cli_options(const std::vector<std::string>& args) {
       options.frame = parse_positive_double(arg, next_value(i, arg));
     } else if (arg == "--capacity") {
       options.capacity = parse_positive_double(arg, next_value(i, arg));
+    } else if (arg == "--jobs") {
+      options.jobs = parse_positive_int(arg, next_value(i, arg));
     } else if (arg == "--esw") {
       options.sleep.switch_energy = parse_non_negative_double(arg, next_value(i, arg));
     } else if (arg == "--tsw") {

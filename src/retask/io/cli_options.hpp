@@ -25,6 +25,7 @@ struct CliOptions {
   double frame = 1.0;       ///< frame mode: the common deadline D
   double capacity = 1000;   ///< frame mode: cycles that fit one processor at smax
   SleepParams sleep{};      ///< --esw / --tsw
+  int jobs = 0;             ///< worker threads for parallel paths; 0 = auto
   bool csv = false;         ///< emit the per-task decision table as CSV
   bool help = false;
 };

@@ -8,8 +8,10 @@
 #ifndef RETASK_RETASK_HPP
 #define RETASK_RETASK_HPP
 
+#include "retask/common/bit_matrix.hpp"
 #include "retask/common/error.hpp"
 #include "retask/common/math.hpp"
+#include "retask/common/parallel.hpp"
 #include "retask/common/rng.hpp"
 #include "retask/common/stats.hpp"
 #include "retask/common/table.hpp"

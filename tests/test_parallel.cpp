@@ -1,0 +1,148 @@
+// Tests for the deterministic parallel execution layer: the parallel_for
+// primitive itself and the thread-count independence of the experiment
+// harness built on top of it.
+#include "retask/common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "retask/common/error.hpp"
+#include "retask/core/fptas.hpp"
+#include "retask/core/greedy.hpp"
+#include "retask/core/lower_bound.hpp"
+#include "retask/exp/harness.hpp"
+#include "test_util.hpp"
+
+namespace retask {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnceUnderContention) {
+  constexpr std::size_t kN = 20000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); }, 8);
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, SingleJobRunsInlineInOrder) {
+  std::vector<std::size_t> order;
+  const auto caller = std::this_thread::get_id();
+  parallel_for(5, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  }, 1);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, EmptyRangeIsANoop) {
+  parallel_for(0, [](std::size_t) { FAIL() << "fn must not run"; }, 8);
+}
+
+TEST(ParallelFor, RethrowsSmallestFailingIndex) {
+  // Several indices throw; the caller must observe the one a sequential
+  // loop would have hit first.
+  try {
+    parallel_for(1000, [](std::size_t i) {
+      if (i >= 7 && i % 3 == 1) throw Error("fail at " + std::to_string(i));
+    }, 8);
+    FAIL() << "expected an Error";
+  } catch (const Error& error) {
+    EXPECT_STREQ(error.what(), "fail at 7");
+  }
+}
+
+TEST(ParallelFor, NestedCallsDegradeToInline) {
+  std::atomic<int> total{0};
+  parallel_for(4, [&](std::size_t) {
+    parallel_for(8, [&](std::size_t) { total.fetch_add(1); }, 8);
+  }, 4);
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ParallelFor, PoolIsReusableAcrossManyRegions) {
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    parallel_for(64, [&](std::size_t) { count.fetch_add(1); }, 4);
+    ASSERT_EQ(count.load(), 64);
+  }
+}
+
+TEST(DefaultJobs, OverrideWinsAndZeroRestoresAuto) {
+  set_default_jobs(3);
+  EXPECT_EQ(default_jobs(), 3);
+  set_default_jobs(0);
+  EXPECT_GE(default_jobs(), 1);
+  EXPECT_THROW(set_default_jobs(-1), Error);
+}
+
+/// The acceptance-criteria test: a 64-instance Greedy+FPTAS comparison must
+/// produce the same AlgoStats to the last bit at jobs=1 and jobs=8.
+TEST(Harness, BitIdenticalStatsForOneVsEightJobs) {
+  const auto factory = [](std::uint64_t seed) { return test::small_instance(seed, 12, 1.6); };
+  const auto reference = [](const RejectionProblem& p) { return fractional_lower_bound(p); };
+  std::vector<std::unique_ptr<RejectionSolver>> lineup;
+  lineup.push_back(std::make_unique<DensityGreedySolver>());
+  lineup.push_back(std::make_unique<FptasSolver>(0.1));
+
+  constexpr int kInstances = 64;
+  const auto sequential = run_comparison(factory, lineup, reference, kInstances, 1, /*jobs=*/1);
+  const auto parallel = run_comparison(factory, lineup, reference, kInstances, 1, /*jobs=*/8);
+
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (std::size_t a = 0; a < sequential.size(); ++a) {
+    SCOPED_TRACE(sequential[a].name);
+    EXPECT_EQ(sequential[a].name, parallel[a].name);
+    const auto expect_identical = [](const OnlineStats& lhs, const OnlineStats& rhs) {
+      ASSERT_EQ(lhs.count(), static_cast<std::size_t>(kInstances));
+      ASSERT_EQ(lhs.count(), rhs.count());
+      // Exact double equality on purpose: the ordered reduction guarantees
+      // bit-identical aggregates at any thread count.
+      EXPECT_EQ(lhs.mean(), rhs.mean());
+      EXPECT_EQ(lhs.min(), rhs.min());
+      EXPECT_EQ(lhs.max(), rhs.max());
+      EXPECT_EQ(lhs.variance(), rhs.variance());
+    };
+    expect_identical(sequential[a].ratio, parallel[a].ratio);
+    expect_identical(sequential[a].acceptance, parallel[a].acceptance);
+    expect_identical(sequential[a].objective, parallel[a].objective);
+  }
+}
+
+TEST(Harness, BatchMatchesPerPointRuns) {
+  const auto reference = [](const RejectionProblem& p) { return fractional_lower_bound(p); };
+  std::vector<std::unique_ptr<RejectionSolver>> lineup;
+  lineup.push_back(std::make_unique<DensityGreedySolver>());
+
+  std::vector<ProblemFactory> factories;
+  for (const double load : {0.8, 1.4, 2.0}) {
+    factories.push_back(
+        [load](std::uint64_t seed) { return test::small_instance(seed, 10, load); });
+  }
+  const auto batch = run_comparison_batch(factories, lineup, reference, 8, 1);
+  ASSERT_EQ(batch.size(), factories.size());
+  for (std::size_t point = 0; point < factories.size(); ++point) {
+    const auto single = run_comparison(factories[point], lineup, reference, 8, 1, /*jobs=*/1);
+    EXPECT_EQ(single[0].ratio.mean(), batch[point][0].ratio.mean());
+    EXPECT_EQ(single[0].objective.mean(), batch[point][0].objective.mean());
+  }
+}
+
+TEST(Harness, ParallelRunStillValidatesReference) {
+  const auto factory = [](std::uint64_t seed) { return test::small_instance(seed, 8, 1.5); };
+  // An inflated "reference" makes every ratio < 1: the guard must fire even
+  // when instances are solved on worker threads.
+  const auto inflated = [](const RejectionProblem& p) {
+    return fractional_lower_bound(p) * 10.0 + 1.0;
+  };
+  std::vector<std::unique_ptr<RejectionSolver>> lineup;
+  lineup.push_back(std::make_unique<DensityGreedySolver>());
+  EXPECT_THROW(run_comparison(factory, lineup, inflated, 16, 1, /*jobs=*/4), Error);
+}
+
+}  // namespace
+}  // namespace retask

@@ -51,6 +51,63 @@ TEST(OnlineStats, NumericallyStableForLargeOffsets) {
   EXPECT_NEAR(s.variance(), 1.0, 1e-6);
 }
 
+TEST(OnlineStats, MergeOfSingletonsMatchesSequentialAddBitForBit) {
+  // The parallel harness reduces one single-observation accumulator per
+  // instance in instance order; that stream must equal sequential add()s
+  // exactly, not just approximately.
+  const std::vector<double> xs{1.007, 2.5, 0.1, 19.25, 3.14159, 0.333};
+  OnlineStats sequential;
+  OnlineStats reduced;
+  for (const double x : xs) {
+    sequential.add(x);
+    OnlineStats one;
+    one.add(x);
+    reduced.merge(one);
+  }
+  EXPECT_EQ(sequential.count(), reduced.count());
+  EXPECT_EQ(sequential.mean(), reduced.mean());
+  EXPECT_EQ(sequential.variance(), reduced.variance());
+  EXPECT_EQ(sequential.min(), reduced.min());
+  EXPECT_EQ(sequential.max(), reduced.max());
+}
+
+TEST(OnlineStats, MergeEmptyIsIdentityBothWays) {
+  OnlineStats s;
+  s.add(2.0);
+  s.add(4.0);
+  OnlineStats empty;
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  empty.merge(s);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 2.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 4.0);
+}
+
+TEST(OnlineStats, MergeOfBlocksMatchesFlatStream) {
+  // Chan's combination on multi-observation blocks: equal within numerical
+  // noise (the bit-exact guarantee is only claimed for singleton merges).
+  OnlineStats flat;
+  OnlineStats left;
+  OnlineStats right;
+  for (const double x : {2.0, 4.0, 4.0, 4.0}) {
+    flat.add(x);
+    left.add(x);
+  }
+  for (const double x : {5.0, 5.0, 7.0, 9.0}) {
+    flat.add(x);
+    right.add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), flat.count());
+  EXPECT_NEAR(left.mean(), flat.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), flat.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), flat.min());
+  EXPECT_DOUBLE_EQ(left.max(), flat.max());
+}
+
 TEST(Quantile, MedianAndExtremes) {
   const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
   EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);

@@ -17,6 +17,7 @@ namespace {
 using namespace retask;
 
 int run(const CliOptions& options) {
+  if (options.jobs > 0) set_default_jobs(options.jobs);
   const std::unique_ptr<PowerModel> model = make_model_by_name(options.model);
   const std::unique_ptr<RejectionSolver> solver = make_solver(options.solver);
 
