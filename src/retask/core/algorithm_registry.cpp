@@ -1,5 +1,6 @@
 #include "retask/core/algorithm_registry.hpp"
 
+#include <cmath>
 #include <cstdlib>
 
 #include "retask/common/error.hpp"
@@ -28,11 +29,20 @@ std::unique_ptr<RejectionSolver> make_solver(const std::string& name) {
     const std::string arg = name.substr(6);
     char* end = nullptr;
     const double eps = std::strtod(arg.c_str(), &end);
-    require(end != nullptr && *end == '\0' && eps > 0.0,
-            "make_solver: fptas epsilon must be a positive number, e.g. fptas:0.1");
+    require(end != nullptr && *end == '\0' && std::isfinite(eps) && eps > 0.0,
+            "make_solver: fptas epsilon must be a positive finite number, e.g. fptas:0.1");
     return std::make_unique<FptasSolver>(eps);
   }
   throw Error("make_solver: unknown solver name '" + name + "'");
+}
+
+std::vector<std::string> known_solver_names() {
+  return {"opt-dp",   "opt-exh",   "fptas:0.1", "greedy",  "ls-greedy", "all-accept",
+          "rand",     "mp-ltf-dp", "la-ltf-ff", "mp-greedy", "mp-rand", "mp-opt-exh"};
+}
+
+bool is_multiprocessor_solver(const std::string& name) {
+  return name.rfind("mp-", 0) == 0 || name == "la-ltf-ff";
 }
 
 std::vector<std::unique_ptr<RejectionSolver>> standard_uniproc_lineup() {

@@ -20,6 +20,15 @@ namespace retask {
 /// retask::Error for unknown names.
 std::unique_ptr<RejectionSolver> make_solver(const std::string& name);
 
+/// Every fixed registry name accepted by make_solver, in a stable order
+/// (the parameterized family is listed as its standard instance
+/// "fptas:0.1"). The verification harness iterates this list so that a
+/// newly registered solver is automatically fuzzed.
+std::vector<std::string> known_solver_names();
+
+/// True for names of solvers that handle processor_count > 1 instances.
+bool is_multiprocessor_solver(const std::string& name);
+
 /// The standard single-processor comparison lineup used across the
 /// reconstructed evaluation (exact DP, FPTAS(0.1), both greedies, both
 /// baselines).

@@ -79,11 +79,15 @@ RejectionSolution MarginalGreedySolver::solve(const RejectionProblem& problem) c
   RejectionSolution seed = DensityGreedySolver().solve(problem);
   std::vector<bool> accepted = seed.accepted;
   Cycles load = problem.accepted_cycles(accepted);
-  double objective = seed.objective();
 
   const std::size_t n = problem.size();
   const std::size_t max_moves = 4 * n * n + 16;
   for (std::size_t move = 0; move < max_moves; ++move) {
+    // Recompute the objective from the current state each round: an
+    // incrementally accumulated objective drifts across many flips, and the
+    // strict-improvement threshold below is what prevents cycling.
+    const double objective =
+        problem.energy_of_cycles(load) + problem.rejected_penalty(accepted);
     double best_delta = -1e-12 * std::max(objective, 1.0);  // strict improvement only
     std::size_t best_index = n;
     for (std::size_t i = 0; i < n; ++i) {
@@ -112,7 +116,6 @@ RejectionSolution MarginalGreedySolver::solve(const RejectionProblem& problem) c
       accepted[best_index] = true;
       load += problem.tasks()[best_index].cycles;
     }
-    objective += best_delta;
   }
   return make_solution_on_one(problem, std::move(accepted));
 }

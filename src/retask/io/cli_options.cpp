@@ -1,5 +1,7 @@
 #include "retask/io/cli_options.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "retask/common/error.hpp"
@@ -9,27 +11,38 @@
 namespace retask {
 namespace {
 
-double parse_positive_double(const std::string& flag, const std::string& value) {
+/// strtod with the failure modes closed: rejects trailing junk, literal
+/// "inf"/"nan", and values strtod clamps on over/underflow (errno ERANGE),
+/// so "--capacity 1e999" is an error instead of an infinite capacity.
+double parse_finite_double(const std::string& flag, const std::string& value) {
+  errno = 0;
   char* end = nullptr;
   const double parsed = std::strtod(value.c_str(), &end);
-  require(end != nullptr && *end == '\0' && !value.empty() && parsed > 0.0,
-          flag + " expects a positive number, got '" + value + "'");
+  require(end != nullptr && *end == '\0' && !value.empty() && errno != ERANGE &&
+              std::isfinite(parsed),
+          flag + " expects a finite number, got '" + value + "'");
+  return parsed;
+}
+
+double parse_positive_double(const std::string& flag, const std::string& value) {
+  const double parsed = parse_finite_double(flag, value);
+  require(parsed > 0.0, flag + " expects a positive number, got '" + value + "'");
   return parsed;
 }
 
 double parse_non_negative_double(const std::string& flag, const std::string& value) {
-  char* end = nullptr;
-  const double parsed = std::strtod(value.c_str(), &end);
-  require(end != nullptr && *end == '\0' && !value.empty() && parsed >= 0.0,
-          flag + " expects a non-negative number, got '" + value + "'");
+  const double parsed = parse_finite_double(flag, value);
+  require(parsed >= 0.0, flag + " expects a non-negative number, got '" + value + "'");
   return parsed;
 }
 
 int parse_positive_int(const std::string& flag, const std::string& value) {
+  errno = 0;
   char* end = nullptr;
   const long parsed = std::strtol(value.c_str(), &end, 10);
-  require(end != nullptr && *end == '\0' && !value.empty() && parsed > 0 && parsed < 100000,
-          flag + " expects a positive integer, got '" + value + "'");
+  require(end != nullptr && *end == '\0' && !value.empty() && errno != ERANGE && parsed > 0 &&
+              parsed < 100000,
+          flag + " expects a positive integer below 100000, got '" + value + "'");
   return static_cast<int>(parsed);
 }
 

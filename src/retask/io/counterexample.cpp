@@ -1,0 +1,87 @@
+#include "retask/io/counterexample.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "retask/common/error.hpp"
+#include "retask/io/task_io.hpp"
+
+namespace retask {
+namespace {
+
+constexpr const char* kMetaPrefix = "#@ ";
+
+std::string trim(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return std::string();
+  const auto end = text.find_last_not_of(" \t\r");
+  return text.substr(begin, end - begin + 1);
+}
+
+void check_meta_entry(const std::string& key, const std::string& value) {
+  require(!key.empty() && key == trim(key) && key.find('=') == std::string::npos &&
+              key.find('\n') == std::string::npos,
+          "counterexample meta key '" + key + "' must be a non-empty single token without '='");
+  require(value.find('\n') == std::string::npos,
+          "counterexample meta value for '" + key + "' must be single-line");
+}
+
+}  // namespace
+
+const std::string* CounterexampleFile::find(const std::string& key) const {
+  for (const auto& [k, v] : meta) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void write_counterexample(std::ostream& out, const CounterexampleFile& file) {
+  for (const auto& [key, value] : file.meta) {
+    check_meta_entry(key, value);
+    out << kMetaPrefix << key << '=' << value << '\n';
+  }
+  write_frame_tasks(out, file.tasks);
+}
+
+CounterexampleFile read_counterexample(std::istream& in) {
+  CounterexampleFile file;
+  std::ostringstream task_text;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string trimmed = trim(line);
+    if (trimmed.rfind("#@", 0) == 0) {
+      const std::string entry = trim(trimmed.substr(2));
+      const auto eq = entry.find('=');
+      require(eq != std::string::npos && eq > 0,
+              "counterexample line " + std::to_string(line_number) +
+                  ": metadata must be '#@ key=value', got '" + trimmed + "'");
+      file.meta.emplace_back(trim(entry.substr(0, eq)), trim(entry.substr(eq + 1)));
+      // Keep the line count aligned for task-parse error messages.
+      task_text << "#\n";
+      continue;
+    }
+    task_text << line << '\n';
+  }
+  std::istringstream tasks_in(task_text.str());
+  file.tasks = read_frame_tasks(tasks_in);
+  return file;
+}
+
+void write_counterexample_file(const std::string& path, const CounterexampleFile& file) {
+  std::ofstream out(path);
+  require(out.good(), "cannot open counterexample file '" + path + "' for writing");
+  write_counterexample(out, file);
+  out.flush();
+  require(out.good(), "failed writing counterexample file '" + path + "'");
+}
+
+CounterexampleFile read_counterexample_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "cannot open counterexample file '" + path + "'");
+  return read_counterexample(in);
+}
+
+}  // namespace retask

@@ -1,0 +1,48 @@
+// Replayable counterexample files for the differential fuzz harness.
+//
+// A counterexample is a frame-task CSV preceded by "#@ key=value" metadata
+// lines carrying the scenario that rebuilt the failing instance (power
+// model, idle discipline, frame, resolution, processor count, seed, ...).
+// Because "#@" lines are ordinary comments to read_frame_tasks, every
+// counterexample file is also a plain task file: it can be fed directly to
+// retask_cli for manual poking, while retask_fuzz --replay restores the full
+// scenario. The io layer stores the metadata as opaque ordered key=value
+// pairs; verify/differential.cpp owns the semantic mapping.
+#ifndef RETASK_IO_COUNTEREXAMPLE_HPP
+#define RETASK_IO_COUNTEREXAMPLE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "retask/task/task_set.hpp"
+
+namespace retask {
+
+/// One counterexample file: ordered metadata plus the (minimized) task set.
+struct CounterexampleFile {
+  std::vector<std::pair<std::string, std::string>> meta;
+  FrameTaskSet tasks;
+
+  /// First value stored under `key`, or nullptr.
+  const std::string* find(const std::string& key) const;
+};
+
+/// Writes "#@ key=value" lines followed by the standard frame-task CSV.
+/// Keys must be non-empty and free of '=', '\n' and leading/trailing blanks;
+/// values must be single-line. Throws retask::Error otherwise.
+void write_counterexample(std::ostream& out, const CounterexampleFile& file);
+
+/// Parses a counterexample file; unmarked content is parsed exactly like
+/// read_frame_tasks (so validation and line numbers behave identically).
+/// Malformed "#@" lines (no '=') throw retask::Error with the line number.
+CounterexampleFile read_counterexample(std::istream& in);
+
+/// File variants; throw retask::Error when the file cannot be opened.
+void write_counterexample_file(const std::string& path, const CounterexampleFile& file);
+CounterexampleFile read_counterexample_file(const std::string& path);
+
+}  // namespace retask
+
+#endif  // RETASK_IO_COUNTEREXAMPLE_HPP

@@ -1,7 +1,9 @@
 #include "retask/io/task_io.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -39,11 +41,22 @@ bool parse_double(const std::string& text, double& out) {
   } catch (const std::exception&) {
     return false;
   }
-  return used == text.size();
+  return used == text.size() && std::isfinite(out);
 }
 
 [[noreturn]] void fail(int line_number, const std::string& message) {
   throw Error("task file line " + std::to_string(line_number) + ": " + message);
+}
+
+/// A row is a header only when no field parses as a number. A row whose id
+/// is garbled but whose remaining fields are numeric ("x1,40,0.5") is a data
+/// row with a typo and must be reported, not silently dropped.
+bool is_header_row(const std::vector<std::string>& fields) {
+  for (const std::string& field : fields) {
+    double probe = 0.0;
+    if (parse_double(field, probe)) return false;
+  }
+  return true;
 }
 
 /// Iterates data lines of `in`, calling `on_row(fields, line_number)`; skips
@@ -60,10 +73,19 @@ void for_each_row(std::istream& in, OnRow on_row) {
     const std::vector<std::string> fields = split_csv(line);
     if (first_data_line) {
       first_data_line = false;
-      std::int64_t probe = 0;
-      if (!fields.empty() && !parse_int64(fields[0], probe)) continue;  // header
+      if (is_header_row(fields)) continue;
     }
     on_row(fields, line_number);
+  }
+}
+
+/// Runs `validate(task)` and converts the failure into a line-numbered one.
+template <typename TaskT>
+void validate_row(const TaskT& task, int line_number) {
+  try {
+    validate(task);
+  } catch (const Error& error) {
+    fail(line_number, error.what());
   }
 }
 
@@ -79,7 +101,9 @@ FrameTaskSet read_frame_tasks(std::istream& in) {
     if (!parse_int64(fields[0], id)) fail(line_number, "bad task id '" + fields[0] + "'");
     if (!parse_int64(fields[1], cycles)) fail(line_number, "bad cycles '" + fields[1] + "'");
     if (!parse_double(fields[2], penalty)) fail(line_number, "bad penalty '" + fields[2] + "'");
-    tasks.push_back({static_cast<int>(id), cycles, penalty});
+    const FrameTask task{static_cast<int>(id), cycles, penalty};
+    validate_row(task, line_number);
+    tasks.push_back(task);
   });
   return FrameTaskSet(std::move(tasks));
 }
@@ -96,7 +120,9 @@ PeriodicTaskSet read_periodic_tasks(std::istream& in) {
     if (!parse_int64(fields[1], cycles)) fail(line_number, "bad cycles '" + fields[1] + "'");
     if (!parse_int64(fields[2], period)) fail(line_number, "bad period '" + fields[2] + "'");
     if (!parse_double(fields[3], penalty)) fail(line_number, "bad penalty '" + fields[3] + "'");
-    tasks.push_back({static_cast<int>(id), cycles, period, penalty});
+    const PeriodicTask task{static_cast<int>(id), cycles, period, penalty};
+    validate_row(task, line_number);
+    tasks.push_back(task);
   });
   return PeriodicTaskSet(std::move(tasks));
 }
@@ -118,7 +144,25 @@ PeriodicTaskSet read_periodic_tasks_file(const std::string& path) {
   return read_file(path, [](std::istream& in) { return read_periodic_tasks(in); });
 }
 
+namespace {
+/// Raises the stream to round-trip-exact double precision for the writer's
+/// lifetime (counterexample replays must rebuild penalties bit-for-bit).
+class PrecisionGuard {
+ public:
+  explicit PrecisionGuard(std::ostream& out)
+      : out_(out), saved_(out.precision(std::numeric_limits<double>::max_digits10)) {}
+  ~PrecisionGuard() { out_.precision(saved_); }
+  PrecisionGuard(const PrecisionGuard&) = delete;
+  PrecisionGuard& operator=(const PrecisionGuard&) = delete;
+
+ private:
+  std::ostream& out_;
+  std::streamsize saved_;
+};
+}  // namespace
+
 void write_frame_tasks(std::ostream& out, const FrameTaskSet& tasks) {
+  const PrecisionGuard guard(out);
   out << "id,cycles,penalty\n";
   for (const FrameTask& task : tasks.tasks()) {
     out << task.id << ',' << task.cycles << ',' << task.penalty << '\n';
@@ -126,6 +170,7 @@ void write_frame_tasks(std::ostream& out, const FrameTaskSet& tasks) {
 }
 
 void write_periodic_tasks(std::ostream& out, const PeriodicTaskSet& tasks) {
+  const PrecisionGuard guard(out);
   out << "id,cycles,period,penalty\n";
   for (const PeriodicTask& task : tasks.tasks()) {
     out << task.id << ',' << task.cycles << ',' << task.period << ',' << task.penalty << '\n';

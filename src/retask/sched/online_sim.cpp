@@ -16,6 +16,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 struct Pending {
   double deadline = 0.0;
   double remaining = 0.0;  // work units
+  double work = 0.0;       // work units at admission, for drift tolerance
   int id = 0;
 };
 
@@ -28,7 +29,7 @@ double oa_speed(double now, std::vector<Pending>& pending) {
   for (const Pending& job : pending) {
     work += job.remaining;
     const double slack = job.deadline - now;
-    if (slack <= 0.0) return kInf;  // already doomed (never happens post-admission)
+    if (slack <= 0.0) return kInf;  // already doomed (callers drop or reject)
     speed = std::max(speed, work / slack);
   }
   return speed;
@@ -84,7 +85,7 @@ OnlineSimResult simulate_online(std::vector<AperiodicJob> jobs, const OnlineSimC
   const auto arrive = [&](const AperiodicJob& job) {
     const double work = config.work_per_cycle * static_cast<double>(job.cycles);
     std::vector<Pending> tentative = pending;
-    tentative.push_back({job.deadline, work, job.id});
+    tentative.push_back({job.deadline, work, work, job.id});
     const double oa_with = oa_speed(now, tentative);
     bool admit = leq_tol(oa_with, smax);
     if (admit && config.rule == AdmissionRule::kValueDensity) {
@@ -93,10 +94,26 @@ OnlineSimResult simulate_online(std::vector<AperiodicJob> jobs, const OnlineSimC
       admit = job.penalty >= config.value_threshold * estimated_energy;
     }
     if (admit) {
-      pending.push_back({job.deadline, work, job.id});
+      pending.push_back({job.deadline, work, work, job.id});
       ++result.admitted;
     } else {
       result.rejected_penalty += job.penalty;
+    }
+  };
+
+  // The admission test is tolerant (leq_tol) while execution is clamped to
+  // smax, so float drift can leave an admitted job with zero or negative
+  // slack at a scheduling point. Such jobs are unsalvageable: drop them
+  // instead of aborting the whole simulation. Drift-level residues (the
+  // admission tolerance times the job's work) count as completed; anything
+  // larger is a genuine deadline miss.
+  const auto drop_doomed_jobs = [&]() {
+    for (std::size_t k = pending.size(); k-- > 0;) {
+      if (pending[k].deadline - now > 0.0) continue;
+      if (pending[k].remaining > 1e-9 * std::max(1.0, pending[k].work)) {
+        ++result.deadline_misses;
+      }
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(k));
     }
   };
 
@@ -114,8 +131,10 @@ OnlineSimResult simulate_online(std::vector<AperiodicJob> jobs, const OnlineSimC
       continue;
     }
 
+    drop_doomed_jobs();
+    if (pending.empty()) continue;
     const double oa = oa_speed(now, pending);
-    RETASK_ASSERT(oa < kInf);
+    RETASK_ASSERT(oa < kInf);  // unreachable: doomed jobs were just dropped
     const double s_exec =
         clamp(std::max(oa, s_floor), std::max(smax * 1e-12, 1e-300), smax * (1.0 + 1e-12));
     result.max_speed_used = std::max(result.max_speed_used, s_exec);

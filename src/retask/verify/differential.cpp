@@ -1,0 +1,258 @@
+#include "retask/verify/differential.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <sstream>
+
+#include "retask/common/error.hpp"
+#include "retask/common/parallel.hpp"
+#include "retask/exp/workload.hpp"
+#include "retask/io/cli_options.hpp"
+
+namespace retask {
+namespace {
+
+std::vector<SolverUnderTest> build_suite(const SuiteFactory& factory, int processor_count) {
+  return factory ? factory(processor_count) : default_suite(processor_count);
+}
+
+std::string fmt(double value) {
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  return os.str();
+}
+
+std::string penalty_model_name(PenaltyModel model) {
+  switch (model) {
+    case PenaltyModel::kUniform: return "uniform";
+    case PenaltyModel::kProportionalCycles: return "proportional";
+    case PenaltyModel::kInverseCycles: return "inverse";
+  }
+  throw Error("penalty_model_name: unknown penalty model");
+}
+
+PenaltyModel penalty_model_from(const std::string& name) {
+  if (name == "uniform") return PenaltyModel::kUniform;
+  if (name == "proportional") return PenaltyModel::kProportionalCycles;
+  if (name == "inverse") return PenaltyModel::kInverseCycles;
+  throw Error("counterexample: unknown penalty model '" + name + "'");
+}
+
+double meta_double(const CounterexampleFile& file, const std::string& key, double fallback) {
+  const std::string* text = file.find(key);
+  if (text == nullptr) return fallback;
+  std::size_t used = 0;
+  const double parsed = std::stod(*text, &used);
+  require(used == text->size() && std::isfinite(parsed),
+          "counterexample: bad numeric value for '" + key + "': '" + *text + "'");
+  return parsed;
+}
+
+std::string meta_string(const CounterexampleFile& file, const std::string& key,
+                        const std::string& fallback) {
+  const std::string* text = file.find(key);
+  return text == nullptr ? fallback : *text;
+}
+
+std::uint64_t meta_uint64(const CounterexampleFile& file, const std::string& key,
+                          std::uint64_t fallback) {
+  const std::string* text = file.find(key);
+  if (text == nullptr) return fallback;
+  try {
+    std::size_t used = 0;
+    const std::uint64_t parsed = std::stoull(*text, &used);
+    require(used == text->size(), "trailing junk");
+    return parsed;
+  } catch (const std::exception&) {
+    throw Error("counterexample: bad integer value for '" + key + "': '" + *text + "'");
+  }
+}
+
+}  // namespace
+
+FrameTaskSet draw_tasks(const InstanceSpec& spec) {
+  const std::unique_ptr<PowerModel> model = make_model_by_name(spec.model);
+  FrameWorkloadConfig config;
+  config.task_count = spec.task_count;
+  config.target_load = spec.load;
+  config.frame = spec.frame;
+  config.max_speed = model->max_speed();
+  config.resolution = spec.resolution;
+  config.cycle_spread = spec.cycle_spread;
+  config.penalty_model = spec.penalty_model;
+  config.penalty_scale = spec.penalty_scale;
+  config.energy_per_cycle_ref = penalty_anchor(*model);
+  Rng rng(spec.seed);
+  return generate_frame_tasks(config, rng);
+}
+
+RejectionProblem build_problem(const InstanceSpec& spec, FrameTaskSet tasks) {
+  const std::unique_ptr<PowerModel> model = make_model_by_name(spec.model);
+  SleepParams sleep;
+  sleep.switch_energy = spec.switch_energy;
+  sleep.switch_time = spec.switch_time;
+  EnergyCurve curve(*model, spec.frame, spec.idle, sleep);
+  const double work_per_cycle = model->max_speed() * spec.frame / spec.resolution;
+  return RejectionProblem(std::move(tasks), std::move(curve), work_per_cycle,
+                          spec.processor_count);
+}
+
+RejectionProblem build_instance(const InstanceSpec& spec) {
+  return build_problem(spec, draw_tasks(spec));
+}
+
+InstanceSpec draw_spec(Rng& rng, const FuzzOptions& options) {
+  InstanceSpec spec;
+  const char* models[] = {"xscale", "cubic", "table5"};
+  spec.model = models[rng.uniform_int(0, 2)];
+  spec.idle = rng.uniform() < 0.5 ? IdleDiscipline::kDormantEnable
+                                  : IdleDiscipline::kDormantDisable;
+  spec.frame = rng.uniform(0.5, 2.0);
+  spec.resolution = rng.uniform(50.0, 400.0);
+  // Half the rounds single-processor (where the DP/FPTAS/exhaustive triangle
+  // lives), half multiprocessor against the exhaustive oracle.
+  spec.processor_count = rng.uniform() < 0.5 ? 1 : static_cast<int>(rng.uniform_int(2, 3));
+  // Keep the exhaustive oracles inside their state guards and fast: the MP
+  // oracle enumerates (M+1)^n states.
+  int max_n = std::max(2, options.max_n);
+  if (spec.processor_count == 2) max_n = std::min(max_n, 11);
+  if (spec.processor_count == 3) max_n = std::min(max_n, 9);
+  spec.task_count = static_cast<int>(rng.uniform_int(2, max_n));
+  spec.load = rng.uniform(0.4, 1.4) * spec.processor_count;
+  spec.penalty_scale = rng.log_uniform(0.05, 20.0);
+  spec.cycle_spread = rng.uniform(1.0, 16.0);
+  const PenaltyModel penalty_models[] = {PenaltyModel::kUniform,
+                                         PenaltyModel::kProportionalCycles,
+                                         PenaltyModel::kInverseCycles};
+  spec.penalty_model = penalty_models[rng.uniform_int(0, 2)];
+  if (rng.uniform() < 0.5 && spec.idle == IdleDiscipline::kDormantEnable) {
+    spec.switch_energy = rng.uniform(0.0, 0.2);
+    spec.switch_time = rng.uniform(0.0, 0.3 * spec.frame);
+  }
+  spec.seed = rng();
+  return spec;
+}
+
+FrameTaskSet shrink_tasks(const InstanceSpec& spec, FrameTaskSet tasks,
+                          const SuiteFactory& factory) {
+  const auto still_fails = [&](const FrameTaskSet& candidate) {
+    return !check_instance(build_problem(spec, candidate),
+                           build_suite(factory, spec.processor_count))
+                .empty();
+  };
+  bool changed = true;
+  while (changed && tasks.size() > 1) {
+    changed = false;
+    for (std::size_t drop = 0; drop < tasks.size(); ++drop) {
+      std::vector<FrameTask> reduced;
+      reduced.reserve(tasks.size() - 1);
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        if (i != drop) reduced.push_back(tasks[i]);
+      }
+      FrameTaskSet candidate(std::move(reduced));
+      if (still_fails(candidate)) {
+        tasks = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return tasks;
+}
+
+FuzzReport run_differential_fuzz(const FuzzOptions& options, const SuiteFactory& factory) {
+  require(options.rounds >= 0, "run_differential_fuzz: rounds must be non-negative");
+  require(options.max_n >= 2, "run_differential_fuzz: max_n must be at least 2");
+
+  const std::size_t rounds = static_cast<std::size_t>(options.rounds);
+  std::vector<std::optional<FuzzCounterexample>> slots(rounds);
+  std::vector<int> runs(rounds, 0);
+
+  parallel_for(
+      rounds,
+      [&](std::size_t round) {
+        Rng rng(options.seed + round);
+        const InstanceSpec spec = draw_spec(rng, options);
+        const std::vector<SolverUnderTest> suite = build_suite(factory, spec.processor_count);
+        runs[round] = static_cast<int>(suite.size());
+        FrameTaskSet tasks = draw_tasks(spec);
+        std::vector<PropertyViolation> violations =
+            check_instance(build_problem(spec, tasks), suite);
+        if (violations.empty()) return;
+        if (options.shrink) {
+          tasks = shrink_tasks(spec, std::move(tasks), factory);
+          violations = check_instance(build_problem(spec, tasks), suite);
+        }
+        slots[round] = FuzzCounterexample{static_cast<int>(round), spec, std::move(tasks),
+                                          std::move(violations)};
+      },
+      options.jobs);
+
+  FuzzReport report;
+  report.rounds = options.rounds;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    report.solver_runs += runs[round];
+    if (slots[round]) report.counterexamples.push_back(std::move(*slots[round]));
+  }
+  return report;
+}
+
+CounterexampleFile to_counterexample_file(const FuzzCounterexample& counterexample) {
+  const InstanceSpec& spec = counterexample.spec;
+  CounterexampleFile file;
+  file.meta = {
+      {"model", spec.model},
+      {"idle", spec.idle == IdleDiscipline::kDormantEnable ? "enable" : "disable"},
+      {"frame", fmt(spec.frame)},
+      {"resolution", fmt(spec.resolution)},
+      {"processors", std::to_string(spec.processor_count)},
+      {"esw", fmt(spec.switch_energy)},
+      {"tsw", fmt(spec.switch_time)},
+      {"penalty-model", penalty_model_name(spec.penalty_model)},
+      {"load", fmt(spec.load)},
+      {"penalty-scale", fmt(spec.penalty_scale)},
+      {"cycle-spread", fmt(spec.cycle_spread)},
+      {"task-count", std::to_string(spec.task_count)},
+      {"seed", std::to_string(spec.seed)},
+      {"round", std::to_string(counterexample.round)},
+  };
+  for (const PropertyViolation& violation : counterexample.violations) {
+    file.meta.emplace_back("violation", to_string(violation));
+  }
+  file.tasks = counterexample.tasks;
+  return file;
+}
+
+ReplayCase from_counterexample_file(const CounterexampleFile& file) {
+  ReplayCase replay;
+  InstanceSpec& spec = replay.spec;
+  spec.model = meta_string(file, "model", spec.model);
+  const std::string idle = meta_string(file, "idle", "enable");
+  require(idle == "enable" || idle == "disable",
+          "counterexample: idle must be 'enable' or 'disable', got '" + idle + "'");
+  spec.idle = idle == "enable" ? IdleDiscipline::kDormantEnable : IdleDiscipline::kDormantDisable;
+  spec.frame = meta_double(file, "frame", spec.frame);
+  spec.resolution = meta_double(file, "resolution", spec.resolution);
+  spec.processor_count = static_cast<int>(meta_double(file, "processors", 1.0));
+  spec.switch_energy = meta_double(file, "esw", 0.0);
+  spec.switch_time = meta_double(file, "tsw", 0.0);
+  spec.penalty_model = penalty_model_from(meta_string(file, "penalty-model", "uniform"));
+  spec.load = meta_double(file, "load", spec.load);
+  spec.penalty_scale = meta_double(file, "penalty-scale", spec.penalty_scale);
+  spec.cycle_spread = meta_double(file, "cycle-spread", spec.cycle_spread);
+  spec.task_count = static_cast<int>(meta_double(file, "task-count",
+                                                 static_cast<double>(file.tasks.size())));
+  spec.seed = meta_uint64(file, "seed", 1);
+  replay.tasks = file.tasks;
+  return replay;
+}
+
+std::vector<PropertyViolation> check_replay(const ReplayCase& replay,
+                                            const SuiteFactory& factory) {
+  return check_instance(build_problem(replay.spec, replay.tasks),
+                        build_suite(factory, replay.spec.processor_count));
+}
+
+}  // namespace retask

@@ -1,0 +1,114 @@
+// Random-instance differential fuzzing of the solver lineup.
+//
+// Each round draws a scenario (power model, idle discipline, dormant
+// overheads, processor count, load, penalty scale/model, cycle spread),
+// generates a task set from it, and runs the property registry
+// (verify/properties.hpp) over the full solver suite. Rounds execute under
+// parallel_for with per-round seeding, so a report is bit-identical at any
+// job count. On a violation the instance is minimized by drop-one-task
+// descent (the counterexample keeps failing, but dropping any single task
+// makes it pass) and packaged with its scenario for a replayable dump
+// (io/counterexample.hpp).
+#ifndef RETASK_VERIFY_DIFFERENTIAL_HPP
+#define RETASK_VERIFY_DIFFERENTIAL_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "retask/common/rng.hpp"
+#include "retask/core/problem.hpp"
+#include "retask/io/counterexample.hpp"
+#include "retask/task/generator.hpp"
+#include "retask/verify/properties.hpp"
+
+namespace retask {
+
+/// Everything needed to rebuild one fuzz instance bit-for-bit. Serialized
+/// into counterexample files; the generation knobs (task_count, load, ...)
+/// are provenance once the concrete task set is saved.
+struct InstanceSpec {
+  std::string model = "xscale";  ///< xscale | cubic | table5
+  IdleDiscipline idle = IdleDiscipline::kDormantEnable;
+  double frame = 1.0;
+  double resolution = 200.0;  ///< cycles representing load 1
+  int processor_count = 1;
+  double switch_energy = 0.0;  ///< dormant-mode switch overheads
+  double switch_time = 0.0;
+  int task_count = 8;
+  double load = 1.2;
+  double penalty_scale = 1.0;
+  double cycle_spread = 8.0;
+  PenaltyModel penalty_model = PenaltyModel::kUniform;
+  std::uint64_t seed = 1;  ///< task-generator seed
+};
+
+/// Draws the task set `spec` describes (generator reuse: the same
+/// FrameWorkloadConfig path as the evaluation benches).
+FrameTaskSet draw_tasks(const InstanceSpec& spec);
+
+/// Builds the problem for an explicit task set (replay and shrinking).
+RejectionProblem build_problem(const InstanceSpec& spec, FrameTaskSet tasks);
+
+/// Convenience: build_problem(spec, draw_tasks(spec)).
+RejectionProblem build_instance(const InstanceSpec& spec);
+
+/// Builds the verification suite for a processor count; the default is
+/// default_suite. Injecting extra (e.g. deliberately broken) solvers is how
+/// tests prove the harness catches bugs.
+using SuiteFactory = std::function<std::vector<SolverUnderTest>(int processor_count)>;
+
+/// Fuzz run knobs.
+struct FuzzOptions {
+  std::uint64_t seed = 1;   ///< base seed; round r uses seed + r
+  int rounds = 200;         ///< instances to draw
+  int max_n = 12;           ///< largest task count (clamped further for M > 1)
+  int jobs = 0;             ///< parallel_for jobs; 0 = default_jobs()
+  bool shrink = true;       ///< minimize failing instances
+};
+
+/// One failing, minimized instance.
+struct FuzzCounterexample {
+  int round = 0;            ///< failing round (replay: --seed + round)
+  InstanceSpec spec;
+  FrameTaskSet tasks;       ///< minimized task set
+  std::vector<PropertyViolation> violations;  ///< on the minimized instance
+};
+
+/// Aggregate fuzz outcome.
+struct FuzzReport {
+  int rounds = 0;
+  int solver_runs = 0;  ///< solve() calls across all rounds (without shrinking)
+  std::vector<FuzzCounterexample> counterexamples;
+  bool ok() const { return counterexamples.empty(); }
+};
+
+/// Draws one random scenario honoring `options` (task counts keep the
+/// exhaustive oracles inside their state guards).
+InstanceSpec draw_spec(Rng& rng, const FuzzOptions& options);
+
+/// Runs the sweep. `factory` defaults to default_suite.
+FuzzReport run_differential_fuzz(const FuzzOptions& options, const SuiteFactory& factory = {});
+
+/// Drop-one-task minimization: returns a task set that still violates some
+/// property but whose every single-task reduction passes. `tasks` must
+/// already fail; returns it unchanged when it is already 1-minimal.
+FrameTaskSet shrink_tasks(const InstanceSpec& spec, FrameTaskSet tasks,
+                          const SuiteFactory& factory = {});
+
+/// Serialization to/from the io-layer counterexample format.
+CounterexampleFile to_counterexample_file(const FuzzCounterexample& counterexample);
+struct ReplayCase {
+  InstanceSpec spec;
+  FrameTaskSet tasks;
+};
+ReplayCase from_counterexample_file(const CounterexampleFile& file);
+
+/// Rebuilds the instance of a replay case and re-runs the property checks.
+std::vector<PropertyViolation> check_replay(const ReplayCase& replay,
+                                            const SuiteFactory& factory = {});
+
+}  // namespace retask
+
+#endif  // RETASK_VERIFY_DIFFERENTIAL_HPP

@@ -1,0 +1,168 @@
+#include "retask/verify/properties.hpp"
+
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+
+#include "retask/common/error.hpp"
+#include "retask/common/math.hpp"
+#include "retask/core/algorithm_registry.hpp"
+#include "retask/core/exact_dp.hpp"
+
+namespace retask {
+namespace {
+
+std::string fmt(double value) {
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  return os.str();
+}
+
+SolverClaim claim_of(const std::string& name) {
+  if (name == "opt-dp" || name == "opt-exh" || name == "mp-opt-exh") return SolverClaim::kExact;
+  if (name.rfind("fptas:", 0) == 0) return SolverClaim::kApprox;
+  return SolverClaim::kHeuristic;
+}
+
+SolverUnderTest make_sut(const std::string& name) {
+  SolverUnderTest sut;
+  sut.name = name;
+  sut.solver = make_solver(name);
+  sut.claim = claim_of(name);
+  if (sut.claim == SolverClaim::kApprox) {
+    sut.approx_factor = 1.0 + std::strtod(name.c_str() + 6, nullptr);
+  }
+  return sut;
+}
+
+/// The exact DP run against a capacity one cycle short: rebuilds the
+/// instance with work_per_cycle inflated just enough to lose the last
+/// cycle, solves that exactly, and maps the accept mask back. Feasible and
+/// internally consistent, but suboptimal whenever the optimum fills the
+/// capacity — exactly the class of bug the differential harness must catch.
+class BrokenCapacitySolver final : public RejectionSolver {
+ public:
+  RejectionSolution solve(const RejectionProblem& problem) const override {
+    require(problem.processor_count() == 1, "BrokenCapacitySolver: single-processor algorithm");
+    const Cycles capacity = problem.cycle_capacity();
+    if (capacity <= 1) return ExactDpSolver().solve(problem);
+    const double shrunk_wpc =
+        problem.curve().max_workload() / (static_cast<double>(capacity) - 0.5);
+    const RejectionProblem reduced(problem.tasks(), problem.curve(), shrunk_wpc, 1);
+    const RejectionSolution on_reduced = ExactDpSolver().solve(reduced);
+    return make_solution_on_one(problem, on_reduced.accepted);
+  }
+  std::string name() const override { return "broken-off-by-one"; }
+};
+
+}  // namespace
+
+std::vector<SolverUnderTest> default_suite(int processor_count) {
+  require(processor_count >= 1, "default_suite: processor_count must be at least 1");
+  std::vector<SolverUnderTest> suite;
+  for (const std::string& name : known_solver_names()) {
+    if (is_multiprocessor_solver(name) != (processor_count > 1)) continue;
+    suite.push_back(make_sut(name));
+  }
+  if (processor_count == 1) suite.push_back(make_sut("fptas:0.5"));
+  return suite;
+}
+
+SolverUnderTest broken_capacity_solver() {
+  SolverUnderTest sut;
+  sut.name = "broken-off-by-one";
+  sut.solver = std::make_shared<BrokenCapacitySolver>();
+  sut.claim = SolverClaim::kExact;
+  return sut;
+}
+
+std::string to_string(const PropertyViolation& violation) {
+  return violation.property + "/" + violation.solver + ": " + violation.detail;
+}
+
+std::vector<PropertyViolation> check_instance(const RejectionProblem& problem,
+                                              const std::vector<SolverUnderTest>& suite) {
+  std::vector<PropertyViolation> violations;
+  struct Outcome {
+    const SolverUnderTest* sut = nullptr;
+    RejectionSolution solution;
+  };
+  std::vector<Outcome> outcomes;
+
+  for (const SolverUnderTest& sut : suite) {
+    RejectionSolution solution;
+    try {
+      solution = sut.solver->solve(problem);
+    } catch (const std::exception& error) {
+      violations.push_back({"solve-error", sut.name, error.what()});
+      continue;
+    }
+    // Structural: the independent validator plus a from-scratch recompute of
+    // the energy/penalty split out of the accept mask and bindings.
+    try {
+      check_solution(problem, solution);
+      double energy = 0.0;
+      for (const Cycles load : processor_loads(problem, solution)) {
+        energy += problem.energy_of_cycles(load);
+      }
+      const double recomputed = energy + problem.rejected_penalty(solution.accepted);
+      if (!almost_equal(recomputed, solution.objective(), kObjectiveTol)) {
+        violations.push_back({"structural", sut.name,
+                              "objective " + fmt(solution.objective()) +
+                                  " != recomputation " + fmt(recomputed)});
+        continue;
+      }
+    } catch (const std::exception& error) {
+      violations.push_back({"structural", sut.name, error.what()});
+      continue;
+    }
+    outcomes.push_back({&sut, std::move(solution)});
+  }
+
+  // Oracle: the best objective among structurally sound exact solvers. All
+  // differential properties compare against it.
+  std::optional<double> oracle;
+  std::string oracle_solver;
+  for (const Outcome& outcome : outcomes) {
+    if (outcome.sut->claim != SolverClaim::kExact) continue;
+    const double objective = outcome.solution.objective();
+    if (!oracle || objective < *oracle) {
+      oracle = objective;
+      oracle_solver = outcome.sut->name;
+    }
+  }
+  if (!oracle) return violations;
+
+  for (const Outcome& outcome : outcomes) {
+    const double objective = outcome.solution.objective();
+    const std::string vs = " (optimum " + fmt(*oracle) + " by " + oracle_solver + ")";
+    switch (outcome.sut->claim) {
+      case SolverClaim::kExact:
+        if (!almost_equal(objective, *oracle, kObjectiveTol)) {
+          violations.push_back(
+              {"exact-match", outcome.sut->name, "objective " + fmt(objective) + vs});
+        }
+        break;
+      case SolverClaim::kApprox:
+        if (!leq_tol(objective, outcome.sut->approx_factor * *oracle, kObjectiveTol)) {
+          violations.push_back({"approx-bound", outcome.sut->name,
+                                "objective " + fmt(objective) + " > " +
+                                    fmt(outcome.sut->approx_factor) + " * optimum" + vs});
+        }
+        break;
+      case SolverClaim::kHeuristic:
+        break;
+    }
+    // No validated solution may beat the claimed optimum: a heuristic
+    // "better than optimal" convicts the exact solver, not the heuristic.
+    if (!leq_tol(*oracle, objective, kObjectiveTol)) {
+      violations.push_back({"no-regression", oracle_solver,
+                            "objective " + fmt(objective) + " of " + outcome.sut->name +
+                                " beats the claimed optimum " + fmt(*oracle)});
+    }
+  }
+  return violations;
+}
+
+}  // namespace retask

@@ -105,6 +105,28 @@ TEST(OnlineSim, PreemptionByTighterJobIsHandled) {
   EXPECT_GE(r.max_speed_used, 0.6 - 1e-9);
 }
 
+TEST(OnlineSim, TightSlackAdmissionSurvivesFloatDrift) {
+  // The admission test is tolerant (leq_tol, rel 1e-9) while execution is
+  // clamped to smax*(1+1e-12): a job admitted at density smax*(1+5e-10)
+  // falls behind by ~5e-10 work. When another job arrives exactly at its
+  // deadline, the scheduler re-enters with zero slack; this used to trip
+  // RETASK_ASSERT(oa < kInf) and abort the whole simulation. The drift
+  // residue must instead be forgiven (not a miss) and the doomed job
+  // dropped.
+  OnlineSimConfig config;
+  config.work_per_cycle = 1e-10;
+  const std::vector<AperiodicJob> jobs{
+      {0, 0.0, 10000000005LL, 1.0, 5.0},  // work 1.0000000005: inside tolerance
+      {1, 1.0, 1000000000LL, 2.0, 3.0},   // arrives exactly at job 0's deadline
+  };
+  OnlineSimResult r;
+  ASSERT_NO_THROW(r = simulate_online(jobs, config, xscale()));
+  EXPECT_EQ(r.admitted, 1);
+  EXPECT_EQ(r.deadline_misses, 0);  // residue ~5e-10 work is drift, not a miss
+  EXPECT_DOUBLE_EQ(r.rejected_penalty, 3.0);
+  EXPECT_LE(r.max_speed_used, 1.0 + 1e-9);
+}
+
 TEST(OnlineSim, ZeroMissInvariantAcrossRandomStreams) {
   // The checked invariant behind the admission test: whatever the load,
   // admitted jobs never miss.

@@ -48,6 +48,64 @@ TEST(TaskIo, ReportsLineNumbersOnErrors) {
   EXPECT_THROW(read_frame_tasks(bad_penalty), Error);
 }
 
+TEST(TaskIo, TypoedIdOnFirstRowIsAnErrorNotAHeader) {
+  // "x1,40,0.5" has numeric cycles/penalty fields: it is a garbled data row,
+  // not a header, and silently dropping it would shrink the instance.
+  std::istringstream in("x1,40,0.5\n1,35,1.0\n");
+  try {
+    read_frame_tasks(in);
+    FAIL() << "expected error";
+  } catch (const Error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("x1"), std::string::npos) << what;
+  }
+  // A genuine header (no numeric field at all) is still skipped.
+  std::istringstream header("id,cycles,penalty\n0,40,0.5\n");
+  EXPECT_EQ(read_frame_tasks(header).size(), 1u);
+}
+
+TEST(TaskIo, RejectsNonPositiveCyclesWithLineNumber) {
+  std::istringstream negative("0,40,0.5\n1,-5,1.0\n");
+  try {
+    read_frame_tasks(negative);
+    FAIL() << "expected error";
+  } catch (const Error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("cycles"), std::string::npos) << what;
+  }
+  std::istringstream zero("0,0,0.5\n");
+  EXPECT_THROW(read_frame_tasks(zero), Error);
+}
+
+TEST(TaskIo, RejectsNegativeOrNonFinitePenalty) {
+  std::istringstream negative("0,40,-1.0\n");
+  EXPECT_THROW(read_frame_tasks(negative), Error);
+  std::istringstream infinite("0,40,inf\n");
+  EXPECT_THROW(read_frame_tasks(infinite), Error);
+  std::istringstream not_a_number("0,40,nan\n");
+  EXPECT_THROW(read_frame_tasks(not_a_number), Error);
+  std::istringstream overflow("0,40,1e999\n");
+  EXPECT_THROW(read_frame_tasks(overflow), Error);
+}
+
+TEST(TaskIo, RejectsNonPositivePeriodicFields) {
+  std::istringstream zero_period("0,20,0,5\n");
+  EXPECT_THROW(read_periodic_tasks(zero_period), Error);
+  std::istringstream negative_period("0,20,-100,5\n");
+  EXPECT_THROW(read_periodic_tasks(negative_period), Error);
+  std::istringstream negative_cycles("0,-20,100,5\n");
+  EXPECT_THROW(read_periodic_tasks(negative_cycles), Error);
+  std::istringstream negative_penalty("0,20,100,-5\n");
+  try {
+    read_periodic_tasks(negative_penalty);
+    FAIL() << "expected error";
+  } catch (const Error& error) {
+    EXPECT_NE(std::string(error.what()).find("line 1"), std::string::npos);
+  }
+}
+
 TEST(TaskIo, ParsesPeriodicTasks) {
   std::istringstream in("id,cycles,period,penalty\n0,20,100,5\n1,30,200,2.5\n");
   const PeriodicTaskSet tasks = read_periodic_tasks(in);
@@ -165,6 +223,20 @@ TEST(CliOptions, RejectsBadInput) {
   EXPECT_THROW(parse_cli_options({"--input", "x", "--esw", "-2"}), Error);
   EXPECT_THROW(parse_cli_options({"--input", "x", "--model", "tpu"}), Error);
   EXPECT_THROW(parse_cli_options({"--wat"}), Error);
+}
+
+TEST(CliOptions, RejectsNonFiniteAndOverflowingNumbers) {
+  // strtod happily returns inf for "1e999" and accepts "inf"/"nan" spellings;
+  // every numeric flag must insist on a finite value.
+  EXPECT_THROW(parse_cli_options({"--input", "x", "--capacity", "1e999"}), Error);
+  EXPECT_THROW(parse_cli_options({"--input", "x", "--capacity", "inf"}), Error);
+  EXPECT_THROW(parse_cli_options({"--input", "x", "--capacity", "nan"}), Error);
+  EXPECT_THROW(parse_cli_options({"--input", "x", "--frame", "infinity"}), Error);
+  EXPECT_THROW(parse_cli_options({"--input", "x", "--esw", "nan"}), Error);
+  EXPECT_THROW(parse_cli_options({"--input", "x", "--processors", "99999999999999999999"}),
+               Error);
+  // Sane spellings keep working.
+  EXPECT_DOUBLE_EQ(parse_cli_options({"--input", "x", "--capacity", "1e3"}).capacity, 1000.0);
 }
 
 TEST(CliOptions, ModelFactory) {

@@ -1,0 +1,205 @@
+// Tests for the differential verification subsystem: the property registry
+// on clean and deliberately broken solvers, the fuzz driver's determinism,
+// drop-one-task minimization, and the counterexample dump/replay loop.
+#include "retask/verify/differential.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "retask/common/error.hpp"
+#include "retask/core/algorithm_registry.hpp"
+#include "retask/io/counterexample.hpp"
+#include "retask/io/task_io.hpp"
+#include "retask/verify/properties.hpp"
+
+namespace retask {
+namespace {
+
+std::vector<SolverUnderTest> suite_with_broken(int processor_count) {
+  std::vector<SolverUnderTest> suite = default_suite(processor_count);
+  if (processor_count == 1) suite.push_back(broken_capacity_solver());
+  return suite;
+}
+
+TEST(Properties, DefaultSuiteIsCleanAcrossScenarios) {
+  for (const char* model : {"xscale", "cubic", "table5"}) {
+    for (const int processors : {1, 2}) {
+      InstanceSpec spec;
+      spec.model = model;
+      spec.idle = IdleDiscipline::kDormantDisable;
+      spec.processor_count = processors;
+      spec.task_count = 7;
+      spec.load = 1.3 * processors;
+      spec.resolution = 150.0;
+      spec.seed = 42;
+      const RejectionProblem problem = build_instance(spec);
+      const auto violations = check_instance(problem, default_suite(processors));
+      for (const auto& violation : violations) {
+        ADD_FAILURE() << model << "/M=" << processors << ": " << to_string(violation);
+      }
+    }
+  }
+}
+
+TEST(Properties, BrokenSolverCaughtOnExactFillInstance) {
+  // capacity = 100 cycles; the optimum accepts 60 + 40 = 100 exactly, so an
+  // off-by-one capacity (99) must reject a task and lose its big penalty.
+  InstanceSpec spec;
+  spec.model = "xscale";
+  spec.resolution = 100.0;
+  const FrameTaskSet tasks({{0, 60, 10.0}, {1, 40, 10.0}});
+  const RejectionProblem problem = build_problem(spec, tasks);
+  ASSERT_EQ(problem.cycle_capacity(), 100);
+
+  EXPECT_TRUE(check_instance(problem, default_suite(1)).empty());
+  const auto violations = check_instance(problem, suite_with_broken(1));
+  ASSERT_FALSE(violations.empty());
+  bool exact_match_hit = false;
+  for (const auto& violation : violations) {
+    exact_match_hit |=
+        violation.property == "exact-match" && violation.solver == "broken-off-by-one";
+  }
+  EXPECT_TRUE(exact_match_hit) << to_string(violations.front());
+}
+
+TEST(Properties, StructuralViolationIsReported) {
+  // A hand-forged solution whose energy field lies about the schedule.
+  InstanceSpec spec;
+  spec.resolution = 100.0;
+  const FrameTaskSet tasks({{0, 50, 1.0}, {1, 30, 1.0}});
+  const RejectionProblem problem = build_problem(spec, tasks);
+
+  class LyingSolver final : public RejectionSolver {
+   public:
+    RejectionSolution solve(const RejectionProblem& p) const override {
+      RejectionSolution solution = make_solution_on_one(p, {true, true});
+      solution.energy *= 0.5;  // misreport
+      return solution;
+    }
+    std::string name() const override { return "liar"; }
+  };
+  SolverUnderTest liar;
+  liar.name = "liar";
+  liar.solver = std::make_shared<LyingSolver>();
+  const auto violations = check_instance(problem, {liar});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].property, "structural");
+  EXPECT_EQ(violations[0].solver, "liar");
+}
+
+TEST(DifferentialFuzz, DefaultSuiteSweepIsClean) {
+  FuzzOptions options;
+  options.seed = 11;
+  options.rounds = 60;
+  options.max_n = 9;
+  const FuzzReport report = run_differential_fuzz(options);
+  EXPECT_EQ(report.rounds, 60);
+  EXPECT_GT(report.solver_runs, 60);
+  for (const auto& counterexample : report.counterexamples) {
+    for (const auto& violation : counterexample.violations) {
+      ADD_FAILURE() << "round " << counterexample.round << ": " << to_string(violation);
+    }
+  }
+}
+
+TEST(DifferentialFuzz, CatchesInjectedBrokenSolverWithMinimalReplayableDump) {
+  FuzzOptions options;
+  options.seed = 3;
+  options.rounds = 50;
+  options.max_n = 10;
+  const FuzzReport report = run_differential_fuzz(options, suite_with_broken);
+  ASSERT_FALSE(report.ok());
+
+  const FuzzCounterexample& counterexample = report.counterexamples.front();
+  ASSERT_FALSE(counterexample.violations.empty());
+  EXPECT_GE(counterexample.tasks.size(), 1u);
+
+  // 1-minimality: the minimized instance still fails, and dropping any
+  // single further task makes every property pass.
+  const auto fails = [&](const FrameTaskSet& tasks) {
+    return !check_instance(build_problem(counterexample.spec, tasks),
+                           suite_with_broken(counterexample.spec.processor_count))
+                .empty();
+  };
+  ASSERT_TRUE(fails(counterexample.tasks));
+  for (std::size_t drop = 0; drop < counterexample.tasks.size(); ++drop) {
+    std::vector<FrameTask> reduced;
+    for (std::size_t i = 0; i < counterexample.tasks.size(); ++i) {
+      if (i != drop) reduced.push_back(counterexample.tasks[i]);
+    }
+    EXPECT_FALSE(fails(FrameTaskSet(std::move(reduced)))) << "not 1-minimal at " << drop;
+  }
+
+  // Dump -> parse -> replay reproduces the violation with the broken suite
+  // and is clean on the stock suite (the bug is in the solver, not the data).
+  std::stringstream buffer;
+  write_counterexample(buffer, to_counterexample_file(counterexample));
+  const ReplayCase replay = from_counterexample_file(read_counterexample(buffer));
+  EXPECT_EQ(replay.tasks.size(), counterexample.tasks.size());
+  EXPECT_EQ(replay.spec.model, counterexample.spec.model);
+  EXPECT_FALSE(check_replay(replay, suite_with_broken).empty());
+  EXPECT_TRUE(check_replay(replay).empty());
+}
+
+TEST(DifferentialFuzz, ReportIsIdenticalAtAnyJobCount) {
+  FuzzOptions options;
+  options.seed = 3;
+  options.rounds = 40;
+  options.max_n = 9;
+  options.jobs = 1;
+  const FuzzReport sequential = run_differential_fuzz(options, suite_with_broken);
+  options.jobs = 8;
+  const FuzzReport parallel = run_differential_fuzz(options, suite_with_broken);
+  ASSERT_EQ(sequential.counterexamples.size(), parallel.counterexamples.size());
+  EXPECT_EQ(sequential.solver_runs, parallel.solver_runs);
+  for (std::size_t i = 0; i < sequential.counterexamples.size(); ++i) {
+    EXPECT_EQ(sequential.counterexamples[i].round, parallel.counterexamples[i].round);
+    EXPECT_EQ(sequential.counterexamples[i].tasks.size(),
+              parallel.counterexamples[i].tasks.size());
+  }
+}
+
+TEST(CounterexampleIo, MetadataRoundTripsThroughPlainTaskCsv) {
+  CounterexampleFile file;
+  file.meta = {{"model", "table5"}, {"idle", "disable"}, {"note", "value with = sign"}};
+  file.tasks = FrameTaskSet({{0, 40, 0.5}, {1, 35, 1.25}});
+  std::stringstream buffer;
+  write_counterexample(buffer, file);
+
+  const CounterexampleFile parsed = read_counterexample(buffer);
+  ASSERT_EQ(parsed.meta.size(), 3u);
+  EXPECT_EQ(*parsed.find("model"), "table5");
+  EXPECT_EQ(*parsed.find("note"), "value with = sign");
+  EXPECT_EQ(parsed.find("missing"), nullptr);
+  ASSERT_EQ(parsed.tasks.size(), 2u);
+  EXPECT_EQ(parsed.tasks[1].cycles, 35);
+
+  // The same bytes are a plain task CSV: "#@" lines are ordinary comments.
+  std::stringstream again;
+  write_counterexample(again, file);
+  EXPECT_EQ(read_frame_tasks(again).size(), 2u);
+}
+
+TEST(CounterexampleIo, RejectsMalformedMetadata) {
+  std::istringstream bad("#@ no-equals-sign\nid,cycles,penalty\n0,10,1\n");
+  EXPECT_THROW(read_counterexample(bad), Error);
+  CounterexampleFile file;
+  file.meta = {{"bad key", "spaces\nand newline"}};
+  std::ostringstream out;
+  EXPECT_THROW(write_counterexample(out, file), Error);
+}
+
+TEST(Registry, KnownSolverNamesAllConstruct) {
+  for (const std::string& name : known_solver_names()) {
+    EXPECT_NO_THROW(make_solver(name)) << name;
+  }
+  EXPECT_TRUE(is_multiprocessor_solver("mp-opt-exh"));
+  EXPECT_TRUE(is_multiprocessor_solver("la-ltf-ff"));
+  EXPECT_FALSE(is_multiprocessor_solver("opt-dp"));
+  EXPECT_THROW(make_solver("fptas:inf"), Error);
+  EXPECT_THROW(make_solver("fptas:nan"), Error);
+}
+
+}  // namespace
+}  // namespace retask
