@@ -32,6 +32,32 @@ struct SweepPoint {
   ProblemFactory factory;
 };
 
+/// Emits one long-format CSV block of per-point solver metrics
+/// (point,algorithm,metric,value) when RETASK_BENCH_CSV is set. Only the
+/// deterministic rows are printed (include_timers = false), so the block is
+/// bit-identical at any RETASK_JOBS setting; it is empty (and skipped) in
+/// RETASK_OBS=OFF builds.
+inline void print_sweep_metrics(const std::string& title, const std::string& axis,
+                                const std::vector<SweepPoint>& sweep,
+                                const std::vector<std::vector<AlgoStats>>& stats) {
+  if (std::getenv("RETASK_BENCH_CSV") == nullptr) return;
+  bool any = false;
+  for (const auto& point : stats) {
+    for (const AlgoStats& s : point) any = any || !s.metrics.empty();
+  }
+  if (!any) return;
+  std::cout << "\n[csv-metrics] " << title << "\n";
+  std::cout << axis << ",algorithm,metric,value\n";
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    for (const AlgoStats& s : stats[i]) {
+      for (const obs::MetricRow& row : obs::report_rows(s.metrics, /*include_timers=*/false)) {
+        std::cout << sweep[i].value << "," << s.name << "," << row.name << "," << row.value
+                  << "\n";
+      }
+    }
+  }
+}
+
 /// Runs `lineup` over every sweep point (instances per point) and prints a
 /// table: value | mean ratio per algorithm. Returns the table for callers
 /// that also want CSV. The whole point x instance grid is solved in one
@@ -56,6 +82,7 @@ inline Table run_sweep(const std::string& title, const std::string& axis,
     table.add_row(row, 4);
   }
   print_table(table);
+  print_sweep_metrics(title, axis, sweep, stats);
   return table;
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "retask/common/error.hpp"
+#include "retask/obs/metrics.hpp"
 
 namespace retask {
 namespace {
@@ -44,6 +45,9 @@ class ThreadPool {
   }
 
   void run(std::size_t n, const std::function<void(std::size_t)>& fn, int jobs) {
+    RETASK_SCOPED_TIMER("parallel.region_ns");
+    RETASK_COUNT("parallel.regions", 1);
+    RETASK_GAUGE_MAX("parallel.max_jobs", jobs);
     const int helpers = jobs - 1;  // the caller is participant #0
     std::unique_lock<std::mutex> region(region_mutex_);
     ensure_workers(helpers);
@@ -61,7 +65,7 @@ class ThreadPool {
     }
     work_ready_.notify_all();
 
-    drain();
+    drain(/*helper=*/false);
 
     {
       std::unique_lock<std::mutex> lock(mutex_);
@@ -103,7 +107,7 @@ class ThreadPool {
         if (pending_helpers_ == 0) continue;  // late joiner: region fully staffed
         --pending_helpers_;
       }
-      drain();
+      drain(/*helper=*/true);
       {
         std::lock_guard<std::mutex> lock(mutex_);
         if (--active_helpers_ == 0) work_done_.notify_all();
@@ -111,12 +115,19 @@ class ThreadPool {
     }
   }
 
-  void drain() {
+  void drain(bool helper) {
+    (void)helper;
     const std::function<void(std::size_t)>& fn = *fn_;
     const std::size_t n = total_;
+    // Items claimed by this participant; flushed once per drain so the hot
+    // ticket loop never touches the registry. The helper/caller split shows
+    // how much of the region's work actually ran off the calling thread —
+    // the pool-utilization signal the bench runner reports.
+    RETASK_OBS_ONLY(std::uint64_t claimed = 0;)
     while (true) {
       const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
+      RETASK_OBS_ONLY(++claimed;)
       try {
         fn(i);
       } catch (...) {
@@ -127,6 +138,8 @@ class ThreadPool {
         }
       }
     }
+    RETASK_COUNT("parallel.items", claimed);
+    RETASK_OBS_ONLY(if (helper) { RETASK_COUNT("parallel.items_helper", claimed); })
   }
 
   std::mutex region_mutex_;  // one parallel region at a time
@@ -165,6 +178,8 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn, int
   if (static_cast<std::size_t>(jobs) > n) jobs = static_cast<int>(n);
 
   if (jobs <= 1 || t_inside_parallel_region) {
+    RETASK_COUNT("parallel.regions_inline", 1);
+    RETASK_COUNT("parallel.items", n);
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }

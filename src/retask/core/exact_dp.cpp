@@ -6,10 +6,14 @@
 
 #include "retask/common/bit_matrix.hpp"
 #include "retask/common/error.hpp"
+#include "retask/obs/metrics.hpp"
+#include "retask/obs/trace.hpp"
 
 namespace retask {
 
 RejectionSolution ExactDpSolver::solve(const RejectionProblem& problem) const {
+  RETASK_SCOPED_TIMER("exact_dp.solve_ns");
+  RETASK_TRACE_SCOPE("exact_dp.solve");
   require(problem.processor_count() == 1, "ExactDpSolver: single-processor algorithm");
   const std::size_t n = problem.size();
   const Cycles cap = std::min(problem.cycle_capacity(), problem.tasks().total_cycles());
@@ -29,11 +33,19 @@ RejectionSolution ExactDpSolver::solve(const RejectionProblem& problem) const {
   // reachable: largest w with kept[w] > -inf so far; rows above it cannot
   // produce candidates, so the inner loop never visits them.
   std::size_t reachable = 0;
+  RETASK_OBS_ONLY(std::uint64_t cells_touched = 0; std::uint64_t cells_skipped = 0;
+                  std::uint64_t tasks_pruned = 0;)
   for (std::size_t i = 0; i < n; ++i) {
     const FrameTask& task = problem.tasks()[i];
-    if (task.cycles > cap) continue;  // can never be accepted
+    if (task.cycles > cap) {  // can never be accepted
+      RETASK_OBS_ONLY(++tasks_pruned; cells_skipped += width;)
+      continue;
+    }
     const auto ci = static_cast<std::size_t>(task.cycles);
     const std::size_t top = std::min(width - 1, reachable + ci);
+    // The reachability bound prunes the row to [ci, top]; the cell counts
+    // follow arithmetically so the inner loop stays untouched.
+    RETASK_OBS_ONLY(cells_touched += top + 1 - ci; cells_skipped += width - (top + 1 - ci);)
     for (std::size_t w = top + 1; w-- > ci;) {
       const double candidate = kept[w - ci] == kNegInf ? kNegInf : kept[w - ci] + task.penalty;
       if (candidate > kept[w]) {
@@ -43,6 +55,11 @@ RejectionSolution ExactDpSolver::solve(const RejectionProblem& problem) const {
     }
     reachable = top;
   }
+  RETASK_COUNT("exact_dp.solves", 1);
+  RETASK_COUNT("exact_dp.cells_touched", cells_touched);
+  RETASK_COUNT("exact_dp.cells_skipped", cells_skipped);
+  RETASK_COUNT("exact_dp.tasks_pruned", tasks_pruned);
+  RETASK_RECORD("exact_dp.table_width", width);
 
   // Sweep achievable accepted-cycle totals for the best objective. The
   // energy evaluation is the expensive part (it optimizes the speed
@@ -55,10 +72,12 @@ RejectionSolution ExactDpSolver::solve(const RejectionProblem& problem) const {
   const double total_penalty = problem.tasks().total_penalty();
   double best_objective = std::numeric_limits<double>::infinity();
   std::size_t best_w = 0;
+  RETASK_OBS_ONLY(std::uint64_t energy_evals = 0;)
   for (std::size_t w = 0; w < width; ++w) {
     if (kept[w] == kNegInf) continue;
     const double penalty = total_penalty - kept[w];
     if (penalty >= best_objective) continue;
+    RETASK_OBS_ONLY(++energy_evals;)
     const double energy = problem.energy_of_cycles(static_cast<Cycles>(w));
     if (energy >= best_objective) break;
     const double objective = energy + penalty;
@@ -67,6 +86,7 @@ RejectionSolution ExactDpSolver::solve(const RejectionProblem& problem) const {
       best_w = w;
     }
   }
+  RETASK_COUNT("exact_dp.energy_evals", energy_evals);
   RETASK_ASSERT(best_objective < std::numeric_limits<double>::infinity());
 
   // Reconstruct the accept set backwards through the per-task choice bits.

@@ -8,10 +8,14 @@
 #include <vector>
 
 #include "retask/common/error.hpp"
+#include "retask/obs/metrics.hpp"
+#include "retask/obs/trace.hpp"
 
 namespace retask {
 
 RejectionSolution ExhaustiveSolver::solve(const RejectionProblem& problem) const {
+  RETASK_SCOPED_TIMER("exhaustive.solve_ns");
+  RETASK_TRACE_SCOPE("exhaustive.solve");
   require(problem.processor_count() == 1, "ExhaustiveSolver: single-processor algorithm");
   const std::size_t n = problem.size();
   require(n <= 24, "ExhaustiveSolver: instance too large (n > 24)");
@@ -41,6 +45,7 @@ RejectionSolution ExhaustiveSolver::solve(const RejectionProblem& problem) const
   const Cycles capacity = problem.cycle_capacity();
 
   const auto mask_count = std::uint32_t{1} << n;
+  RETASK_OBS_ONLY(std::uint64_t infeasible_masks = 0;)
   for (std::uint32_t mask = 0; mask < mask_count; ++mask) {
     Cycles load = 0;
     double rejected = 0.0;
@@ -56,13 +61,20 @@ RejectionSolution ExhaustiveSolver::solve(const RejectionProblem& problem) const
         rejected += penalty[i];
       }
     }
-    if (!feasible) continue;
+    if (!feasible) {
+      RETASK_OBS_ONLY(++infeasible_masks;)
+      continue;
+    }
     const double objective = energy_of(load) + rejected;
     if (objective < best_objective) {
       best_objective = objective;
       best_mask = mask;
     }
   }
+  RETASK_COUNT("exhaustive.solves", 1);
+  RETASK_COUNT("exhaustive.masks", mask_count);
+  RETASK_COUNT("exhaustive.infeasible_masks", infeasible_masks);
+  RETASK_COUNT("exhaustive.energy_memo_size", energy_memo.size());
   RETASK_ASSERT(best_objective < std::numeric_limits<double>::infinity());
 
   std::vector<bool> accepted(n, false);
@@ -83,8 +95,10 @@ struct MpSearch {
   double idle_energy_each = 0.0;     // E(0) per processor
   double best_objective = std::numeric_limits<double>::infinity();
   std::vector<int> best_choice;
+  RETASK_OBS_ONLY(std::uint64_t nodes = 0; std::uint64_t bound_prunes = 0;)
 
   void run(std::size_t pos, double rejected_penalty, double busy_energy_sum, int used_procs) {
+    RETASK_OBS_ONLY(++nodes;)
     // busy_energy_sum tracks sum over processors of E(load) - E(0); the full
     // energy is busy_energy_sum + M * E(0).
     const double committed =
@@ -99,7 +113,10 @@ struct MpSearch {
     // Every remaining decision adds a non-negative amount (penalties are
     // non-negative and E is increasing), so the committed cost is a valid
     // lower bound on any completion.
-    if (committed >= best_objective) return;
+    if (committed >= best_objective) {
+      RETASK_OBS_ONLY(++bound_prunes;)
+      return;
+    }
 
     const std::size_t task_index = order[pos];
     const FrameTask& task = problem->tasks()[task_index];
@@ -134,6 +151,8 @@ struct MpSearch {
 }  // namespace
 
 RejectionSolution MultiProcExhaustiveSolver::solve(const RejectionProblem& problem) const {
+  RETASK_SCOPED_TIMER("mp_exhaustive.solve_ns");
+  RETASK_TRACE_SCOPE("mp_exhaustive.solve");
   const std::size_t n = problem.size();
   const int m = problem.processor_count();
   // Guard the state space (before symmetry pruning).
@@ -155,6 +174,9 @@ RejectionSolution MultiProcExhaustiveSolver::solve(const RejectionProblem& probl
   search.load_energy.assign(static_cast<std::size_t>(m), search.idle_energy_each);
 
   search.run(0, 0.0, 0.0, 0);
+  RETASK_COUNT("mp_exhaustive.solves", 1);
+  RETASK_COUNT("mp_exhaustive.nodes", search.nodes);
+  RETASK_COUNT("mp_exhaustive.bound_prunes", search.bound_prunes);
   RETASK_ASSERT(search.best_objective < std::numeric_limits<double>::infinity());
 
   std::vector<bool> accepted(n, false);

@@ -10,6 +10,8 @@
 #include "retask/common/bit_matrix.hpp"
 #include "retask/common/error.hpp"
 #include "retask/core/greedy.hpp"
+#include "retask/obs/metrics.hpp"
+#include "retask/obs/trace.hpp"
 
 namespace retask {
 namespace {
@@ -75,11 +77,13 @@ RejectionSolution scaled_round(const RejectionProblem& problem, double guess, do
   // filled so far; rows above it are all kNone, so the inner loop skips
   // them without even reading.
   std::size_t reachable = 0;
+  RETASK_OBS_ONLY(std::uint64_t cells_touched = 0;)
   for (std::size_t k = 0; k < movable.size(); ++k) {
     const FrameTask& task = problem.tasks()[movable[k]];
     const std::size_t q = quant[k];
     if (q >= width) continue;  // cannot fit any budget row
     const std::size_t top = std::min(width - 1, reachable + q);
+    RETASK_OBS_ONLY(cells_touched += top + 1 - q;)
     for (std::size_t r = top + 1; r-- > q;) {
       if (rej[r - q] == kNone) continue;
       const Cycles candidate = rej[r - q] + task.cycles;
@@ -91,6 +95,9 @@ RejectionSolution scaled_round(const RejectionProblem& problem, double guess, do
     }
     reachable = top;
   }
+  RETASK_COUNT("fptas.cells_touched", cells_touched);
+  RETASK_COUNT("fptas.movable_tasks", movable.size());
+  RETASK_RECORD("fptas.table_width", width);
 
   // Sweep rows: accepted cycles = total - rejected; keep the best feasible
   // candidate by its TRUE objective. Rows whose exact penalty already
@@ -112,8 +119,10 @@ RejectionSolution scaled_round(const RejectionProblem& problem, double guess, do
     double energy = 0.0;
     const auto memo = scratch.energy_memo.find(accepted_cycles);
     if (memo != scratch.energy_memo.end()) {
+      RETASK_COUNT("fptas.energy_memo_hits", 1);
       energy = memo->second;
     } else {
+      RETASK_COUNT("fptas.energy_evals", 1);
       energy = problem.energy_of_cycles(accepted_cycles);
       scratch.energy_memo.emplace(accepted_cycles, energy);
     }
@@ -155,18 +164,24 @@ std::string FptasSolver::name() const {
 }
 
 RejectionSolution FptasSolver::solve(const RejectionProblem& problem) const {
+  RETASK_SCOPED_TIMER("fptas.solve_ns");
+  RETASK_TRACE_SCOPE("fptas.solve");
   require(problem.processor_count() == 1, "FptasSolver: single-processor algorithm");
 
   // Upper bound from a genuine heuristic solution.
   RejectionSolution best = DensityGreedySolver().solve(problem);
+  RETASK_OBS_ONLY(const double seed_objective = best.objective();)
   const double eps_int = epsilon_ / (1.0 + epsilon_);
+  RETASK_COUNT("fptas.solves", 1);
 
   // A zero objective is already optimal (nothing to approximate).
   if (best.objective() <= 0.0) return best;
 
   RoundScratch scratch;
   constexpr int kMaxRounds = 40;
+  RETASK_OBS_ONLY(std::uint64_t rounds = 0;)
   for (int round = 0; round < kMaxRounds; ++round) {
+    RETASK_OBS_ONLY(++rounds;)
     bool found = false;
     const RejectionSolution candidate =
         scaled_round(problem, best.objective(), eps_int, found, scratch);
@@ -176,6 +191,12 @@ RejectionSolution FptasSolver::solve(const RejectionProblem& problem) const {
     // Fixpoint: the guess can no longer shrink meaningfully.
     if (improvement <= 1e-12 * std::max(1.0, best.objective())) break;
   }
+  RETASK_COUNT("fptas.guess_rounds", rounds);
+  // How much the guess refinement tightened the greedy seed: seed/final - 1
+  // is the seed's relative error certified by the rounds actually run.
+  RETASK_OBS_ONLY(if (best.objective() > 0.0) {
+    RETASK_RECORD("fptas.seed_gap", seed_objective / best.objective() - 1.0);
+  })
   return best;
 }
 

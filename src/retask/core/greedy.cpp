@@ -7,6 +7,7 @@
 
 #include "retask/common/error.hpp"
 #include "retask/common/rng.hpp"
+#include "retask/obs/metrics.hpp"
 
 namespace retask {
 namespace {
@@ -52,13 +53,16 @@ RejectionSolution AllAcceptSolver::solve(const RejectionProblem& problem) const 
 }
 
 RejectionSolution DensityGreedySolver::solve(const RejectionProblem& problem) const {
+  RETASK_SCOPED_TIMER("greedy.density_solve_ns");
   require(problem.processor_count() == 1, "DensityGreedySolver: single-processor algorithm");
   const std::vector<std::size_t> order = density_order(problem);
   std::vector<bool> accepted(problem.size(), true);
   Cycles load = reject_until_feasible(problem, order, accepted);
+  RETASK_COUNT("greedy.density_solves", 1);
 
   // One pass over the remaining tasks in density order: reject whenever the
   // exact energy saving at the current load beats the penalty.
+  RETASK_OBS_ONLY(std::uint64_t rejections = 0;)
   for (const std::size_t i : order) {
     if (!accepted[i]) continue;
     const FrameTask& task = problem.tasks()[i];
@@ -67,21 +71,26 @@ RejectionSolution DensityGreedySolver::solve(const RejectionProblem& problem) co
     if (saving > task.penalty) {
       accepted[i] = false;
       load -= task.cycles;
+      RETASK_OBS_ONLY(++rejections;)
     }
   }
+  RETASK_COUNT("greedy.density_rejections", rejections);
   return make_solution_on_one(problem, std::move(accepted));
 }
 
 RejectionSolution MarginalGreedySolver::solve(const RejectionProblem& problem) const {
+  RETASK_SCOPED_TIMER("greedy.marginal_solve_ns");
   require(problem.processor_count() == 1, "MarginalGreedySolver: single-processor algorithm");
 
   // Seed with the density-greedy solution, then steepest-descent over flips.
   RejectionSolution seed = DensityGreedySolver().solve(problem);
   std::vector<bool> accepted = seed.accepted;
   Cycles load = problem.accepted_cycles(accepted);
+  RETASK_COUNT("greedy.marginal_solves", 1);
 
   const std::size_t n = problem.size();
   const std::size_t max_moves = 4 * n * n + 16;
+  RETASK_OBS_ONLY(std::uint64_t moves_made = 0;)
   for (std::size_t move = 0; move < max_moves; ++move) {
     // Recompute the objective from the current state each round: an
     // incrementally accumulated objective drifts across many flips, and the
@@ -109,6 +118,7 @@ RejectionSolution MarginalGreedySolver::solve(const RejectionProblem& problem) c
       }
     }
     if (best_index == n) break;
+    RETASK_OBS_ONLY(++moves_made;)
     if (accepted[best_index]) {
       accepted[best_index] = false;
       load -= problem.tasks()[best_index].cycles;
@@ -117,6 +127,7 @@ RejectionSolution MarginalGreedySolver::solve(const RejectionProblem& problem) c
       load += problem.tasks()[best_index].cycles;
     }
   }
+  RETASK_COUNT("greedy.local_search_moves", moves_made);
   return make_solution_on_one(problem, std::move(accepted));
 }
 

@@ -11,6 +11,7 @@ void AlgoStats::merge(const AlgoStats& other) {
   ratio.merge(other.ratio);
   acceptance.merge(other.acceptance);
   objective.merge(other.objective);
+  metrics.merge(other.metrics);
 }
 
 std::vector<std::vector<AlgoStats>> run_comparison_batch(
@@ -37,7 +38,19 @@ std::vector<std::vector<AlgoStats>> run_comparison_batch(
     const double ref = reference(problem);
     require(ref >= 0.0, "run_comparison: negative reference objective");
     for (std::size_t a = 0; a < algos; ++a) {
-      const RejectionSolution solution = lineup[a]->solve(problem);
+      AlgoStats& slot = slots[(cell * algos) + a];
+      RejectionSolution solution;
+      {
+        // Attribute the solver's metrics to this point x instance x algo
+        // cell. The whole cell runs on one thread, so the scoped registry
+        // sees exactly this solve; on scope exit it also folds into the
+        // thread's default registry, keeping process totals complete.
+        obs::ActiveScope scope(slot.metrics);
+        solution = lineup[a]->solve(problem);
+        RETASK_COUNT("harness.solves", 1);
+        RETASK_COUNT("harness.tasks_total", problem.size());
+        RETASK_COUNT("harness.tasks_rejected", problem.size() - solution.accepted_count());
+      }
       check_solution(problem, solution);
       const double obj = solution.objective();
       const double ratio = ref > 0.0 ? obj / ref : (obj > 0.0 ? 2.0 : 1.0);
@@ -45,7 +58,6 @@ std::vector<std::vector<AlgoStats>> run_comparison_batch(
       // reference by more than numerical noise. Lower bounds are <= obj by
       // construction, so the same check applies.
       require(ratio >= 1.0 - 1e-6, "run_comparison: algorithm beat the reference objective");
-      AlgoStats& slot = slots[(cell * algos) + a];
       slot.ratio.add(ratio);
       slot.acceptance.add(solution.acceptance_ratio());
       slot.objective.add(obj);

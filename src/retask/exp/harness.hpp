@@ -17,6 +17,7 @@
 
 #include "retask/common/stats.hpp"
 #include "retask/core/solver.hpp"
+#include "retask/obs/metrics.hpp"
 
 namespace retask {
 
@@ -32,6 +33,11 @@ struct AlgoStats {
   OnlineStats ratio;       ///< objective / reference objective
   OnlineStats acceptance;  ///< fraction of tasks accepted
   OnlineStats objective;   ///< raw objective values
+  /// Solver metrics collected while this algorithm ran on this point's
+  /// instances (obs::ActiveScope per cell). Counters and histograms merge
+  /// commutatively, so the merged registry is bit-identical at any job
+  /// count; empty in RETASK_OBS=OFF builds.
+  obs::Registry metrics;
 
   /// Ordered reduce: folds `other`'s accumulators into this one's (the
   /// name is kept). Folding single-instance slots in instance order yields

@@ -1,5 +1,6 @@
 #include "retask/io/counterexample.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -71,6 +72,16 @@ CounterexampleFile read_counterexample(std::istream& in) {
 }
 
 void write_counterexample_file(const std::string& path, const CounterexampleFile& file) {
+  // `--out runs/today/ce` style prefixes point into directories that may not
+  // exist yet; create them instead of failing the whole fuzz run at dump
+  // time.
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    require(!ec, "cannot create directory '" + parent.string() + "' for counterexample '" +
+                     path + "': " + ec.message());
+  }
   std::ofstream out(path);
   require(out.good(), "cannot open counterexample file '" + path + "' for writing");
   write_counterexample(out, file);

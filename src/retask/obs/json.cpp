@@ -1,0 +1,274 @@
+#include "retask/obs/json.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "retask/common/error.hpp"
+
+namespace retask::obs {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    require(pos_ == text_.size(), error("trailing content after JSON document"));
+    return value;
+  }
+
+ private:
+  std::string error(const std::string& message) const {
+    return "json: " + message + " at offset " + std::to_string(pos_);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_];
+      if (ch != ' ' && ch != '\t' && ch != '\n' && ch != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    require(pos_ < text_.size(), error("unexpected end of input"));
+    return text_[pos_];
+  }
+
+  void expect(char ch) {
+    require(peek() == ch, error(std::string("expected '") + ch + "'"));
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_whitespace();
+    const char ch = peek();
+    switch (ch) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue value;
+        value.type = JsonValue::Type::kString;
+        value.string = parse_string();
+        return value;
+      }
+      case 't':
+      case 'f': {
+        JsonValue value;
+        value.type = JsonValue::Type::kBool;
+        if (consume_literal("true")) {
+          value.boolean = true;
+        } else {
+          require(consume_literal("false"), error("bad literal"));
+          value.boolean = false;
+        }
+        return value;
+      }
+      case 'n': {
+        require(consume_literal("null"), error("bad literal"));
+        return JsonValue{};
+      }
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue value;
+    value.type = JsonValue::Type::kObject;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      value.object.emplace_back(std::move(key), parse_value());
+      skip_whitespace();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return value;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue value;
+    value.type = JsonValue::Type::kArray;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.array.push_back(parse_value());
+      skip_whitespace();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return value;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      require(pos_ < text_.size(), error("unterminated string"));
+      const char ch = text_[pos_++];
+      if (ch == '"') return out;
+      if (ch != '\\') {
+        require(static_cast<unsigned char>(ch) >= 0x20, error("raw control character in string"));
+        out += ch;
+        continue;
+      }
+      require(pos_ < text_.size(), error("unterminated escape"));
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          require(pos_ + 4 <= text_.size(), error("truncated \\u escape"));
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char hex = text_[pos_++];
+            code <<= 4;
+            if (hex >= '0' && hex <= '9') code |= static_cast<unsigned>(hex - '0');
+            else if (hex >= 'a' && hex <= 'f') code |= static_cast<unsigned>(hex - 'a' + 10);
+            else if (hex >= 'A' && hex <= 'F') code |= static_cast<unsigned>(hex - 'A' + 10);
+            else throw Error(error("bad \\u escape digit"));
+          }
+          // Encode the BMP code point as UTF-8 (surrogate pairs are not
+          // emitted by this repo's writers; reject them for strictness).
+          require(code < 0xD800 || code > 0xDFFF, error("surrogate \\u escape unsupported"));
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: throw Error(error("unknown escape"));
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    // JSON forbids leading zeros: "01" is two tokens, i.e. malformed here.
+    if (pos_ + 1 < text_.size() && text_[pos_] == '0' && text_[pos_ + 1] >= '0' &&
+        text_[pos_ + 1] <= '9') {
+      throw Error(error("leading zero in number"));
+    }
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_];
+      if ((ch >= '0' && ch <= '9') || ch == '.' || ch == 'e' || ch == 'E' || ch == '+' ||
+          ch == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    require(pos_ > start, error("expected a value"));
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    require(end == token.c_str() + token.size() && std::isfinite(parsed),
+            error("bad number '" + token + "'"));
+    JsonValue value;
+    value.type = JsonValue::Type::kNumber;
+    value.number = parsed;
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool JsonValue::as_bool() const {
+  require(type == Type::kBool, "json: value is not a boolean");
+  return boolean;
+}
+
+double JsonValue::as_number() const {
+  require(type == Type::kNumber, "json: value is not a number");
+  return number;
+}
+
+const std::string& JsonValue::as_string() const {
+  require(type == Type::kString, "json: value is not a string");
+  return string;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  require(type == Type::kArray, "json: value is not an array");
+  return array;
+}
+
+JsonValue parse_json(std::string_view text) { return Parser(text).parse_document(); }
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(ch >> 4) & 0xf];
+          out += hex[ch & 0xf];
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace retask::obs

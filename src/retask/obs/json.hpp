@@ -1,0 +1,54 @@
+// Minimal JSON reader for the observability tooling.
+//
+// The bench-regression runner must parse its own checked-in baseline files
+// and the tests must re-parse the Chrome trace export, but the container
+// policy forbids new third-party dependencies — so this is a small strict
+// recursive-descent parser covering exactly the JSON subset the repo emits:
+// objects, arrays, strings (with \uXXXX escapes decoded to UTF-8), finite
+// numbers, booleans and null. Duplicate object keys keep both entries
+// (lookup returns the first), comments and trailing commas are rejected.
+#ifndef RETASK_OBS_JSON_HPP
+#define RETASK_OBS_JSON_HPP
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace retask::obs {
+
+/// One parsed JSON value (tagged union; containers own their children).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return type == Type::kNull; }
+
+  /// First member named `key`, or nullptr (objects only).
+  const JsonValue* find(std::string_view key) const;
+
+  /// Typed accessors; throw retask::Error on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+};
+
+/// Parses one JSON document (the whole input must be consumed, trailing
+/// whitespace aside). Throws retask::Error with a byte offset on malformed
+/// input.
+JsonValue parse_json(std::string_view text);
+
+/// Escapes `text` for embedding inside a JSON string literal (quotes not
+/// included).
+std::string json_escape(std::string_view text);
+
+}  // namespace retask::obs
+
+#endif  // RETASK_OBS_JSON_HPP

@@ -1,0 +1,218 @@
+#include "retask/obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "retask/common/error.hpp"
+
+namespace retask::obs {
+namespace {
+
+std::atomic<std::size_t> g_capacity{65536};
+
+bool env_trace_enabled() {
+  const char* env = std::getenv("RETASK_TRACE");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{env_trace_enabled()};
+  return flag;
+}
+
+/// Per-thread ring of complete events. `head` is the next write position;
+/// once `wrapped`, the oldest event lives at `head`.
+struct TraceRing {
+  std::uint32_t tid = 0;
+  std::vector<TraceEvent> events;
+  std::size_t capacity = 0;  ///< applied g_capacity; re-checked on every push
+  std::size_t head = 0;      ///< oldest event once wrapped; next overwrite slot
+  bool wrapped = false;
+
+  void push(const TraceEvent& event) {
+    const std::size_t wanted = g_capacity.load(std::memory_order_relaxed);
+    if (wanted == 0) return;
+    if (capacity != wanted) {
+      // Capacity changed (or first use): rebuild oldest-first, keeping the
+      // newest events that still fit.
+      std::vector<TraceEvent> kept = ordered();
+      if (kept.size() > wanted) {
+        kept.erase(kept.begin(), kept.end() - static_cast<std::ptrdiff_t>(wanted));
+      }
+      events = std::move(kept);
+      events.reserve(wanted);
+      capacity = wanted;
+      head = 0;
+      wrapped = events.size() == capacity;
+    }
+    if (events.size() < capacity) {
+      events.push_back(event);
+      if (events.size() == capacity) wrapped = true;
+    } else {
+      events[head] = event;
+      head = (head + 1) % capacity;
+    }
+  }
+
+  /// Events oldest-first.
+  std::vector<TraceEvent> ordered() const {
+    std::vector<TraceEvent> out;
+    out.reserve(events.size());
+    if (wrapped) {
+      for (std::size_t i = head; i < events.size(); ++i) out.push_back(events[i]);
+      for (std::size_t i = 0; i < head; ++i) out.push_back(events[i]);
+    } else {
+      out = events;
+    }
+    return out;
+  }
+
+  void clear() {
+    events.clear();
+    head = 0;
+    wrapped = false;
+  }
+};
+
+struct RingDirectory {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<TraceRing>> rings;
+  std::uint32_t next_tid = 0;
+};
+
+RingDirectory& ring_directory() {
+  static RingDirectory directory;
+  return directory;
+}
+
+TraceRing& thread_ring() {
+  thread_local std::shared_ptr<TraceRing> ring = [] {
+    auto created = std::make_shared<TraceRing>();
+    RingDirectory& directory = ring_directory();
+    std::lock_guard<std::mutex> lock(directory.mutex);
+    created->tid = directory.next_tid++;
+    directory.rings.push_back(created);
+    return created;
+  }();
+  return *ring;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+void write_json_escaped(std::ostream& os, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char ch = *p;
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(ch >> 4) & 0xf] << hex[ch & 0xf];
+        } else {
+          os << ch;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+bool trace_enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_trace_enabled(bool enabled) {
+  enabled_flag().store(enabled, std::memory_order_relaxed);
+}
+
+void set_trace_capacity(std::size_t events) {
+  g_capacity.store(events, std::memory_order_relaxed);
+}
+
+std::uint64_t trace_now_ns() {
+  const auto elapsed = std::chrono::steady_clock::now() - trace_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+void emit_trace(const char* name, std::uint64_t ts_ns, std::uint64_t dur_ns) {
+  if (!trace_enabled() || name == nullptr) return;
+  TraceRing& ring = thread_ring();
+  ring.push(TraceEvent{name, ring.tid, ts_ns, dur_ns});
+}
+
+std::vector<TraceEvent> trace_snapshot() {
+  RingDirectory& directory = ring_directory();
+  std::lock_guard<std::mutex> lock(directory.mutex);
+  std::vector<TraceEvent> all;
+  for (const auto& ring : directory.rings) {
+    const std::vector<TraceEvent> ordered = ring->ordered();
+    all.insert(all.end(), ordered.begin(), ordered.end());
+  }
+  std::sort(all.begin(), all.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+    return a.tid < b.tid;
+  });
+  return all;
+}
+
+std::size_t trace_event_count() {
+  RingDirectory& directory = ring_directory();
+  std::lock_guard<std::mutex> lock(directory.mutex);
+  std::size_t total = 0;
+  for (const auto& ring : directory.rings) total += ring->events.size();
+  return total;
+}
+
+void clear_trace() {
+  RingDirectory& directory = ring_directory();
+  std::lock_guard<std::mutex> lock(directory.mutex);
+  for (const auto& ring : directory.rings) ring->clear();
+}
+
+void write_chrome_trace(std::ostream& os) {
+  const std::vector<TraceEvent> events = trace_snapshot();
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto us = [](std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; };
+  for (const TraceEvent& event : events) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"";
+    write_json_escaped(os, event.name);
+    os << "\",\"cat\":\"retask\",\"ph\":\"X\",\"pid\":1,\"tid\":" << event.tid;
+    const auto old_precision = os.precision(std::numeric_limits<double>::max_digits10);
+    os << ",\"ts\":" << us(event.ts_ns) << ",\"dur\":" << us(event.dur_ns) << "}";
+    os.precision(old_precision);
+  }
+  os << "]}\n";
+}
+
+void write_chrome_trace_file(const std::string& path) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    require(!ec, "cannot create directory '" + parent.string() + "': " + ec.message());
+  }
+  std::ofstream out(path);
+  require(out.good(), "cannot open trace file '" + path + "' for writing");
+  write_chrome_trace(out);
+  out.flush();
+  require(out.good(), "failed writing trace file '" + path + "'");
+}
+
+}  // namespace retask::obs

@@ -1,0 +1,106 @@
+// Scoped trace events with a Chrome trace_event JSON exporter.
+//
+// Each thread owns a fixed-capacity ring buffer of complete ("ph":"X")
+// events; emitting is a couple of stores plus two steady_clock reads, and
+// old events are overwritten once the ring fills, so tracing a long run is
+// bounded-memory by construction. write_chrome_trace() merges every
+// thread's ring, sorts by timestamp and emits the JSON object format that
+// chrome://tracing / Perfetto load directly.
+//
+// Tracing is OFF by default even in RETASK_OBS=ON builds: enable it with
+// set_trace_enabled(true) or the RETASK_TRACE environment variable (any
+// non-empty value but "0"). Event names must be string literals (the ring
+// stores the pointer, not a copy).
+//
+// Concurrency contract mirrors obs/metrics.hpp: emitting is thread-local;
+// trace_snapshot()/write_chrome_trace()/clear_trace() must not race a
+// parallel region.
+#ifndef RETASK_OBS_TRACE_HPP
+#define RETASK_OBS_TRACE_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace retask::obs {
+
+/// One complete ("ph":"X") event. Timestamps are nanoseconds from the
+/// process-wide trace epoch (first use of the clock anchor).
+struct TraceEvent {
+  const char* name = nullptr;  ///< string literal supplied by the emitter
+  std::uint32_t tid = 0;       ///< small stable per-thread id
+  std::uint64_t ts_ns = 0;     ///< scope begin
+  std::uint64_t dur_ns = 0;    ///< scope duration
+};
+
+/// Runtime switch; initialized from RETASK_TRACE on first query.
+bool trace_enabled();
+void set_trace_enabled(bool enabled);
+
+/// Ring capacity (events per thread) applied to every buffer; shrinking
+/// drops the oldest events. Default 65536.
+void set_trace_capacity(std::size_t events);
+
+/// Nanoseconds since the trace epoch.
+std::uint64_t trace_now_ns();
+
+/// Appends one complete event for the calling thread (no-op when disabled).
+void emit_trace(const char* name, std::uint64_t ts_ns, std::uint64_t dur_ns);
+
+/// Every buffered event across all threads, sorted by (ts_ns, tid).
+std::vector<TraceEvent> trace_snapshot();
+
+/// Total buffered events across all threads.
+std::size_t trace_event_count();
+
+/// Drops every buffered event (capacity kept).
+void clear_trace();
+
+/// Writes {"displayTimeUnit":"ms","traceEvents":[...]} with "ph":"X"
+/// events; timestamps/durations in microseconds as Chrome expects.
+void write_chrome_trace(std::ostream& os);
+
+/// File variant; throws retask::Error when the file cannot be opened.
+/// Creates missing parent directories.
+void write_chrome_trace_file(const std::string& path);
+
+/// RAII emitter: one complete event covering the scope's lifetime. The
+/// enabled check happens at construction, so a disabled trace costs one
+/// branch.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(const char* name)
+      : name_(trace_enabled() ? name : nullptr), start_ns_(name_ ? trace_now_ns() : 0) {}
+  ~ScopedTrace() {
+    if (name_ != nullptr) emit_trace(name_, start_ns_, trace_now_ns() - start_ns_);
+  }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace retask::obs
+
+#ifndef RETASK_OBS_CAT
+#define RETASK_OBS_CAT2(a, b) a##b
+#define RETASK_OBS_CAT(a, b) RETASK_OBS_CAT2(a, b)
+#endif
+
+#if defined(RETASK_OBS_ENABLED) && RETASK_OBS_ENABLED
+
+/// Emits a complete trace event covering the enclosing scope. `name` must
+/// be a string literal.
+#define RETASK_TRACE_SCOPE(name) \
+  const ::retask::obs::ScopedTrace RETASK_OBS_CAT(retask_obs_trace_, __LINE__)(name)
+
+#else
+
+#define RETASK_TRACE_SCOPE(name) ((void)0)
+
+#endif  // RETASK_OBS_ENABLED
+
+#endif  // RETASK_OBS_TRACE_HPP

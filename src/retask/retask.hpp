@@ -33,6 +33,10 @@
 #include "retask/core/two_pe.hpp"
 #include "retask/exp/harness.hpp"
 #include "retask/exp/workload.hpp"
+#include "retask/obs/bench_compare.hpp"
+#include "retask/obs/json.hpp"
+#include "retask/obs/metrics.hpp"
+#include "retask/obs/trace.hpp"
 #include "retask/power/critical_speed.hpp"
 #include "retask/power/energy_curve.hpp"
 #include "retask/power/polynomial_power.hpp"

@@ -6,6 +6,8 @@
 
 #include "retask/common/error.hpp"
 #include "retask/common/math.hpp"
+#include "retask/obs/metrics.hpp"
+#include "retask/obs/trace.hpp"
 
 namespace retask {
 namespace {
@@ -31,6 +33,8 @@ bool later(const Job& a, const Job& b) {
 
 EdfSimResult simulate_edf(const PeriodicTaskSet& tasks, const std::vector<bool>& selected,
                           const EdfSimConfig& config, const EnergyCurve& curve) {
+  RETASK_SCOPED_TIMER("edf_sim.simulate_ns");
+  RETASK_TRACE_SCOPE("edf_sim.simulate");
   require(config.speed > 0.0, "simulate_edf: speed must be positive");
   require(config.work_per_cycle > 0.0, "simulate_edf: work_per_cycle must be positive");
   require(selected.empty() || selected.size() == tasks.size(),
@@ -118,6 +122,7 @@ EdfSimResult simulate_edf(const PeriodicTaskSet& tasks, const std::vector<bool>&
 
   double now = 0.0;
   release_due(now);
+  RETASK_OBS_ONLY(std::uint64_t preemptions = 0;)
   while (!ready.empty() || next_release_time() < horizon) {
     if (ready.empty()) {
       const double idle_start = now;
@@ -153,6 +158,7 @@ EdfSimResult simulate_edf(const PeriodicTaskSet& tasks, const std::vector<bool>&
       release_due(now);
     } else {
       // Preempt (or merely pause) at the next release boundary.
+      RETASK_OBS_ONLY(++preemptions;)
       job.remaining -= (upcoming - now) * config.speed;
       result.busy_time += upcoming - now;
       now = upcoming;
@@ -166,6 +172,11 @@ EdfSimResult simulate_edf(const PeriodicTaskSet& tasks, const std::vector<bool>&
   account_idle(horizon - now);
 
   result.energy += result.busy_time * curve.model().power(config.speed);
+  RETASK_COUNT("edf_sim.runs", 1);
+  RETASK_COUNT("edf_sim.jobs_released", result.jobs_released);
+  RETASK_COUNT("edf_sim.deadline_misses", result.deadline_misses);
+  RETASK_COUNT("edf_sim.idle_intervals", result.idle_intervals);
+  RETASK_COUNT("edf_sim.preemptions", preemptions);
   return result;
 }
 

@@ -6,6 +6,8 @@
 
 #include "retask/common/error.hpp"
 #include "retask/common/math.hpp"
+#include "retask/obs/metrics.hpp"
+#include "retask/obs/trace.hpp"
 #include "retask/power/critical_speed.hpp"
 
 namespace retask {
@@ -46,6 +48,8 @@ void validate(const AperiodicJob& job) {
 
 OnlineSimResult simulate_online(std::vector<AperiodicJob> jobs, const OnlineSimConfig& config,
                                 const PowerModel& model) {
+  RETASK_SCOPED_TIMER("online_sim.simulate_ns");
+  RETASK_TRACE_SCOPE("online_sim.simulate");
   require(config.work_per_cycle > 0.0, "simulate_online: work_per_cycle must be positive");
   require(config.value_threshold >= 0.0, "simulate_online: value_threshold must be >= 0");
   validate(config.sleep);
@@ -168,6 +172,11 @@ OnlineSimResult simulate_online(std::vector<AperiodicJob> jobs, const OnlineSimC
     result.idle_time += tail;
     result.energy += idle_energy(tail);
   }
+  RETASK_COUNT("online_sim.runs", 1);
+  RETASK_COUNT("online_sim.jobs", result.jobs);
+  RETASK_COUNT("online_sim.admitted", result.admitted);
+  RETASK_COUNT("online_sim.rejected", result.jobs - result.admitted);
+  RETASK_COUNT("online_sim.deadline_misses", result.deadline_misses);
   return result;
 }
 

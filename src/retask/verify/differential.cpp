@@ -183,10 +183,17 @@ FuzzReport run_differential_fuzz(const FuzzOptions& options, const SuiteFactory&
         if (violations.empty()) return;
         if (options.shrink) {
           tasks = shrink_tasks(spec, std::move(tasks), factory);
+        }
+        // Re-check the (possibly minimized) instance under a scoped metrics
+        // registry so the counterexample records how much work the failing
+        // solves did — the shrink search's own solves are excluded.
+        obs::Registry metrics;
+        {
+          obs::ActiveScope scope(metrics);
           violations = check_instance(build_problem(spec, tasks), suite);
         }
         slots[round] = FuzzCounterexample{static_cast<int>(round), spec, std::move(tasks),
-                                          std::move(violations)};
+                                          std::move(violations), std::move(metrics)};
       },
       options.jobs);
 
@@ -220,6 +227,12 @@ CounterexampleFile to_counterexample_file(const FuzzCounterexample& counterexamp
   };
   for (const PropertyViolation& violation : counterexample.violations) {
     file.meta.emplace_back("violation", to_string(violation));
+  }
+  // Deterministic solver metrics of the failing re-check (timers excluded so
+  // replays of the same instance produce the same dump).
+  for (const obs::MetricRow& row :
+       obs::report_rows(counterexample.metrics, /*include_timers=*/false)) {
+    file.meta.emplace_back("metric." + row.name, row.value);
   }
   file.tasks = counterexample.tasks;
   return file;

@@ -20,6 +20,7 @@
 #include "retask/common/rng.hpp"
 #include "retask/core/problem.hpp"
 #include "retask/io/counterexample.hpp"
+#include "retask/obs/metrics.hpp"
 #include "retask/task/generator.hpp"
 #include "retask/verify/properties.hpp"
 
@@ -74,6 +75,10 @@ struct FuzzCounterexample {
   InstanceSpec spec;
   FrameTaskSet tasks;       ///< minimized task set
   std::vector<PropertyViolation> violations;  ///< on the minimized instance
+  /// Solver metrics collected while re-checking the minimized instance;
+  /// serialized as `metric.<name>` rows so the dump shows how much work the
+  /// failing solve did. Empty in RETASK_OBS=OFF builds.
+  obs::Registry metrics;
 };
 
 /// Aggregate fuzz outcome.

@@ -1,0 +1,91 @@
+// BitMatrix: the bit-packed DP choice table. The interesting widths sit at
+// the 64-bit word boundary (63/64/65 columns), where a packing bug would
+// smear bits into the neighbouring row's words.
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "retask/common/bit_matrix.hpp"
+
+namespace retask {
+namespace {
+
+TEST(BitMatrix, StartsAllZero) {
+  BitMatrix m;
+  m.reset(3, 70);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 70; ++c) EXPECT_FALSE(m.test(r, c)) << r << "," << c;
+  }
+}
+
+// One test body per width exercises set/test on every cell in a
+// checkerboard, including both sides of the word boundary.
+void exercise_width(std::size_t cols) {
+  const std::size_t rows = 5;
+  BitMatrix m;
+  m.reset(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if ((r + c) % 2 == 0) m.set(r, c);
+    }
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      EXPECT_EQ(m.test(r, c), (r + c) % 2 == 0) << "cols=" << cols << " @" << r << "," << c;
+    }
+  }
+}
+
+TEST(BitMatrix, Width63) { exercise_width(63); }
+TEST(BitMatrix, Width64) { exercise_width(64); }
+TEST(BitMatrix, Width65) { exercise_width(65); }
+TEST(BitMatrix, Width1) { exercise_width(1); }
+TEST(BitMatrix, Width128) { exercise_width(128); }
+
+TEST(BitMatrix, LastColumnOfRowDoesNotLeakIntoNextRow) {
+  BitMatrix m;
+  m.reset(2, 64);
+  m.set(0, 63);  // last bit of row 0's only word
+  EXPECT_TRUE(m.test(0, 63));
+  for (std::size_t c = 0; c < 64; ++c) EXPECT_FALSE(m.test(1, c)) << c;
+
+  m.reset(2, 65);
+  m.set(0, 64);  // first bit of row 0's second word
+  EXPECT_TRUE(m.test(0, 64));
+  for (std::size_t c = 0; c < 65; ++c) EXPECT_FALSE(m.test(1, c)) << c;
+}
+
+TEST(BitMatrix, ResetClearsAndResizes) {
+  BitMatrix m;
+  m.reset(4, 100);
+  m.set(3, 99);
+  EXPECT_TRUE(m.test(3, 99));
+
+  // Shrink: old bits must not survive into the reused buffer.
+  m.reset(2, 10);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 10; ++c) EXPECT_FALSE(m.test(r, c));
+  }
+  m.set(1, 9);
+
+  // Regrow past the previous size.
+  m.reset(6, 130);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 130; ++c) EXPECT_FALSE(m.test(r, c));
+  }
+  m.set(5, 129);
+  EXPECT_TRUE(m.test(5, 129));
+}
+
+TEST(BitMatrix, ZeroRowsIsUsableAfterReset) {
+  BitMatrix m;
+  m.reset(0, 64);  // empty table (e.g. every task filtered out)
+  m.reset(1, 1);
+  EXPECT_FALSE(m.test(0, 0));
+  m.set(0, 0);
+  EXPECT_TRUE(m.test(0, 0));
+}
+
+}  // namespace
+}  // namespace retask

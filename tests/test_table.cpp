@@ -58,5 +58,54 @@ TEST(FormatDouble, RespectsPrecision) {
   EXPECT_EQ(format_double(2.0, 6), "2");
 }
 
+TEST(Table, PrettyColumnsAlignAcrossMixedWidthCells) {
+  Table t("align", {"x", "a-much-wider-column"});
+  t.add_row({std::string("wider-than-header-x"), std::string("s")});
+  t.add_row({std::string("y"), std::string("zz")});
+  std::ostringstream os;
+  t.write_pretty(os);
+
+  // Every rendered line between the rules has the same length: each column
+  // is padded to the widest cell (here the first data cell beats its
+  // header).
+  std::istringstream lines(os.str());
+  std::string line;
+  std::size_t expected = 0;
+  ASSERT_TRUE(std::getline(lines, line));  // title line, not aligned
+  while (std::getline(lines, line)) {
+    if (expected == 0) expected = line.size();
+    EXPECT_EQ(line.size(), expected) << "line '" << line << "'";
+  }
+  // Cells sit between "| " separators in column order.
+  const std::string out = os.str();
+  EXPECT_LT(out.find("| x "), out.find("| wider-than-header-x"));
+}
+
+TEST(Table, CsvEscapesNewlinesAndLeavesPlainCellsAlone) {
+  Table t("fig", {"name", "plain"});
+  t.add_row({std::string("line1\nline2"), std::string("simple")});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "name,plain\n\"line1\nline2\",simple\n");
+}
+
+TEST(Table, CsvEscapesCellsThatAreOnlyAQuote) {
+  Table t("fig", {"c"});
+  t.add_row({std::string("\"")});
+  t.add_row({std::string("")});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "c\n\"\"\"\"\n\n");
+}
+
+TEST(Table, PrettyHandlesEmptyTable) {
+  Table t("empty", {"only"});
+  std::ostringstream os;
+  t.write_pretty(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("empty"), std::string::npos);
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace retask

@@ -3,6 +3,7 @@
 // drop-one-task minimization, and the counterexample dump/replay loop.
 #include "retask/verify/differential.hpp"
 
+#include <filesystem>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -179,6 +180,27 @@ TEST(CounterexampleIo, MetadataRoundTripsThroughPlainTaskCsv) {
   std::stringstream again;
   write_counterexample(again, file);
   EXPECT_EQ(read_frame_tasks(again).size(), 2u);
+}
+
+TEST(CounterexampleIo, FileWriterCreatesMissingOutputDirectories) {
+  // Regression: `retask_fuzz --out runs/today/ce` used to fail at dump time
+  // when the directory did not exist yet — after the whole sweep had run.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "retask_cex_out_test";
+  fs::remove_all(dir);
+  const fs::path path = dir / "nested" / "deeper" / "cex_0.csv";
+
+  CounterexampleFile file;
+  file.meta = {{"model", "xscale"}};
+  file.tasks = FrameTaskSet({{0, 40, 0.5}});
+  write_counterexample_file(path.string(), file);
+  ASSERT_TRUE(fs::exists(path));
+  const CounterexampleFile parsed = read_counterexample_file(path.string());
+  EXPECT_EQ(*parsed.find("model"), "xscale");
+  ASSERT_EQ(parsed.tasks.size(), 1u);
+
+  // A bare filename (empty parent path) still works.
+  fs::remove_all(dir);
 }
 
 TEST(CounterexampleIo, RejectsMalformedMetadata) {

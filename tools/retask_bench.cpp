@@ -1,0 +1,366 @@
+// retask_bench — pinned-workload benchmark runner with regression gating.
+//
+//   retask_bench --out BENCH_PR3.json                   # run + compare
+//   retask_bench --write-baseline                       # refresh the baseline
+//   retask_bench --filter greedy --repeats 9            # focus a subset
+//   retask_bench --trace-out trace.json                 # chrome://tracing dump
+//
+// Runs a fixed suite of solver/simulator workloads (each exercising one hot
+// path the ROADMAP's runtime story cares about), records median-of-k wall
+// times plus the deterministic solver metrics of one run, writes the report
+// as JSON (obs/bench_compare.hpp schema), and compares it against the
+// checked-in baseline: exit 1 when any workload's median exceeds
+// --threshold x its baseline median. A missing baseline is a bootstrap, not
+// a failure. Wall times on shared CI machines are noisy — the default
+// threshold is deliberately generous; the metrics columns are the
+// noise-free signal for "did the algorithm start doing more work".
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "retask/common/error.hpp"
+#include "retask/common/parallel.hpp"
+#include "retask/core/exact_dp.hpp"
+#include "retask/core/exhaustive.hpp"
+#include "retask/core/fptas.hpp"
+#include "retask/core/greedy.hpp"
+#include "retask/core/lower_bound.hpp"
+#include "retask/exp/harness.hpp"
+#include "retask/exp/workload.hpp"
+#include "retask/io/cli_options.hpp"
+#include "retask/obs/bench_compare.hpp"
+#include "retask/obs/metrics.hpp"
+#include "retask/obs/trace.hpp"
+#include "retask/sched/edf_sim.hpp"
+#include "retask/task/generator.hpp"
+
+#ifndef RETASK_BENCH_BASELINE_DEFAULT
+#define RETASK_BENCH_BASELINE_DEFAULT ""
+#endif
+
+namespace {
+
+using namespace retask;
+
+struct BenchCliOptions {
+  std::string out = "BENCH_PR3.json";
+  std::string baseline = RETASK_BENCH_BASELINE_DEFAULT;
+  std::string filter;
+  std::string trace_out;
+  double threshold = 2.5;
+  int repeats = 5;
+  int jobs = 1;
+  bool write_baseline = false;
+  bool list = false;
+  bool help = false;
+};
+
+const char* kUsage =
+    R"(retask_bench — pinned-workload benchmark runner with regression gating
+
+usage: retask_bench [options]
+
+  --out FILE         report JSON path (default BENCH_PR3.json)
+  --baseline FILE    baseline JSON to compare against (default: the
+                     checked-in bench/baseline/BENCH_BASELINE.json)
+  --threshold X      fail when median > X * baseline median (default 2.5)
+  --repeats K        measured runs per workload, median-of-K (default 5)
+  --filter SUBSTR    only run workloads whose name contains SUBSTR
+  --jobs J           worker threads for the harness workload (default 1)
+  --write-baseline   write this run's report to the baseline path and skip
+                     the comparison (baseline refresh)
+  --trace-out FILE   enable tracing and dump a chrome://tracing JSON
+  --list             print workload names and exit
+  --help             this text
+
+exit status: 0 ok (or bootstrap: no baseline yet), 1 regression or missing
+workload vs baseline, 2 usage error.
+)";
+
+std::int64_t parse_int(const std::string& flag, const std::string& value, std::int64_t lo,
+                       std::int64_t hi) {
+  std::int64_t parsed = 0;
+  try {
+    std::size_t used = 0;
+    parsed = std::stoll(value, &used);
+    require(used == value.size(), "trailing junk");
+  } catch (const std::exception&) {
+    throw Error(flag + " expects an integer, got '" + value + "'");
+  }
+  require(parsed >= lo && parsed <= hi,
+          flag + " expects a value in [" + std::to_string(lo) + ", " + std::to_string(hi) +
+              "], got '" + value + "'");
+  return parsed;
+}
+
+double parse_double(const std::string& flag, const std::string& value, double lo) {
+  double parsed = 0.0;
+  try {
+    std::size_t used = 0;
+    parsed = std::stod(value, &used);
+    require(used == value.size(), "trailing junk");
+  } catch (const std::exception&) {
+    throw Error(flag + " expects a number, got '" + value + "'");
+  }
+  require(parsed > lo, flag + " expects a value > " + std::to_string(lo));
+  return parsed;
+}
+
+BenchCliOptions parse(const std::vector<std::string>& args) {
+  BenchCliOptions options;
+  const auto value = [&](std::size_t& i, const std::string& flag) -> const std::string& {
+    require(i + 1 < args.size(), flag + " expects a value");
+    return args[++i];
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      options.help = true;
+    } else if (arg == "--out") {
+      options.out = value(i, arg);
+    } else if (arg == "--baseline") {
+      options.baseline = value(i, arg);
+    } else if (arg == "--threshold") {
+      options.threshold = parse_double(arg, value(i, arg), 0.0);
+    } else if (arg == "--repeats") {
+      options.repeats = static_cast<int>(parse_int(arg, value(i, arg), 1, 1000));
+    } else if (arg == "--filter") {
+      options.filter = value(i, arg);
+    } else if (arg == "--jobs") {
+      options.jobs = static_cast<int>(parse_int(arg, value(i, arg), 1, 4096));
+    } else if (arg == "--write-baseline") {
+      options.write_baseline = true;
+    } else if (arg == "--trace-out") {
+      options.trace_out = value(i, arg);
+    } else if (arg == "--list") {
+      options.list = true;
+    } else {
+      throw Error("unknown option '" + arg + "' (see --help)");
+    }
+  }
+  return options;
+}
+
+/// One pinned workload. The body runs the measured work; on the metrics
+/// pass it also fills `metrics` with the deterministic counters of that
+/// run (most bodies just wrap themselves in an ActiveScope).
+struct Workload {
+  std::string name;
+  std::function<void(obs::Registry& metrics)> body;
+};
+
+RejectionProblem scenario(int task_count, double load, double resolution, std::uint64_t seed) {
+  const std::unique_ptr<PowerModel> model = make_model_by_name("xscale");
+  ScenarioConfig config;
+  config.task_count = task_count;
+  config.load = load;
+  config.resolution = resolution;
+  config.seed = seed;
+  return make_scenario(config, *model);
+}
+
+std::vector<Workload> build_workloads(int jobs) {
+  std::vector<Workload> workloads;
+  // Instances are built once, outside the timed region, and shared across
+  // runs; every solver is const and instance-independent, so repeated solves
+  // are pure re-execution.
+  const auto solver_workload = [&](std::string name, std::shared_ptr<RejectionProblem> problem,
+                                   std::shared_ptr<const RejectionSolver> solver) {
+    workloads.push_back({std::move(name), [problem, solver](obs::Registry& metrics) {
+                           obs::ActiveScope scope(metrics);
+                           solver->solve(*problem);
+                         }});
+  };
+
+  solver_workload("greedy_density_n2048",
+                  std::make_shared<RejectionProblem>(scenario(2048, 1.3, 4000.0, 11)),
+                  std::make_shared<DensityGreedySolver>());
+  solver_workload("greedy_local_search_n128",
+                  std::make_shared<RejectionProblem>(scenario(128, 1.2, 2000.0, 12)),
+                  std::make_shared<MarginalGreedySolver>());
+  solver_workload("exact_dp_n24_cap16k",
+                  std::make_shared<RejectionProblem>(scenario(24, 1.25, 16000.0, 13)),
+                  std::make_shared<ExactDpSolver>());
+  solver_workload("fptas_eps0.05_n48",
+                  std::make_shared<RejectionProblem>(scenario(48, 1.2, 3000.0, 14)),
+                  std::make_shared<FptasSolver>(0.05));
+  solver_workload("exhaustive_n14",
+                  std::make_shared<RejectionProblem>(scenario(14, 1.3, 800.0, 15)),
+                  std::make_shared<ExhaustiveSolver>());
+
+  {
+    const auto problem = std::make_shared<RejectionProblem>(scenario(2048, 1.4, 4000.0, 16));
+    workloads.push_back({"lower_bound_n2048", [problem](obs::Registry& metrics) {
+                           obs::ActiveScope scope(metrics);
+                           fractional_lower_bound(*problem);
+                         }});
+  }
+
+  // A miniature R1-style comparison sweep: the full point x instance x
+  // algorithm grid through the parallel harness. Metrics come from the
+  // merged AlgoStats registries (deterministic at any --jobs), not from a
+  // main-thread scope, because the cells run on pool threads.
+  workloads.push_back({"harness_r1_mini", [jobs](obs::Registry& metrics) {
+                         const ProblemFactory factory = [](std::uint64_t seed) {
+                           return scenario(12, 1.2, 1500.0, seed);
+                         };
+                         std::vector<std::unique_ptr<RejectionSolver>> lineup;
+                         lineup.push_back(std::make_unique<DensityGreedySolver>());
+                         lineup.push_back(std::make_unique<MarginalGreedySolver>());
+                         lineup.push_back(std::make_unique<FptasSolver>(0.1));
+                         const std::vector<AlgoStats> stats = run_comparison(
+                             factory, lineup,
+                             [](const RejectionProblem& p) { return fractional_lower_bound(p); },
+                             /*instances=*/8, /*seed0=*/1, jobs);
+                         for (const AlgoStats& s : stats) metrics.merge(s.metrics);
+                       }});
+
+  {
+    PeriodicWorkloadConfig config;
+    config.task_count = 32;
+    config.total_rate = 0.6;
+    Rng rng(17);
+    const auto tasks = std::make_shared<PeriodicTaskSet>(generate_periodic_tasks(config, rng));
+    const std::unique_ptr<PowerModel> model = make_model_by_name("xscale");
+    const auto curve = std::make_shared<EnergyCurve>(*model, 1.0, IdleDiscipline::kDormantEnable,
+                                                     SleepParams{});
+    const double speed = model->max_speed();
+    workloads.push_back({"edf_sim_n32", [tasks, curve, speed](obs::Registry& metrics) {
+                           obs::ActiveScope scope(metrics);
+                           EdfSimConfig config_sim;
+                           config_sim.speed = speed;
+                           config_sim.procrastinate = true;
+                           simulate_edf(*tasks, {}, config_sim, *curve);
+                         }});
+  }
+  return workloads;
+}
+
+obs::BenchWorkloadResult run_workload(const Workload& workload, int repeats) {
+  obs::BenchWorkloadResult result;
+  result.name = workload.name;
+
+  // Warmup doubles as the metrics pass: deterministic counters are
+  // identical on every run, so collecting them outside the timed loop keeps
+  // the measured runs free of registry churn.
+  obs::Registry metrics;
+  workload.body(metrics);
+  for (const obs::MetricRow& row : obs::report_rows(metrics, /*include_timers=*/false)) {
+    result.metrics.emplace_back(row.name, row.numeric);
+  }
+
+  obs::Registry scratch;
+  for (int r = 0; r < repeats; ++r) {
+    scratch.clear();
+    const auto start = std::chrono::steady_clock::now();
+    workload.body(scratch);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    result.runs_ns.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  }
+  std::vector<std::uint64_t> sorted = result.runs_ns;
+  std::sort(sorted.begin(), sorted.end());
+  result.median_ns = sorted[sorted.size() / 2];
+  return result;
+}
+
+int run(const BenchCliOptions& options) {
+  std::vector<Workload> workloads = build_workloads(options.jobs);
+  if (!options.filter.empty()) {
+    std::erase_if(workloads, [&](const Workload& w) {
+      return w.name.find(options.filter) == std::string::npos;
+    });
+    require(!workloads.empty(), "--filter '" + options.filter + "' matches no workload");
+  }
+  if (options.list) {
+    for (const Workload& w : workloads) std::cout << w.name << "\n";
+    return 0;
+  }
+
+  if (!options.trace_out.empty()) obs::set_trace_enabled(true);
+
+  obs::BenchReport report;
+  report.jobs = options.jobs;
+  report.repeats = options.repeats;
+  for (const Workload& workload : workloads) {
+    obs::BenchWorkloadResult result = run_workload(workload, options.repeats);
+    std::cout << result.name << ": median " << result.median_ns / 1000 << " us over "
+              << options.repeats << " runs\n";
+    report.workloads.push_back(std::move(result));
+  }
+
+  if (!options.trace_out.empty()) {
+    obs::write_chrome_trace_file(options.trace_out);
+    std::cout << "trace: " << obs::trace_event_count() << " event(s) -> " << options.trace_out
+              << " (open in chrome://tracing or https://ui.perfetto.dev)\n";
+  }
+
+  if (options.write_baseline) {
+    require(!options.baseline.empty(), "--write-baseline: no baseline path configured");
+    obs::write_bench_report_file(options.baseline, report);
+    std::cout << "baseline written: " << options.baseline << "\n";
+    return 0;
+  }
+
+  obs::write_bench_report_file(options.out, report);
+  std::cout << "report written: " << options.out << "\n";
+
+  if (options.baseline.empty() || !std::filesystem::exists(options.baseline)) {
+    std::cout << "no baseline at '" << options.baseline
+              << "' — bootstrap run, nothing to compare (record one with --write-baseline)\n";
+    return 0;
+  }
+
+  obs::BenchReport baseline = obs::read_bench_report_file(options.baseline);
+  if (!options.filter.empty()) {
+    // A filtered run only measured a subset; keep the comparison to the
+    // same subset so the unmeasured workloads don't read as "missing".
+    std::erase_if(baseline.workloads, [&](const obs::BenchWorkloadResult& w) {
+      return w.name.find(options.filter) == std::string::npos;
+    });
+  }
+  const obs::BenchComparison comparison =
+      obs::compare_bench_reports(report, baseline, options.threshold);
+  for (const obs::BenchRegression& regression : comparison.regressions) {
+    std::cout << "REGRESSION " << regression.name << ": " << regression.current_ns / 1000
+              << " us vs baseline " << regression.baseline_ns / 1000 << " us ("
+              << regression.ratio << "x > " << options.threshold << "x)\n";
+  }
+  for (const std::string& name : comparison.missing) {
+    std::cout << "MISSING " << name << ": in baseline but not in this run\n";
+  }
+  for (const std::string& name : comparison.added) {
+    std::cout << "note: new workload " << name << " (not in baseline)\n";
+  }
+  for (const obs::BenchMetricDrift& drift : comparison.metric_drift) {
+    std::cout << "note: metric drift " << drift.workload << "/" << drift.metric << ": "
+              << drift.baseline << " -> " << drift.current << "\n";
+  }
+  if (!comparison.ok()) return 1;
+  std::cout << "ok: " << report.workloads.size() << " workload(s) within " << options.threshold
+            << "x of baseline\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const BenchCliOptions options = parse({argv + 1, argv + argc});
+    if (options.help) {
+      std::cout << kUsage;
+      return 0;
+    }
+    set_default_jobs(options.jobs);
+    return run(options);
+  } catch (const retask::Error& error) {
+    std::cerr << "error: " << error.what() << "\n\n" << kUsage;
+    return 2;
+  }
+}
