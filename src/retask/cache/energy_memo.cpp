@@ -1,0 +1,55 @@
+#include "retask/cache/energy_memo.hpp"
+
+#include "retask/obs/metrics.hpp"
+
+namespace retask {
+namespace {
+
+/// Stable slot of the calling thread, assigned on first use and never
+/// reused. Worker-pool threads persist for the process lifetime, so the
+/// counter stays tiny in practice.
+std::size_t thread_slot() {
+  static std::atomic<std::size_t> next_slot{0};
+  thread_local const std::size_t slot = next_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace
+
+EnergyMemo::~EnergyMemo() {
+  for (std::atomic<Shard*>& slot : shards_) {
+    delete slot.load(std::memory_order_acquire);
+  }
+}
+
+EnergyMemo::Shard* EnergyMemo::local_shard() {
+  const std::size_t slot = thread_slot();
+  if (slot >= kMaxShards) return nullptr;
+  Shard* shard = shards_[slot].load(std::memory_order_acquire);
+  if (shard == nullptr) {
+    shard = new Shard();
+    // The slot is owned by this thread, so the store cannot race another
+    // writer; release pairs with the destructor's acquire.
+    shards_[slot].store(shard, std::memory_order_release);
+  }
+  return shard;
+}
+
+std::size_t EnergyMemo::local_size() {
+  Shard* shard = local_shard();
+  return shard == nullptr ? 0 : shard->values.size();
+}
+
+std::size_t EnergyMemo::shard_count() const {
+  std::size_t count = 0;
+  for (const std::atomic<Shard*>& slot : shards_) {
+    if (slot.load(std::memory_order_acquire) != nullptr) ++count;
+  }
+  return count;
+}
+
+void EnergyMemo::count_hit() { RETASK_COUNT("cache.energy_hits", 1); }
+
+void EnergyMemo::count_miss() { RETASK_COUNT("cache.energy_misses", 1); }
+
+}  // namespace retask

@@ -1,0 +1,91 @@
+// Shared energy memo: a per-problem cache of E(cycles) evaluations.
+//
+// Every solver in core/ spends most of its time in
+// RejectionProblem::energy_of_cycles — each call optimizes a speed schedule
+// over the curve's hull — and a sweep grid evaluates the *same* curve at the
+// same cycle counts thousands of times: the DP objective sweep, the FPTAS
+// guess rounds, the marginal greedy's flip loop, the exhaustive mask loop
+// and the harness's reference solve all revisit overlapping loads. The memo
+// turns those repeats into hash lookups while keeping two hard guarantees:
+//
+//  * Bit-identity. E(W) is a pure function of (curve, work_per_cycle,
+//    cycles); the memo only ever returns a value the cold path computed, so
+//    cached and uncached runs produce the same bits in every consumer.
+//  * Lock-free sharding. One memo may be shared across the worker pool (a
+//    whole sweep's cells attach the same memo when their curves are
+//    identical — see exp/harness.hpp). Each thread owns a private shard
+//    selected by a stable per-thread slot, so recording never takes a lock
+//    and never races: a thread only reads and writes its own shard. Threads
+//    therefore do not see each other's entries — sharing across threads
+//    trades perfect reuse for zero synchronization, which is the right
+//    trade when each shard converges to the same hot working set anyway.
+//
+// Sharing contract: attach one memo only to problems with identical
+// (EnergyCurve, work_per_cycle). The memo cannot verify this; the attach
+// sites in exp/harness and the benches are the audited callers.
+#ifndef RETASK_CACHE_ENERGY_MEMO_HPP
+#define RETASK_CACHE_ENERGY_MEMO_HPP
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <unordered_map>
+
+#include "retask/task/task.hpp"
+
+namespace retask {
+
+/// Per-thread-sharded memo of cycles -> energy. Copyable problems share it
+/// through a shared_ptr (see RejectionProblem::attach_energy_memo).
+class EnergyMemo {
+ public:
+  EnergyMemo() = default;
+  ~EnergyMemo();
+  EnergyMemo(const EnergyMemo&) = delete;
+  EnergyMemo& operator=(const EnergyMemo&) = delete;
+
+  /// Returns the memoized energy for `cycles`, calling `compute(cycles)` on
+  /// a miss and recording the result in the calling thread's shard. Safe to
+  /// call concurrently from any number of threads; obs counters
+  /// cache.energy_hits / cache.energy_misses track the reuse.
+  template <typename Fn>
+  double get_or_compute(Cycles cycles, const Fn& compute) {
+    Shard* shard = local_shard();
+    if (shard == nullptr) return compute(cycles);  // shard slots exhausted
+    const auto it = shard->values.find(cycles);
+    if (it != shard->values.end()) {
+      count_hit();
+      return it->second;
+    }
+    count_miss();
+    const double energy = compute(cycles);
+    shard->values.emplace(cycles, energy);
+    return energy;
+  }
+
+  /// Entries in the calling thread's shard (tests; other shards are not
+  /// safely readable from here).
+  std::size_t local_size();
+
+  /// Shards allocated so far (grows monotonically; tests).
+  std::size_t shard_count() const;
+
+ private:
+  struct Shard {
+    std::unordered_map<Cycles, double> values;
+  };
+
+  /// Threads ever touching one memo beyond this count fall back to the cold
+  /// path; far above the worker-pool sizes the harness uses.
+  static constexpr std::size_t kMaxShards = 256;
+
+  Shard* local_shard();
+  static void count_hit();
+  static void count_miss();
+
+  std::array<std::atomic<Shard*>, kMaxShards> shards_{};
+};
+
+}  // namespace retask
+
+#endif  // RETASK_CACHE_ENERGY_MEMO_HPP

@@ -1,0 +1,55 @@
+// Thread-local scratch arenas for the knapsack-style DP solvers.
+//
+// A sweep grid runs thousands of solves per thread; before this module each
+// solve allocated its value row and bit-packed choice table from scratch.
+// The arenas keep one buffer set per (thread, solver family) at its
+// high-water mark — BitMatrix::reset already reuses capacity, and the value
+// rows are assign()ed, so repeated solves at similar sizes stop touching
+// the allocator entirely. Each accessor returns storage private to the
+// calling thread, so the solvers stay safe to run concurrently; solvers
+// must finish with the arena before returning (none of them calls another
+// arena user of the same family while mid-solve).
+#ifndef RETASK_CACHE_SCRATCH_HPP
+#define RETASK_CACHE_SCRATCH_HPP
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "retask/common/bit_matrix.hpp"
+#include "retask/task/task.hpp"
+
+namespace retask {
+
+/// Buffers of one exact/budgeted DP solve: the value row plus the choice
+/// table.
+struct DpScratch {
+  std::vector<double> value;
+  BitMatrix take;
+};
+
+/// Buffers reused across the guess-refinement rounds of one FPTAS solve.
+struct FptasScratch {
+  std::vector<std::size_t> movable;  ///< task indices with penalty <= guess
+  std::vector<std::size_t> quant;    ///< floor(penalty / delta) per movable task
+  std::vector<Cycles> rej;
+  std::vector<double> true_pen;
+  BitMatrix take;
+  /// Fallback energy memo for problems without an attached EnergyMemo;
+  /// cleared at the start of every solve (entries are only valid within one
+  /// problem's curve).
+  std::unordered_map<Cycles, double> energy_memo;
+};
+
+/// The calling thread's arena for the exact DP (core/exact_dp.cpp).
+DpScratch& exact_dp_scratch();
+
+/// The calling thread's arena for the budgeted DP (core/budgeted.cpp).
+DpScratch& budgeted_scratch();
+
+/// The calling thread's arena for the FPTAS rounds (core/fptas.cpp).
+FptasScratch& fptas_scratch();
+
+}  // namespace retask
+
+#endif  // RETASK_CACHE_SCRATCH_HPP

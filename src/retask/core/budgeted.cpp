@@ -5,12 +5,17 @@
 #include <limits>
 #include <numeric>
 
+#include "retask/cache/energy_memo.hpp"
+#include "retask/cache/scratch.hpp"
 #include "retask/common/bit_matrix.hpp"
 #include "retask/common/error.hpp"
 #include "retask/common/math.hpp"
+#include "retask/obs/metrics.hpp"
 
 namespace retask {
 namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
 Cycles cycle_capacity(const BudgetedProblem& problem) {
   return static_cast<Cycles>(
@@ -22,19 +27,86 @@ double energy_of(const BudgetedProblem& problem, Cycles cycles) {
 }
 
 /// Largest cycle count whose energy fits the budget (E is increasing).
-Cycles budget_cycle_cap(const BudgetedProblem& problem) {
+/// `energy` must return energy_of(problem, cycles) bits; the sweep entry
+/// point passes a memoized wrapper, which preserves the search because the
+/// memo replays exact values.
+template <typename EnergyFn>
+Cycles budget_cycle_cap_impl(const BudgetedProblem& problem, const EnergyFn& energy) {
   Cycles lo = 0;
   Cycles hi = std::min(cycle_capacity(problem), problem.tasks.total_cycles());
-  if (!leq_tol(energy_of(problem, 0), problem.energy_budget)) return -1;
+  if (!leq_tol(energy(Cycles{0}), problem.energy_budget)) return -1;
   while (lo < hi) {
     const Cycles mid = lo + (hi - lo + 1) / 2;
-    if (leq_tol(energy_of(problem, mid), problem.energy_budget)) {
+    if (leq_tol(energy(mid), problem.energy_budget)) {
       lo = mid;
     } else {
       hi = mid - 1;
     }
   }
   return lo;
+}
+
+Cycles budget_cycle_cap(const BudgetedProblem& problem) {
+  return budget_cycle_cap_impl(problem, [&](Cycles c) { return energy_of(problem, c); });
+}
+
+/// Knapsack-over-cycles fill into the scratch arena, mirroring the exact-DP
+/// hot loop (see core/exact_dp.cpp, including the prefix property that makes
+/// one fill at the largest cap serve every smaller cap bit-identically).
+void fill_budgeted_table(const BudgetedProblem& problem, Cycles cap, DpScratch& scratch) {
+  const std::size_t n = problem.tasks.size();
+  const auto width = static_cast<std::size_t>(cap) + 1;
+  std::vector<double>& best = scratch.value;
+  best.assign(width, kNegInf);
+  best[0] = 0.0;
+  BitMatrix& take = scratch.take;
+  take.reset(n, width);
+
+  std::size_t reachable = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const FrameTask& task = problem.tasks[i];
+    if (task.cycles > cap) continue;
+    const auto ci = static_cast<std::size_t>(task.cycles);
+    const std::size_t top = std::min(width - 1, reachable + ci);
+    for (std::size_t w = top + 1; w-- > ci;) {
+      const double candidate = best[w - ci] == kNegInf ? kNegInf : best[w - ci] + task.penalty;
+      if (candidate > best[w]) {
+        best[w] = candidate;
+        take.set(i, w);
+      }
+    }
+    reachable = top;
+  }
+}
+
+/// Reads the best accept set for cycle cap `cap` off a table filled at
+/// capacity >= cap. Only rows <= cap are touched, so a table filled at a
+/// larger capacity yields bit-identical results.
+BudgetedSolution select_budgeted(const BudgetedProblem& problem, Cycles cap,
+                                 const DpScratch& scratch) {
+  const std::size_t n = problem.tasks.size();
+  const std::vector<double>& best = scratch.value;
+  const BitMatrix& take = scratch.take;
+
+  double best_value = 0.0;
+  std::size_t best_w = 0;
+  for (std::size_t w = 0; w <= static_cast<std::size_t>(cap); ++w) {
+    if (best[w] > best_value) {
+      best_value = best[w];
+      best_w = w;
+    }
+  }
+
+  std::vector<bool> accepted(n, false);
+  std::size_t w = best_w;
+  for (std::size_t i = n; i-- > 0;) {
+    if (take.test(i, w)) {
+      accepted[i] = true;
+      w -= static_cast<std::size_t>(problem.tasks[i].cycles);
+    }
+  }
+  RETASK_ASSERT(w == 0);
+  return make_budgeted_solution(problem, std::move(accepted));
 }
 
 std::vector<std::size_t> by_density_desc(const BudgetedProblem& problem) {
@@ -82,54 +154,50 @@ BudgetedSolution make_budgeted_solution(const BudgetedProblem& problem,
 
 BudgetedSolution solve_budgeted_dp(const BudgetedProblem& problem) {
   validate(problem);
-  const std::size_t n = problem.tasks.size();
   const Cycles cap = budget_cycle_cap(problem);
   require(cap >= 0, "solve_budgeted_dp: even an empty accept set exceeds the budget");
+  DpScratch& scratch = budgeted_scratch();
+  fill_budgeted_table(problem, cap, scratch);
+  return select_budgeted(problem, cap, scratch);
+}
 
-  const auto width = static_cast<std::size_t>(cap) + 1;
-  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-  std::vector<double> best(width, kNegInf);
-  best[0] = 0.0;
-  // Bit-packed choice table plus a reachable-row bound, mirroring the
-  // exact-DP hot loop (see core/exact_dp.cpp).
-  BitMatrix take;
-  take.reset(n, width);
+std::vector<BudgetedSolution> solve_budgeted_dp_sweep(const BudgetedProblem& problem,
+                                                      const std::vector<double>& budgets) {
+  if (budgets.empty()) return {};
 
-  std::size_t reachable = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const FrameTask& task = problem.tasks[i];
-    if (task.cycles > cap) continue;
-    const auto ci = static_cast<std::size_t>(task.cycles);
-    const std::size_t top = std::min(width - 1, reachable + ci);
-    for (std::size_t w = top + 1; w-- > ci;) {
-      const double candidate = best[w - ci] == kNegInf ? kNegInf : best[w - ci] + task.penalty;
-      if (candidate > best[w]) {
-        best[w] = candidate;
-        take.set(i, w);
-      }
-    }
-    reachable = top;
+  // One memo serves every budget's binary search: the curve and
+  // work_per_cycle are fixed across the sweep, only the budget threshold
+  // moves, so the searches probe overlapping cycle counts.
+  EnergyMemo memo;
+  const auto memo_energy = [&](Cycles c) {
+    return memo.get_or_compute(c, [&](Cycles cc) { return energy_of(problem, cc); });
+  };
+
+  BudgetedProblem local = problem;
+  std::vector<Cycles> caps(budgets.size());
+  Cycles max_cap = 0;
+  for (std::size_t b = 0; b < budgets.size(); ++b) {
+    local.energy_budget = budgets[b];
+    validate(local);
+    caps[b] = budget_cycle_cap_impl(local, memo_energy);
+    require(caps[b] >= 0,
+            "solve_budgeted_dp_sweep: even an empty accept set exceeds a budget");
+    max_cap = std::max(max_cap, caps[b]);
   }
 
-  double best_value = 0.0;
-  std::size_t best_w = 0;
-  for (std::size_t w = 0; w < width; ++w) {
-    if (best[w] > best_value) {
-      best_value = best[w];
-      best_w = w;
-    }
-  }
+  // One fill at the largest budget's cycle cap; each budget's answer is the
+  // value sweep over its own prefix of the shared table.
+  DpScratch& scratch = budgeted_scratch();
+  fill_budgeted_table(problem, max_cap, scratch);
+  RETASK_COUNT("dp.warm_starts", budgets.size() - 1);
 
-  std::vector<bool> accepted(n, false);
-  std::size_t w = best_w;
-  for (std::size_t i = n; i-- > 0;) {
-    if (take.test(i, w)) {
-      accepted[i] = true;
-      w -= static_cast<std::size_t>(problem.tasks[i].cycles);
-    }
+  std::vector<BudgetedSolution> solutions;
+  solutions.reserve(budgets.size());
+  for (std::size_t b = 0; b < budgets.size(); ++b) {
+    local.energy_budget = budgets[b];
+    solutions.push_back(select_budgeted(local, caps[b], scratch));
   }
-  RETASK_ASSERT(w == 0);
-  return make_budgeted_solution(problem, std::move(accepted));
+  return solutions;
 }
 
 BudgetedSolution solve_budgeted_greedy(const BudgetedProblem& problem) {

@@ -4,30 +4,34 @@
 #include <limits>
 #include <vector>
 
+#include "retask/cache/scratch.hpp"
+#include "retask/cache/sweep.hpp"
 #include "retask/common/bit_matrix.hpp"
 #include "retask/common/error.hpp"
 #include "retask/obs/metrics.hpp"
 #include "retask/obs/trace.hpp"
 
 namespace retask {
+namespace {
 
-RejectionSolution ExactDpSolver::solve(const RejectionProblem& problem) const {
-  RETASK_SCOPED_TIMER("exact_dp.solve_ns");
-  RETASK_TRACE_SCOPE("exact_dp.solve");
-  require(problem.processor_count() == 1, "ExactDpSolver: single-processor algorithm");
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Fills the knapsack table for `problem`'s task set at capacity `cap` into
+/// the scratch arena: kept[w] = maximum total penalty of accepted tasks
+/// whose cycles sum to exactly w, take(i, w) = the update at task i improved
+/// state w (bit-packed). The table has a prefix property the sweep entry
+/// point exploits: rows w <= c are identical for every fill capacity >= c,
+/// because tasks with cycles > c only ever write rows >= their own cycle
+/// count and rows <= c are reachable only through tasks that both fills
+/// process identically.
+void fill_table(const RejectionProblem& problem, Cycles cap, DpScratch& scratch) {
   const std::size_t n = problem.size();
-  const Cycles cap = std::min(problem.cycle_capacity(), problem.tasks().total_cycles());
-  require(cap >= 0, "ExactDpSolver: negative capacity");
-
   const auto width = static_cast<std::size_t>(cap) + 1;
-  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
-  // kept[w]: maximum total penalty of accepted tasks whose cycles sum to
-  // exactly w. take(i, w): the update at task i improved state w. The
-  // choice table is bit-packed into one contiguous buffer.
-  std::vector<double> kept(width, kNegInf);
+  std::vector<double>& kept = scratch.value;
+  kept.assign(width, kNegInf);
   kept[0] = 0.0;
-  BitMatrix take;
+  BitMatrix& take = scratch.take;
   take.reset(n, width);
 
   // reachable: largest w with kept[w] > -inf so far; rows above it cannot
@@ -55,25 +59,36 @@ RejectionSolution ExactDpSolver::solve(const RejectionProblem& problem) const {
     }
     reachable = top;
   }
-  RETASK_COUNT("exact_dp.solves", 1);
   RETASK_COUNT("exact_dp.cells_touched", cells_touched);
   RETASK_COUNT("exact_dp.cells_skipped", cells_skipped);
   RETASK_COUNT("exact_dp.tasks_pruned", tasks_pruned);
   RETASK_RECORD("exact_dp.table_width", width);
+}
+
+/// Reads the best solution for `problem` off a table filled at capacity
+/// >= `cap`: sweeps rows [0, cap] for the best objective and reconstructs
+/// the accept set through the choice bits. Only rows <= cap are touched, so
+/// a table filled at a larger capacity yields bit-identical results.
+RejectionSolution select_best(const RejectionProblem& problem, Cycles cap,
+                              const DpScratch& scratch) {
+  const std::size_t n = problem.size();
+  const std::vector<double>& kept = scratch.value;
+  const BitMatrix& take = scratch.take;
 
   // Sweep achievable accepted-cycle totals for the best objective. The
   // energy evaluation is the expensive part (it optimizes the speed
   // schedule), so rows that cannot win are pruned before touching it: the
   // penalty term alone already losing skips the row, and E non-decreasing
   // in the load (the invariant the budgeted binary search and the
-  // exhaustive bound also rely on) ends the sweep once the energy term
-  // alone loses. Both prunes only drop rows with objective >= the current
-  // best, so the selected row is exactly the naive sweep's.
+  // exhaustive bound also rely on; asserted for every registered power
+  // model in tests/test_solve_cache.cpp) ends the sweep once the energy
+  // term alone loses. Both prunes only drop rows with objective >= the
+  // current best, so the selected row is exactly the naive sweep's.
   const double total_penalty = problem.tasks().total_penalty();
   double best_objective = std::numeric_limits<double>::infinity();
   std::size_t best_w = 0;
   RETASK_OBS_ONLY(std::uint64_t energy_evals = 0;)
-  for (std::size_t w = 0; w < width; ++w) {
+  for (std::size_t w = 0; w <= static_cast<std::size_t>(cap); ++w) {
     if (kept[w] == kNegInf) continue;
     const double penalty = total_penalty - kept[w];
     if (penalty >= best_objective) continue;
@@ -100,6 +115,66 @@ RejectionSolution ExactDpSolver::solve(const RejectionProblem& problem) const {
   }
   RETASK_ASSERT(w == 0);
   return make_solution_on_one(problem, std::move(accepted));
+}
+
+Cycles fill_capacity(const RejectionProblem& problem) {
+  require(problem.processor_count() == 1, "ExactDpSolver: single-processor algorithm");
+  const Cycles cap = std::min(problem.cycle_capacity(), problem.tasks().total_cycles());
+  require(cap >= 0, "ExactDpSolver: negative capacity");
+  return cap;
+}
+
+}  // namespace
+
+RejectionSolution ExactDpSolver::solve(const RejectionProblem& problem) const {
+  RETASK_SCOPED_TIMER("exact_dp.solve_ns");
+  RETASK_TRACE_SCOPE("exact_dp.solve");
+  const Cycles cap = fill_capacity(problem);
+  DpScratch& scratch = exact_dp_scratch();
+  fill_table(problem, cap, scratch);
+  RETASK_COUNT("exact_dp.solves", 1);
+  return select_best(problem, cap, scratch);
+}
+
+std::vector<RejectionSolution> ExactDpSolver::solve_sweep(
+    const std::vector<const RejectionProblem*>& points) const {
+  if (points.empty()) return {};
+
+  // The warm start requires every point to share the task set (the table is
+  // a function of nothing else); a mixed sweep falls back to per-point
+  // solves so callers never have to pre-check.
+  bool shared_tasks = true;
+  for (std::size_t p = 1; p < points.size() && shared_tasks; ++p) {
+    shared_tasks = same_task_sets(points[0]->tasks(), points[p]->tasks());
+  }
+  if (!shared_tasks || points.size() == 1) {
+    RETASK_COUNT("dp.sweep_fallbacks", shared_tasks ? 0 : 1);
+    return RejectionSolver::solve_sweep(points);
+  }
+
+  RETASK_SCOPED_TIMER("exact_dp.solve_sweep_ns");
+  RETASK_TRACE_SCOPE("exact_dp.solve_sweep");
+  std::vector<Cycles> caps(points.size());
+  Cycles max_cap = 0;
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    caps[p] = fill_capacity(*points[p]);
+    max_cap = std::max(max_cap, caps[p]);
+  }
+
+  // One fill at the largest capacity; every point reads its answer off the
+  // shared prefix (see fill_table's prefix property for why rows <= cap_p
+  // are bit-identical to a dedicated fill at cap_p).
+  DpScratch& scratch = exact_dp_scratch();
+  fill_table(*points[0], max_cap, scratch);
+  RETASK_COUNT("exact_dp.solves", 1);
+  RETASK_COUNT("dp.warm_starts", points.size() - 1);
+
+  std::vector<RejectionSolution> solutions;
+  solutions.reserve(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    solutions.push_back(select_best(*points[p], caps[p], scratch));
+  }
+  return solutions;
 }
 
 }  // namespace retask

@@ -31,6 +31,15 @@ class ExactDpSolver final : public RejectionSolver {
  public:
   RejectionSolution solve(const RejectionProblem& problem) const override;
   std::string name() const override { return "OPT-DP"; }
+
+  /// Warm-started sweep: when every point shares one task set (capacity /
+  /// work_per_cycle sweeps), the knapsack table is filled once at the
+  /// largest capacity and each point's answer is read off the shared
+  /// prefix — the table rows w <= cap are bit-identical to a dedicated
+  /// fill at cap, so results match per-point solve() exactly. Points with
+  /// differing task sets fall back to the per-point loop.
+  std::vector<RejectionSolution> solve_sweep(
+      const std::vector<const RejectionProblem*>& points) const override;
 };
 
 }  // namespace retask

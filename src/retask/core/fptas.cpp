@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "retask/cache/scratch.hpp"
 #include "retask/common/bit_matrix.hpp"
 #include "retask/common/error.hpp"
 #include "retask/core/greedy.hpp"
@@ -16,28 +17,11 @@
 namespace retask {
 namespace {
 
-/// DP buffers reused across the guess-refinement rounds of one solve()
-/// call: every round resizes them to its own table width, but the heap
-/// allocations are amortized to the high-water mark instead of being paid
-/// per round. Local to solve(), so the solver stays safe to call
-/// concurrently.
-struct RoundScratch {
-  std::vector<std::size_t> movable;  ///< task indices with penalty <= guess
-  std::vector<std::size_t> quant;    ///< floor(penalty / delta) per movable task
-  std::vector<Cycles> rej;
-  std::vector<double> true_pen;
-  BitMatrix take;
-  /// Energy per accepted-cycle count, shared across rounds: successive
-  /// guesses revisit mostly the same cycle totals, and the speed-schedule
-  /// optimization behind each energy() call dwarfs a hash lookup.
-  std::unordered_map<Cycles, double> energy_memo;
-};
-
 /// One scaled-DP round under the guess G. Returns the best solution found
 /// (always a genuine feasible solution) or an empty optional-like flag via
 /// `found`.
 RejectionSolution scaled_round(const RejectionProblem& problem, double guess, double eps_int,
-                               bool& found, RoundScratch& scratch) {
+                               bool& found, FptasScratch& scratch) {
   const std::size_t n = problem.size();
   const double delta = eps_int * guess / static_cast<double>(n);
   RETASK_ASSERT(delta > 0.0);
@@ -117,14 +101,24 @@ RejectionSolution scaled_round(const RejectionProblem& problem, double guess, do
     if (accepted_cycles > problem.cycle_capacity()) continue;
     if (true_pen[r] >= best_objective) continue;
     double energy = 0.0;
-    const auto memo = scratch.energy_memo.find(accepted_cycles);
-    if (memo != scratch.energy_memo.end()) {
-      RETASK_COUNT("fptas.energy_memo_hits", 1);
-      energy = memo->second;
-    } else {
-      RETASK_COUNT("fptas.energy_evals", 1);
+    if (problem.energy_memo() != nullptr) {
+      // The attached per-problem memo subsumes the round-local one (and
+      // additionally shares energies with the other solvers run on this
+      // problem); its own cache.energy_* counters track hits.
       energy = problem.energy_of_cycles(accepted_cycles);
-      scratch.energy_memo.emplace(accepted_cycles, energy);
+    } else {
+      // Round-local memo: successive guesses revisit mostly the same cycle
+      // totals, and the speed-schedule optimization behind each energy()
+      // call dwarfs a hash lookup.
+      const auto memo = scratch.energy_memo.find(accepted_cycles);
+      if (memo != scratch.energy_memo.end()) {
+        RETASK_COUNT("fptas.energy_memo_hits", 1);
+        energy = memo->second;
+      } else {
+        RETASK_COUNT("fptas.energy_evals", 1);
+        energy = problem.energy_of_cycles(accepted_cycles);
+        scratch.energy_memo.emplace(accepted_cycles, energy);
+      }
     }
     const double objective = energy + true_pen[r];
     if (objective < best_objective) {
@@ -177,7 +171,8 @@ RejectionSolution FptasSolver::solve(const RejectionProblem& problem) const {
   // A zero objective is already optimal (nothing to approximate).
   if (best.objective() <= 0.0) return best;
 
-  RoundScratch scratch;
+  FptasScratch& scratch = fptas_scratch();
+  scratch.energy_memo.clear();
   constexpr int kMaxRounds = 40;
   RETASK_OBS_ONLY(std::uint64_t rounds = 0;)
   for (int round = 0; round < kMaxRounds; ++round) {

@@ -32,6 +32,11 @@ double RejectionProblem::total_work() const {
 
 double RejectionProblem::energy_of_cycles(Cycles cycles) const {
   require(cycles >= 0, "RejectionProblem::energy_of_cycles: negative cycles");
+  if (energy_memo_ != nullptr) {
+    return energy_memo_->get_or_compute(cycles, [this](Cycles c) {
+      return curve_.energy(work_per_cycle_ * static_cast<double>(c));
+    });
+  }
   return curve_.energy(work_per_cycle_ * static_cast<double>(cycles));
 }
 

@@ -18,8 +18,10 @@
 #ifndef RETASK_CORE_PROBLEM_HPP
 #define RETASK_CORE_PROBLEM_HPP
 
+#include <memory>
 #include <vector>
 
+#include "retask/cache/energy_memo.hpp"
 #include "retask/power/energy_curve.hpp"
 #include "retask/task/task_set.hpp"
 
@@ -49,8 +51,20 @@ class RejectionProblem {
   /// Total work units if every task were accepted.
   double total_work() const;
 
-  /// Energy of a processor loaded with `cycles` accepted cycles.
+  /// Energy of a processor loaded with `cycles` accepted cycles. When a
+  /// memo is attached, evaluations are served from / recorded into it; the
+  /// memo only replays values this exact computation produced, so cached
+  /// and cold calls return identical bits.
   double energy_of_cycles(Cycles cycles) const;
+
+  /// Shares `memo` for energy_of_cycles lookups. The caller asserts that
+  /// every problem attached to one memo has an identical (EnergyCurve,
+  /// work_per_cycle) pair — the memo is keyed by cycles alone. Pass nullptr
+  /// to detach. Copies of this problem share the attached memo.
+  void attach_energy_memo(std::shared_ptr<EnergyMemo> memo) { energy_memo_ = std::move(memo); }
+
+  /// The attached memo, or nullptr when evaluations are uncached.
+  const std::shared_ptr<EnergyMemo>& energy_memo() const { return energy_memo_; }
 
   /// Sum of penalties of tasks with accepted[i] == false; `accepted` must
   /// have one entry per task.
@@ -68,6 +82,7 @@ class RejectionProblem {
   double work_per_cycle_;
   int processor_count_;
   Cycles cycle_capacity_ = 0;
+  std::shared_ptr<EnergyMemo> energy_memo_;
 };
 
 }  // namespace retask

@@ -9,6 +9,7 @@
 #define RETASK_CORE_SOLVER_HPP
 
 #include <string>
+#include <vector>
 
 #include "retask/core/solution.hpp"
 
@@ -26,6 +27,20 @@ class RejectionSolver {
 
   /// Stable display name used in experiment tables.
   virtual std::string name() const = 0;
+
+  /// Batch entry point for sweep grids: solves every point and returns the
+  /// solutions in point order. The contract is strict bit-identity — the
+  /// result must equal calling solve() point by point — so overriders may
+  /// only share work that provably cannot change any output (the exact DP
+  /// reuses its knapsack table across points with identical task sets; see
+  /// core/exact_dp.cpp). The default implementation is the per-point loop.
+  virtual std::vector<RejectionSolution> solve_sweep(
+      const std::vector<const RejectionProblem*>& points) const {
+    std::vector<RejectionSolution> solutions;
+    solutions.reserve(points.size());
+    for (const RejectionProblem* point : points) solutions.push_back(solve(*point));
+    return solutions;
+  }
 
  protected:
   RejectionSolver() = default;

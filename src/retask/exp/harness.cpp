@@ -1,11 +1,32 @@
 #include "retask/exp/harness.hpp"
 
+#include "retask/cache/sweep.hpp"
 #include "retask/common/error.hpp"
 #include "retask/common/math.hpp"
 #include "retask/common/parallel.hpp"
 #include "retask/core/solution.hpp"
 
 namespace retask {
+namespace {
+
+/// Scores one solved cell into its slot: revalidates the solution, guards
+/// the reference, and feeds the per-cell accumulators. Shared by the grouped
+/// and the per-point paths so they cannot drift.
+void score_cell(const RejectionProblem& problem, const RejectionSolution& solution, double ref,
+                AlgoStats& slot) {
+  check_solution(problem, solution);
+  const double obj = solution.objective();
+  const double ratio = ref > 0.0 ? obj / ref : (obj > 0.0 ? 2.0 : 1.0);
+  // Guard against a buggy "reference": no algorithm may beat an optimal
+  // reference by more than numerical noise. Lower bounds are <= obj by
+  // construction, so the same check applies.
+  require(ratio >= 1.0 - 1e-6, "run_comparison: algorithm beat the reference objective");
+  slot.ratio.add(ratio);
+  slot.acceptance.add(solution.acceptance_ratio());
+  slot.objective.add(obj);
+}
+
+}  // namespace
 
 void AlgoStats::merge(const AlgoStats& other) {
   ratio.merge(other.ratio);
@@ -17,7 +38,8 @@ void AlgoStats::merge(const AlgoStats& other) {
 std::vector<std::vector<AlgoStats>> run_comparison_batch(
     const std::vector<ProblemFactory>& factories,
     const std::vector<std::unique_ptr<RejectionSolver>>& lineup,
-    const ReferenceObjective& reference, int instances, std::uint64_t seed0, int jobs) {
+    const ReferenceObjective& reference, int instances, std::uint64_t seed0, int jobs,
+    const BatchOptions& options) {
   require(!factories.empty(), "run_comparison: at least one sweep point required");
   require(instances >= 1, "run_comparison: at least one instance required");
   require(!lineup.empty(), "run_comparison: empty algorithm lineup");
@@ -28,39 +50,83 @@ std::vector<std::vector<AlgoStats>> run_comparison_batch(
 
   // One slot per point x instance x algorithm cell, written by exactly one
   // worker; reduced in index order below so the aggregates do not depend on
-  // the parallel interleaving.
+  // the parallel interleaving. The parallel unit is the instance GROUP (one
+  // seed across every sweep point), which keeps all the state sweep-reuse
+  // shares between points on a single thread.
   std::vector<AlgoStats> slots(points * reps * algos);
+  const auto slot_at = [&](std::size_t point, std::size_t k, std::size_t a) -> AlgoStats& {
+    return slots[((point * reps + k) * algos) + a];
+  };
 
-  parallel_for(points * reps, [&](std::size_t cell) {
-    const std::size_t point = cell / reps;
-    const std::size_t k = cell % reps;
-    const RejectionProblem problem = factories[point](seed0 + static_cast<std::uint64_t>(k));
-    const double ref = reference(problem);
-    require(ref >= 0.0, "run_comparison: negative reference objective");
-    for (std::size_t a = 0; a < algos; ++a) {
-      AlgoStats& slot = slots[(cell * algos) + a];
-      RejectionSolution solution;
-      {
-        // Attribute the solver's metrics to this point x instance x algo
-        // cell. The whole cell runs on one thread, so the scoped registry
-        // sees exactly this solve; on scope exit it also folds into the
-        // thread's default registry, keeping process totals complete.
-        obs::ActiveScope scope(slot.metrics);
-        solution = lineup[a]->solve(problem);
-        RETASK_COUNT("harness.solves", 1);
-        RETASK_COUNT("harness.tasks_total", problem.size());
-        RETASK_COUNT("harness.tasks_rejected", problem.size() - solution.accepted_count());
+  parallel_for(reps, [&](std::size_t k) {
+    std::vector<RejectionProblem> problems;
+    problems.reserve(points);
+    for (std::size_t point = 0; point < points; ++point) {
+      problems.push_back(factories[point](seed0 + static_cast<std::uint64_t>(k)));
+      if (options.shared_energy_memo != nullptr) {
+        problems.back().attach_energy_memo(options.shared_energy_memo);
+      } else if (options.cell_energy_memo) {
+        problems.back().attach_energy_memo(std::make_shared<EnergyMemo>());
       }
-      check_solution(problem, solution);
-      const double obj = solution.objective();
-      const double ratio = ref > 0.0 ? obj / ref : (obj > 0.0 ? 2.0 : 1.0);
-      // Guard against a buggy "reference": no algorithm may beat an optimal
-      // reference by more than numerical noise. Lower bounds are <= obj by
-      // construction, so the same check applies.
-      require(ratio >= 1.0 - 1e-6, "run_comparison: algorithm beat the reference objective");
-      slot.ratio.add(ratio);
-      slot.acceptance.add(solution.acceptance_ratio());
-      slot.objective.add(obj);
+    }
+    std::vector<double> refs(points);
+    for (std::size_t point = 0; point < points; ++point) {
+      refs[point] = reference(problems[point]);
+      require(refs[point] >= 0.0, "run_comparison: negative reference objective");
+    }
+
+    // Sweep-reuse grouping: points carrying one task set (a capacity /
+    // work_per_cycle sweep) are handed to the solver as a batch so it can
+    // share work across them (e.g. the exact DP's warm-started table).
+    bool grouped = options.sweep_reuse && points > 1;
+    for (std::size_t point = 1; point < points && grouped; ++point) {
+      grouped = same_task_sets(problems[0].tasks(), problems[point].tasks());
+    }
+
+    for (std::size_t a = 0; a < algos; ++a) {
+      if (grouped) {
+        std::vector<const RejectionProblem*> group;
+        group.reserve(points);
+        for (const RejectionProblem& problem : problems) group.push_back(&problem);
+        std::vector<RejectionSolution> solutions;
+        {
+          // Shared work has no per-point attribution, so the whole batch's
+          // solver metrics land in the first point's slot (documented on
+          // BatchOptions::sweep_reuse).
+          obs::ActiveScope scope(slot_at(0, k, a).metrics);
+          solutions = lineup[a]->solve_sweep(group);
+        }
+        RETASK_ASSERT(solutions.size() == points);
+        for (std::size_t point = 0; point < points; ++point) {
+          AlgoStats& slot = slot_at(point, k, a);
+          {
+            obs::ActiveScope scope(slot.metrics);
+            RETASK_COUNT("harness.solves", 1);
+            RETASK_COUNT("harness.tasks_total", problems[point].size());
+            RETASK_COUNT("harness.tasks_rejected",
+                         problems[point].size() - solutions[point].accepted_count());
+          }
+          score_cell(problems[point], solutions[point], refs[point], slot);
+        }
+      } else {
+        for (std::size_t point = 0; point < points; ++point) {
+          const RejectionProblem& problem = problems[point];
+          AlgoStats& slot = slot_at(point, k, a);
+          RejectionSolution solution;
+          {
+            // Attribute the solver's metrics to this point x instance x algo
+            // cell. The whole cell runs on one thread, so the scoped registry
+            // sees exactly this solve; on scope exit it also folds into the
+            // thread's default registry, keeping process totals complete.
+            obs::ActiveScope scope(slot.metrics);
+            solution = lineup[a]->solve(problem);
+            RETASK_COUNT("harness.solves", 1);
+            RETASK_COUNT("harness.tasks_total", problem.size());
+            RETASK_COUNT("harness.tasks_rejected", problem.size() - solution.accepted_count());
+          }
+          score_cell(problem, solution, refs[point], slot);
+        }
+      }
     }
   }, jobs);
 
@@ -69,7 +135,7 @@ std::vector<std::vector<AlgoStats>> run_comparison_batch(
     for (std::size_t a = 0; a < algos; ++a) stats[point][a].name = lineup[a]->name();
     for (std::size_t k = 0; k < reps; ++k) {
       for (std::size_t a = 0; a < algos; ++a) {
-        stats[point][a].merge(slots[((point * reps + k) * algos) + a]);
+        stats[point][a].merge(slot_at(point, k, a));
       }
     }
   }

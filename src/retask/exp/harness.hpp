@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "retask/cache/energy_memo.hpp"
 #include "retask/common/stats.hpp"
 #include "retask/core/solver.hpp"
 #include "retask/obs/metrics.hpp"
@@ -55,15 +56,41 @@ std::vector<AlgoStats> run_comparison(const ProblemFactory& factory,
                                       const ReferenceObjective& reference, int instances,
                                       std::uint64_t seed0 = 1, int jobs = 0);
 
+/// Solve-reuse knobs of run_comparison_batch. The defaults are always
+/// sound: they only enable reuse the harness can prove safe by itself.
+struct BatchOptions {
+  /// Group the sweep points of one instance (same seed) and solve them
+  /// through RejectionSolver::solve_sweep when every point carries an
+  /// identical task set (capacity/work_per_cycle sweeps). Solutions are
+  /// bit-identical either way (the solve_sweep contract); the only
+  /// observable difference is metric attribution — a grouped algorithm's
+  /// solver metrics land in the FIRST point's AlgoStats instead of being
+  /// split per point (the per-point split does not exist for shared work).
+  bool sweep_reuse = true;
+  /// Attach a fresh EnergyMemo to every instance, shared by reference by
+  /// all lineup algorithms solving it (and all sweep points of the
+  /// instance's group when their (curve, work_per_cycle) coincide — the
+  /// memo is attached per problem, so differing points still get their own).
+  bool cell_energy_memo = true;
+  /// Caller-supplied memo attached to EVERY problem of the grid instead of
+  /// per-cell memos. The caller asserts all factories produce problems with
+  /// one identical (EnergyCurve, work_per_cycle) pair — see
+  /// RejectionProblem::attach_energy_memo. Leave null to use per-cell memos.
+  std::shared_ptr<EnergyMemo> shared_energy_memo;
+};
+
 /// Batch form used by the sweep drivers: one factory per sweep point, all
-/// point x instance cells solved in a single parallel region (seeds
+/// instances solved in a single parallel region (seeds
 /// seed0 ... seed0 + instances - 1 within every point, matching a
-/// run_comparison call per point). Returns one AlgoStats vector per factory,
-/// bit-identical to calling run_comparison point by point.
+/// run_comparison call per point). Returns one AlgoStats vector per factory.
+/// Solutions and aggregates are bit-identical to calling run_comparison
+/// point by point at any job count; see BatchOptions for the metric
+/// attribution caveat under sweep_reuse.
 std::vector<std::vector<AlgoStats>> run_comparison_batch(
     const std::vector<ProblemFactory>& factories,
     const std::vector<std::unique_ptr<RejectionSolver>>& lineup,
-    const ReferenceObjective& reference, int instances, std::uint64_t seed0 = 1, int jobs = 0);
+    const ReferenceObjective& reference, int instances, std::uint64_t seed0 = 1, int jobs = 0,
+    const BatchOptions& options = {});
 
 }  // namespace retask
 

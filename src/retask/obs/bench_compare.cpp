@@ -154,6 +154,10 @@ BenchComparison compare_bench_reports(const BenchReport& current, const BenchRep
           static_cast<double>(cur->median_ns) / static_cast<double>(base.median_ns);
       if (ratio > threshold) {
         comparison.regressions.push_back({base.name, base.median_ns, cur->median_ns, ratio});
+      } else if (ratio < 1.0 / threshold) {
+        // Symmetric to the regression gate: a run this much faster means the
+        // baseline is stale and masks future regressions of the same size.
+        comparison.improvements.push_back({base.name, base.median_ns, cur->median_ns, ratio});
       }
     }
     for (const auto& [metric_name, base_value] : base.metrics) {

@@ -70,19 +70,24 @@ struct BenchMetricDrift {
 };
 
 struct BenchComparison {
-  std::vector<BenchRegression> regressions;  ///< ratio > threshold
-  std::vector<std::string> missing;          ///< in baseline, absent from current
-  std::vector<std::string> added;            ///< in current, absent from baseline
+  std::vector<BenchRegression> regressions;   ///< ratio > threshold
+  std::vector<BenchRegression> improvements;  ///< ratio < 1 / threshold
+  std::vector<std::string> missing;           ///< in baseline, absent from current
+  std::vector<std::string> added;             ///< in current, absent from baseline
   std::vector<BenchMetricDrift> metric_drift;
 
   /// Comparison verdict: no workload regressed and nothing the baseline
-  /// tracks disappeared. Metric drift and added workloads are informational.
+  /// tracks disappeared. Improvements, metric drift and added workloads are
+  /// informational — but a significant improvement means the checked-in
+  /// baseline understates current performance and should be refreshed
+  /// (tools/retask_bench --write-baseline), or future regressions up to the
+  /// improvement's size will pass unnoticed.
   bool ok() const { return regressions.empty() && missing.empty(); }
 };
 
 /// Compares `current` against `baseline` with the given wall-time
-/// `threshold` (> 0; e.g. 2.0 = fail past a 2x slowdown). Workloads are
-/// matched by name.
+/// `threshold` (> 0; e.g. 2.0 = fail past a 2x slowdown, report runs more
+/// than 2x FASTER as improvements). Workloads are matched by name.
 BenchComparison compare_bench_reports(const BenchReport& current, const BenchReport& baseline,
                                       double threshold);
 

@@ -5,8 +5,11 @@
 #include <optional>
 #include <sstream>
 
+#include "retask/cache/sweep.hpp"
 #include "retask/common/error.hpp"
 #include "retask/common/parallel.hpp"
+#include "retask/core/budgeted.hpp"
+#include "retask/core/exact_dp.hpp"
 #include "retask/exp/workload.hpp"
 #include "retask/io/cli_options.hpp"
 
@@ -135,13 +138,12 @@ InstanceSpec draw_spec(Rng& rng, const FuzzOptions& options) {
   return spec;
 }
 
-FrameTaskSet shrink_tasks(const InstanceSpec& spec, FrameTaskSet tasks,
-                          const SuiteFactory& factory) {
-  const auto still_fails = [&](const FrameTaskSet& candidate) {
-    return !check_instance(build_problem(spec, candidate),
-                           build_suite(factory, spec.processor_count))
-                .empty();
-  };
+namespace {
+
+/// Drop-one-task descent against an arbitrary "still fails" predicate over
+/// candidate task sets.
+template <typename Fails>
+FrameTaskSet shrink_tasks_impl(FrameTaskSet tasks, const Fails& still_fails) {
   bool changed = true;
   while (changed && tasks.size() > 1) {
     changed = false;
@@ -162,6 +164,76 @@ FrameTaskSet shrink_tasks(const InstanceSpec& spec, FrameTaskSet tasks,
   return tasks;
 }
 
+}  // namespace
+
+FrameTaskSet shrink_tasks(const InstanceSpec& spec, FrameTaskSet tasks,
+                          const SuiteFactory& factory) {
+  return shrink_tasks_impl(std::move(tasks), [&](const FrameTaskSet& candidate) {
+    return !check_instance(build_problem(spec, candidate),
+                           build_suite(factory, spec.processor_count))
+                .empty();
+  });
+}
+
+std::vector<PropertyViolation> check_sweep_cache(const RejectionProblem& problem) {
+  std::vector<PropertyViolation> violations;
+  if (problem.processor_count() != 1) return violations;
+  const auto mismatch = [&](const std::string& solver, const std::string& detail) {
+    violations.push_back({"sweep-cache", solver, detail});
+  };
+
+  // Capacity sweep: solve_sweep's warm-started table vs per-point solves.
+  const std::vector<double> factors{0.5, 0.8, 1.0};
+  const std::vector<RejectionProblem> points = make_capacity_sweep(problem, factors);
+  std::vector<const RejectionProblem*> group;
+  group.reserve(points.size());
+  for (const RejectionProblem& point : points) group.push_back(&point);
+  try {
+    const std::vector<RejectionSolution> warm = ExactDpSolver().solve_sweep(group);
+    RETASK_ASSERT(warm.size() == points.size());
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      const RejectionSolution cold = ExactDpSolver().solve(points[p]);
+      if (warm[p].accepted != cold.accepted || warm[p].energy != cold.energy ||
+          warm[p].penalty != cold.penalty) {
+        mismatch("opt-dp", "capacity factor " + fmt(factors[p]) + ": warm objective " +
+                               fmt(warm[p].objective()) + " != cold " + fmt(cold.objective()) +
+                               " (or accept masks differ)");
+      }
+    }
+  } catch (const std::exception& error) {
+    mismatch("opt-dp", std::string("capacity sweep threw: ") + error.what());
+  }
+
+  // Budget sweep: warm-started budgeted DP vs per-budget solves.
+  const Cycles cap = std::min(problem.cycle_capacity(), problem.tasks().total_cycles());
+  if (cap < 1) return violations;
+  BudgetedProblem budgeted{problem.tasks(), problem.curve(), problem.work_per_cycle(), 1.0};
+  std::vector<double> budgets;
+  for (const double fill : {0.4, 0.7, 1.0}) {
+    const auto cycles = std::max<Cycles>(static_cast<Cycles>(static_cast<double>(cap) * fill), 1);
+    const double budget = problem.energy_of_cycles(cycles);
+    if (budget > 0.0) budgets.push_back(budget);
+  }
+  if (budgets.empty()) return violations;
+  try {
+    const std::vector<BudgetedSolution> warm = solve_budgeted_dp_sweep(budgeted, budgets);
+    RETASK_ASSERT(warm.size() == budgets.size());
+    for (std::size_t b = 0; b < budgets.size(); ++b) {
+      budgeted.energy_budget = budgets[b];
+      const BudgetedSolution cold = solve_budgeted_dp(budgeted);
+      if (warm[b].accepted != cold.accepted || warm[b].value != cold.value ||
+          warm[b].energy != cold.energy) {
+        mismatch("budgeted-dp", "budget " + fmt(budgets[b]) + ": warm value " +
+                                    fmt(warm[b].value) + " != cold " + fmt(cold.value) +
+                                    " (or accept masks differ)");
+      }
+    }
+  } catch (const std::exception& error) {
+    mismatch("budgeted-dp", std::string("budget sweep threw: ") + error.what());
+  }
+  return violations;
+}
+
 FuzzReport run_differential_fuzz(const FuzzOptions& options, const SuiteFactory& factory) {
   require(options.rounds >= 0, "run_differential_fuzz: rounds must be non-negative");
   require(options.max_n >= 2, "run_differential_fuzz: max_n must be at least 2");
@@ -178,11 +250,25 @@ FuzzReport run_differential_fuzz(const FuzzOptions& options, const SuiteFactory&
         const std::vector<SolverUnderTest> suite = build_suite(factory, spec.processor_count);
         runs[round] = static_cast<int>(suite.size());
         FrameTaskSet tasks = draw_tasks(spec);
-        std::vector<PropertyViolation> violations =
-            check_instance(build_problem(spec, tasks), suite);
+        // The per-round check (and, below, the shrink predicate and the
+        // final re-check) optionally appends the sweep-cache warm-vs-cold
+        // comparison, so cached-path divergences are caught, minimized and
+        // reported exactly like property violations.
+        const auto check_all = [&](const RejectionProblem& problem) {
+          std::vector<PropertyViolation> found = check_instance(problem, suite);
+          if (options.sweep_cache) {
+            std::vector<PropertyViolation> extra = check_sweep_cache(problem);
+            found.insert(found.end(), std::make_move_iterator(extra.begin()),
+                         std::make_move_iterator(extra.end()));
+          }
+          return found;
+        };
+        std::vector<PropertyViolation> violations = check_all(build_problem(spec, tasks));
         if (violations.empty()) return;
         if (options.shrink) {
-          tasks = shrink_tasks(spec, std::move(tasks), factory);
+          tasks = shrink_tasks_impl(std::move(tasks), [&](const FrameTaskSet& candidate) {
+            return !check_all(build_problem(spec, candidate)).empty();
+          });
         }
         // Re-check the (possibly minimized) instance under a scoped metrics
         // registry so the counterexample records how much work the failing
@@ -190,7 +276,7 @@ FuzzReport run_differential_fuzz(const FuzzOptions& options, const SuiteFactory&
         obs::Registry metrics;
         {
           obs::ActiveScope scope(metrics);
-          violations = check_instance(build_problem(spec, tasks), suite);
+          violations = check_all(build_problem(spec, tasks));
         }
         slots[round] = FuzzCounterexample{static_cast<int>(round), spec, std::move(tasks),
                                           std::move(violations), std::move(metrics)};

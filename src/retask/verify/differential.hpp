@@ -67,7 +67,17 @@ struct FuzzOptions {
   int max_n = 12;           ///< largest task count (clamped further for M > 1)
   int jobs = 0;             ///< parallel_for jobs; 0 = default_jobs()
   bool shrink = true;       ///< minimize failing instances
+  bool sweep_cache = false; ///< also check warm-vs-cold sweep solve identity
 };
+
+/// Warm-vs-cold sweep-cache check: solves a 3-point capacity sweep of
+/// `problem` through ExactDpSolver::solve_sweep and per-point solve(), and
+/// a 3-budget sweep through solve_budgeted_dp_sweep and per-budget
+/// solve_budgeted_dp, reporting any bitwise mismatch (accept masks,
+/// energies, penalties/values) as "sweep-cache" violations. The cached
+/// paths promise strict bit-identity, so the comparison uses exact double
+/// equality. Single-processor instances only (returns empty otherwise).
+std::vector<PropertyViolation> check_sweep_cache(const RejectionProblem& problem);
 
 /// One failing, minimized instance.
 struct FuzzCounterexample {

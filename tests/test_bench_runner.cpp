@@ -103,6 +103,25 @@ TEST(BenchCompare, InjectedSlowdownFailsPastThreshold) {
   EXPECT_EQ(comparison.regressions[0].baseline_ns, baseline.workloads[0].median_ns);
 }
 
+TEST(BenchCompare, LargeSpeedupsAreReportedAsImprovements) {
+  const BenchReport baseline = sample_report();
+  BenchReport current = baseline;
+  current.workloads[0].median_ns = baseline.workloads[0].median_ns / 2;  // exactly 0.5x
+
+  // Exactly 1/threshold is not < 1/threshold: no improvement reported
+  // (symmetric to the exclusive regression gate)...
+  EXPECT_TRUE(obs::compare_bench_reports(current, baseline, 2.0).improvements.empty());
+  // ...but a hair faster lands in `improvements` without failing ok().
+  current.workloads[0].median_ns -= 1;
+  const BenchComparison comparison = obs::compare_bench_reports(current, baseline, 2.0);
+  EXPECT_TRUE(comparison.ok());
+  ASSERT_EQ(comparison.improvements.size(), 1u);
+  EXPECT_EQ(comparison.improvements[0].name, "greedy_density_n2048");
+  EXPECT_LT(comparison.improvements[0].ratio, 0.5);
+  EXPECT_EQ(comparison.improvements[0].baseline_ns, baseline.workloads[0].median_ns);
+  EXPECT_EQ(comparison.improvements[0].current_ns, current.workloads[0].median_ns);
+}
+
 TEST(BenchCompare, MissingAndAddedWorkloadsAreTracked) {
   const BenchReport baseline = sample_report();
   BenchReport current = baseline;

@@ -24,8 +24,10 @@
 #include <string>
 #include <vector>
 
+#include "retask/cache/sweep.hpp"
 #include "retask/common/error.hpp"
 #include "retask/common/parallel.hpp"
+#include "retask/core/budgeted.hpp"
 #include "retask/core/exact_dp.hpp"
 #include "retask/core/exhaustive.hpp"
 #include "retask/core/fptas.hpp"
@@ -221,6 +223,108 @@ std::vector<Workload> build_workloads(int jobs) {
                          for (const AlgoStats& s : stats) metrics.merge(s.metrics);
                        }});
 
+  // Sweep-throughput pairs: the same grid of sweep points solved cold
+  // (per-point, no reuse) and warm (through the sweep-aware caching layer).
+  // The _cold/_warm medians are the before/after evidence for the solve
+  // reuse; the warm runs' dp.warm_starts / cache.energy_* metrics prove the
+  // reuse is actually happening rather than the workload being trivial.
+  {
+    // Capacity sweep: one task set solved by the exact DP at 16 capacities.
+    // Warm fills the knapsack table once at the largest capacity. The small
+    // penalty scale makes rejection cheap, so the optimum sits at a small
+    // accepted load and the select sweep's energy early-exit fires quickly —
+    // the energy evaluations (identical work in warm and cold) then stay
+    // small next to the table fill this pair measures.
+    const auto base = [] {
+      const std::unique_ptr<PowerModel> model = make_model_by_name("xscale");
+      ScenarioConfig config;
+      config.task_count = 256;
+      config.load = 1.3;
+      config.resolution = 12000.0;
+      config.penalty_scale = 0.01;
+      config.seed = 21;
+      return std::make_shared<RejectionProblem>(make_scenario(config, *model));
+    }();
+    std::vector<double> factors;
+    for (int f = 0; f < 16; ++f) factors.push_back(0.4 + 0.04 * f);
+    const auto points =
+        std::make_shared<std::vector<RejectionProblem>>(make_capacity_sweep(*base, factors));
+    workloads.push_back({"sweep_dp_cap16_cold", [points](obs::Registry& metrics) {
+                           obs::ActiveScope scope(metrics);
+                           const ExactDpSolver solver;
+                           for (const RejectionProblem& point : *points) solver.solve(point);
+                         }});
+    workloads.push_back({"sweep_dp_cap16_warm", [points](obs::Registry& metrics) {
+                           obs::ActiveScope scope(metrics);
+                           std::vector<const RejectionProblem*> group;
+                           group.reserve(points->size());
+                           for (const RejectionProblem& point : *points) group.push_back(&point);
+                           ExactDpSolver().solve_sweep(group);
+                         }});
+  }
+  {
+    // Budget sweep: one budgeted instance solved at 16 budgets. Warm fills
+    // the table once and shares one energy memo across the per-budget
+    // binary searches.
+    const auto base = std::make_shared<RejectionProblem>(scenario(160, 1.3, 10000.0, 22));
+    const auto problem = std::make_shared<BudgetedProblem>(
+        BudgetedProblem{base->tasks(), base->curve(), base->work_per_cycle(), 1.0});
+    const auto budgets = std::make_shared<std::vector<double>>();
+    const Cycles cap = std::min(base->cycle_capacity(), base->tasks().total_cycles());
+    for (int b = 0; b < 16; ++b) {
+      const double fill = 0.25 + 0.05 * b;
+      budgets->push_back(
+          base->energy_of_cycles(static_cast<Cycles>(static_cast<double>(cap) * fill)));
+    }
+    workloads.push_back({"sweep_budgeted_b16_cold", [problem, budgets](obs::Registry& metrics) {
+                           obs::ActiveScope scope(metrics);
+                           BudgetedProblem local = *problem;
+                           for (const double budget : *budgets) {
+                             local.energy_budget = budget;
+                             solve_budgeted_dp(local);
+                           }
+                         }});
+    workloads.push_back({"sweep_budgeted_b16_warm", [problem, budgets](obs::Registry& metrics) {
+                           obs::ActiveScope scope(metrics);
+                           solve_budgeted_dp_sweep(*problem, *budgets);
+                         }});
+  }
+  {
+    // Harness-level capacity sweep: every instance group carries one task
+    // set across 8 capacity points, so the warm run routes through
+    // solve_sweep and per-cell energy memos; the cold run disables both.
+    const auto harness_sweep = [jobs](const BatchOptions& batch, obs::Registry& metrics) {
+      std::vector<ProblemFactory> factories;
+      for (int f = 0; f < 8; ++f) {
+        const double factor = 0.65 + 0.05 * f;
+        factories.push_back([factor](std::uint64_t seed) {
+          const RejectionProblem base = scenario(24, 1.25, 4000.0, seed);
+          const std::vector<RejectionProblem> point = make_capacity_sweep(base, {factor});
+          return point.front();
+        });
+      }
+      std::vector<std::unique_ptr<RejectionSolver>> lineup;
+      lineup.push_back(std::make_unique<ExactDpSolver>());
+      lineup.push_back(std::make_unique<MarginalGreedySolver>());
+      const auto stats = run_comparison_batch(
+          factories, lineup,
+          [](const RejectionProblem& p) { return fractional_lower_bound(p); },
+          /*instances=*/4, /*seed0=*/1, jobs, batch);
+      for (const auto& point : stats) {
+        for (const AlgoStats& s : point) metrics.merge(s.metrics);
+      }
+    };
+    workloads.push_back({"harness_cap_sweep_cold", [harness_sweep](obs::Registry& metrics) {
+                           BatchOptions batch;
+                           batch.sweep_reuse = false;
+                           batch.cell_energy_memo = false;
+                           harness_sweep(batch, metrics);
+                         }});
+    workloads.push_back({"harness_cap_sweep_warm", [harness_sweep](obs::Registry& metrics) {
+                           harness_sweep(BatchOptions{}, metrics);
+                         }});
+  }
+
   {
     PeriodicWorkloadConfig config;
     config.task_count = 32;
@@ -295,6 +399,23 @@ int run(const BenchCliOptions& options) {
     report.workloads.push_back(std::move(result));
   }
 
+  // Cold/warm pairs measure the sweep-caching layer: report the speedup of
+  // every <name>_warm over its <name>_cold sibling.
+  for (const obs::BenchWorkloadResult& cold : report.workloads) {
+    const std::string suffix = "_cold";
+    if (cold.name.size() <= suffix.size() ||
+        cold.name.compare(cold.name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    const std::string stem = cold.name.substr(0, cold.name.size() - suffix.size());
+    const obs::BenchWorkloadResult* warm = report.find(stem + "_warm");
+    if (warm == nullptr || warm->median_ns == 0) continue;
+    std::cout << "speedup " << stem << ": warm "
+              << static_cast<double>(cold.median_ns) / static_cast<double>(warm->median_ns)
+              << "x faster than cold (" << cold.median_ns / 1000 << " us -> "
+              << warm->median_ns / 1000 << " us)\n";
+  }
+
   if (!options.trace_out.empty()) {
     obs::write_chrome_trace_file(options.trace_out);
     std::cout << "trace: " << obs::trace_event_count() << " event(s) -> " << options.trace_out
@@ -334,6 +455,17 @@ int run(const BenchCliOptions& options) {
   }
   for (const std::string& name : comparison.missing) {
     std::cout << "MISSING " << name << ": in baseline but not in this run\n";
+  }
+  for (const obs::BenchRegression& improvement : comparison.improvements) {
+    std::cout << "IMPROVEMENT " << improvement.name << ": " << improvement.current_ns / 1000
+              << " us vs baseline " << improvement.baseline_ns / 1000 << " us ("
+              << 1.0 / improvement.ratio << "x faster)\n";
+  }
+  if (!comparison.improvements.empty()) {
+    std::cout << "note: " << comparison.improvements.size()
+              << " workload(s) ran significantly faster than the recorded baseline —\n"
+                 "      the baseline is stale and masks regressions up to the same size;\n"
+                 "      consider refreshing it with --write-baseline\n";
   }
   for (const std::string& name : comparison.added) {
     std::cout << "note: new workload " << name << " (not in baseline)\n";

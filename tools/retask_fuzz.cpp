@@ -48,6 +48,9 @@ usage: retask_fuzz [options]
   --out PREFIX       counterexample file prefix (default retask_cex ->
                      retask_cex_<round>.csv)
   --no-shrink        skip drop-one-task minimization of failures
+  --sweep-cache      also check the cached sweep paths (solve_sweep,
+                     solve_budgeted_dp_sweep) stay bit-identical to the
+                     per-point cold solves on every instance
   --replay FILE      re-run one dumped counterexample and report
   --inject-broken    add a deliberately wrong solver (exact DP against an
                      off-by-one capacity); the sweep must catch it
@@ -95,6 +98,8 @@ FuzzCliOptions parse(const std::vector<std::string>& args) {
       options.out_prefix = value(i, arg);
     } else if (arg == "--no-shrink") {
       options.fuzz.shrink = false;
+    } else if (arg == "--sweep-cache") {
+      options.fuzz.sweep_cache = true;
     } else if (arg == "--replay") {
       options.replay_path = value(i, arg);
     } else if (arg == "--inject-broken") {
