@@ -21,4 +21,9 @@ FptasScratch& fptas_scratch() {
   return scratch;
 }
 
+GreedyScratch& greedy_scratch() {
+  thread_local GreedyScratch scratch;
+  return scratch;
+}
+
 }  // namespace retask

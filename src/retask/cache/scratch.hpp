@@ -35,10 +35,24 @@ struct FptasScratch {
   std::vector<Cycles> rej;
   std::vector<double> true_pen;
   BitMatrix take;
+  // Candidate rows surviving the sweep prefilter, batched through the fused
+  // cycles->energy kernel (structure-of-arrays: same index, three facets).
+  std::vector<std::size_t> cand_row;
+  std::vector<Cycles> cand_cycles;
+  std::vector<double> cand_energy;
   /// Fallback energy memo for problems without an attached EnergyMemo;
   /// cleared at the start of every solve (entries are only valid within one
   /// problem's curve).
   std::unordered_map<Cycles, double> energy_memo;
+};
+
+/// Buffers of one marginal-greedy solve: per-task probe loads and flip
+/// deltas (structure-of-arrays over the task index so the argmin kernel
+/// scans one contiguous double row per round).
+struct GreedyScratch {
+  std::vector<double> delta;        ///< objective change of flipping task i (+inf: infeasible)
+  std::vector<Cycles> eval_cycles;  ///< compacted batch input (feasible flips)
+  std::vector<double> eval_energy;  ///< batch output aligned with eval_cycles
 };
 
 /// The calling thread's arena for the exact DP (core/exact_dp.cpp).
@@ -49,6 +63,9 @@ DpScratch& budgeted_scratch();
 
 /// The calling thread's arena for the FPTAS rounds (core/fptas.cpp).
 FptasScratch& fptas_scratch();
+
+/// The calling thread's arena for the marginal greedy (core/greedy.cpp).
+GreedyScratch& greedy_scratch();
 
 }  // namespace retask
 

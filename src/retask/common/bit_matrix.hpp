@@ -36,6 +36,17 @@ class BitMatrix {
     words_[row * words_per_row_ + col / 64] |= std::uint64_t{1} << (col % 64);
   }
 
+  /// Mutable word storage of one row, for kernels that OR choice bits in
+  /// bulk (see simd/kernels.hpp). Bit `col` of the row lives at word
+  /// `col / 64`, bit `col % 64`.
+  std::uint64_t* row_words(std::size_t row) { return words_.data() + row * words_per_row_; }
+  const std::uint64_t* row_words(std::size_t row) const {
+    return words_.data() + row * words_per_row_;
+  }
+
+  /// Words allocated per row ((cols + 63) / 64).
+  std::size_t words_per_row() const { return words_per_row_; }
+
  private:
   std::size_t words_per_row_ = 0;
   std::vector<std::uint64_t> words_;

@@ -11,6 +11,7 @@
 #include "retask/common/error.hpp"
 #include "retask/common/math.hpp"
 #include "retask/obs/metrics.hpp"
+#include "retask/simd/kernels.hpp"
 
 namespace retask {
 namespace {
@@ -63,18 +64,15 @@ void fill_budgeted_table(const BudgetedProblem& problem, Cycles cap, DpScratch& 
   take.reset(n, width);
 
   std::size_t reachable = 0;
+  const simd::KernelTable& kernels = simd::kernels();
   for (std::size_t i = 0; i < n; ++i) {
     const FrameTask& task = problem.tasks[i];
     if (task.cycles > cap) continue;
     const auto ci = static_cast<std::size_t>(task.cycles);
     const std::size_t top = std::min(width - 1, reachable + ci);
-    for (std::size_t w = top + 1; w-- > ci;) {
-      const double candidate = best[w - ci] == kNegInf ? kNegInf : best[w - ci] + task.penalty;
-      if (candidate > best[w]) {
-        best[w] = candidate;
-        take.set(i, w);
-      }
-    }
+    // -inf source cells stay -inf through the add and never beat a row
+    // value, so the kernel subsumes the old explicit sentinel test.
+    kernels.relax_desc_f64(best.data(), take.row_words(i), ci, ci, top, task.penalty);
     reachable = top;
   }
 }
@@ -88,14 +86,11 @@ BudgetedSolution select_budgeted(const BudgetedProblem& problem, Cycles cap,
   const std::vector<double>& best = scratch.value;
   const BitMatrix& take = scratch.take;
 
-  double best_value = 0.0;
-  std::size_t best_w = 0;
-  for (std::size_t w = 0; w <= static_cast<std::size_t>(cap); ++w) {
-    if (best[w] > best_value) {
-      best_value = best[w];
-      best_w = w;
-    }
-  }
+  // First row attaining the maximum kept value (strict-improvement scan);
+  // kNpos means nothing beats the empty accept set.
+  const std::size_t hit =
+      simd::kernels().argmax_f64(best.data(), static_cast<std::size_t>(cap) + 1, 0.0);
+  const std::size_t best_w = hit == simd::kNpos ? 0 : hit;
 
   std::vector<bool> accepted(n, false);
   std::size_t w = best_w;

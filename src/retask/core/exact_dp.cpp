@@ -10,6 +10,7 @@
 #include "retask/common/error.hpp"
 #include "retask/obs/metrics.hpp"
 #include "retask/obs/trace.hpp"
+#include "retask/simd/kernels.hpp"
 
 namespace retask {
 namespace {
@@ -35,8 +36,9 @@ void fill_table(const RejectionProblem& problem, Cycles cap, DpScratch& scratch)
   take.reset(n, width);
 
   // reachable: largest w with kept[w] > -inf so far; rows above it cannot
-  // produce candidates, so the inner loop never visits them.
+  // produce candidates, so the relaxation never visits them.
   std::size_t reachable = 0;
+  const simd::KernelTable& kernels = simd::kernels();
   RETASK_OBS_ONLY(std::uint64_t cells_touched = 0; std::uint64_t cells_skipped = 0;
                   std::uint64_t tasks_pruned = 0;)
   for (std::size_t i = 0; i < n; ++i) {
@@ -48,15 +50,12 @@ void fill_table(const RejectionProblem& problem, Cycles cap, DpScratch& scratch)
     const auto ci = static_cast<std::size_t>(task.cycles);
     const std::size_t top = std::min(width - 1, reachable + ci);
     // The reachability bound prunes the row to [ci, top]; the cell counts
-    // follow arithmetically so the inner loop stays untouched.
+    // follow arithmetically so the relaxation stays untouched.
     RETASK_OBS_ONLY(cells_touched += top + 1 - ci; cells_skipped += width - (top + 1 - ci);)
-    for (std::size_t w = top + 1; w-- > ci;) {
-      const double candidate = kept[w - ci] == kNegInf ? kNegInf : kept[w - ci] + task.penalty;
-      if (candidate > kept[w]) {
-        kept[w] = candidate;
-        take.set(i, w);
-      }
-    }
+    // Vectorized descending relaxation; kept[w - ci] == -inf stays -inf
+    // after the add, so the explicit sentinel test of the old scalar loop
+    // is subsumed (IEEE: -inf + finite == -inf, and -inf > x never holds).
+    kernels.relax_desc_f64(kept.data(), take.row_words(i), ci, ci, top, task.penalty);
     reachable = top;
   }
   RETASK_COUNT("exact_dp.cells_touched", cells_touched);

@@ -13,6 +13,7 @@
 #include "retask/core/greedy.hpp"
 #include "retask/obs/metrics.hpp"
 #include "retask/obs/trace.hpp"
+#include "retask/simd/kernels.hpp"
 
 namespace retask {
 namespace {
@@ -58,9 +59,10 @@ RejectionSolution scaled_round(const RejectionProblem& problem, double guess, do
   take.reset(movable.size(), width);
 
   // reachable: largest row index any processed task combination can have
-  // filled so far; rows above it are all kNone, so the inner loop skips
+  // filled so far; rows above it are all kNone, so the relaxation skips
   // them without even reading.
   std::size_t reachable = 0;
+  const simd::KernelTable& kernels = simd::kernels();
   RETASK_OBS_ONLY(std::uint64_t cells_touched = 0;)
   for (std::size_t k = 0; k < movable.size(); ++k) {
     const FrameTask& task = problem.tasks()[movable[k]];
@@ -68,15 +70,10 @@ RejectionSolution scaled_round(const RejectionProblem& problem, double guess, do
     if (q >= width) continue;  // cannot fit any budget row
     const std::size_t top = std::min(width - 1, reachable + q);
     RETASK_OBS_ONLY(cells_touched += top + 1 - q;)
-    for (std::size_t r = top + 1; r-- > q;) {
-      if (rej[r - q] == kNone) continue;
-      const Cycles candidate = rej[r - q] + task.cycles;
-      if (candidate > rej[r]) {
-        rej[r] = candidate;
-        true_pen[r] = true_pen[r - q] + task.penalty;
-        take.set(k, r);
-      }
-    }
+    // Vectorized descending relaxation over the int64 row with the exact
+    // penalty carried as the paired payload.
+    kernels.relax_desc_i64(rej.data(), true_pen.data(), take.row_words(k), q, q, top,
+                           task.cycles, task.penalty);
     reachable = top;
   }
   RETASK_COUNT("fptas.cells_touched", cells_touched);
@@ -84,46 +81,76 @@ RejectionSolution scaled_round(const RejectionProblem& problem, double guess, do
   RETASK_RECORD("fptas.table_width", width);
 
   // Sweep rows: accepted cycles = total - rejected; keep the best feasible
-  // candidate by its TRUE objective. Rows whose exact penalty already
-  // matches or exceeds the best objective are skipped before the energy
-  // evaluation (energy >= 0, so they cannot strictly win), and energies are
-  // memoized across guess rounds.
-  // best_objective starts at the incumbent's value (the guess): rows that
-  // cannot strictly beat it would be discarded by solve() anyway, so
-  // pruning them here changes nothing but the number of energy
-  // evaluations. `found` then means "found an improving row".
+  // candidate by its TRUE objective, evaluated in three passes so the
+  // energies go through the fused batch kernel.
+  //
+  // Pass 1 prefilters with the round-start guess: a row with true_pen >=
+  // guess has objective >= guess (energy >= 0) and can never be selected,
+  // exactly like the old evolving-threshold skip — the evolving prune only
+  // dropped rows whose objective already lost to the running best, so
+  // keeping them until pass 3's strict ascending scan selects the identical
+  // row. The only difference is how many energies are (batch-)evaluated,
+  // which the fptas.energy_evals counter makes visible.
   const Cycles total = problem.tasks().total_cycles();
-  double best_objective = guess;
-  std::size_t best_r = width;
+  std::vector<std::size_t>& cand_row = scratch.cand_row;
+  std::vector<Cycles>& cand_cycles = scratch.cand_cycles;
+  std::vector<double>& cand_energy = scratch.cand_energy;
+  cand_row.clear();
+  cand_cycles.clear();
   for (std::size_t r = 0; r < width; ++r) {
     if (rej[r] == kNone) continue;
     const Cycles accepted_cycles = total - rej[r];
     if (accepted_cycles > problem.cycle_capacity()) continue;
-    if (true_pen[r] >= best_objective) continue;
-    double energy = 0.0;
-    if (problem.energy_memo() != nullptr) {
-      // The attached per-problem memo subsumes the round-local one (and
-      // additionally shares energies with the other solvers run on this
-      // problem); its own cache.energy_* counters track hits.
-      energy = problem.energy_of_cycles(accepted_cycles);
-    } else {
-      // Round-local memo: successive guesses revisit mostly the same cycle
-      // totals, and the speed-schedule optimization behind each energy()
-      // call dwarfs a hash lookup.
-      const auto memo = scratch.energy_memo.find(accepted_cycles);
+    if (true_pen[r] >= guess) continue;
+    cand_row.push_back(r);
+    cand_cycles.push_back(accepted_cycles);
+  }
+
+  // Pass 2: energies for every surviving row.
+  cand_energy.resize(cand_cycles.size());
+  if (problem.energy_memo() != nullptr) {
+    // The attached per-problem memo subsumes the round-local one (and
+    // additionally shares energies with the other solvers run on this
+    // problem); its own cache.energy_* counters track hits.
+    problem.energy_of_cycles_batch(cand_cycles.data(), cand_energy.data(), cand_cycles.size());
+  } else {
+    // Round-local memo: successive guesses revisit mostly the same cycle
+    // totals, and the speed-schedule optimization behind each energy
+    // evaluation dwarfs a hash lookup. Misses are compacted and batched.
+    std::vector<Cycles> misses;
+    std::vector<std::size_t> miss_at;
+    for (std::size_t c = 0; c < cand_cycles.size(); ++c) {
+      const auto memo = scratch.energy_memo.find(cand_cycles[c]);
       if (memo != scratch.energy_memo.end()) {
         RETASK_COUNT("fptas.energy_memo_hits", 1);
-        energy = memo->second;
+        cand_energy[c] = memo->second;
       } else {
         RETASK_COUNT("fptas.energy_evals", 1);
-        energy = problem.energy_of_cycles(accepted_cycles);
-        scratch.energy_memo.emplace(accepted_cycles, energy);
+        misses.push_back(cand_cycles[c]);
+        miss_at.push_back(c);
       }
     }
-    const double objective = energy + true_pen[r];
+    if (!misses.empty()) {
+      std::vector<double> miss_energy(misses.size());
+      problem.energy_of_cycles_batch(misses.data(), miss_energy.data(), misses.size());
+      for (std::size_t m = 0; m < misses.size(); ++m) {
+        cand_energy[miss_at[m]] = miss_energy[m];
+        scratch.energy_memo.emplace(misses[m], miss_energy[m]);
+      }
+    }
+  }
+
+  // Pass 3: strict ascending selection — identical tie-breaks to the old
+  // fused loop. best_objective starts at the incumbent's value (the guess):
+  // rows that cannot strictly beat it would be discarded by solve() anyway,
+  // so `found` means "found an improving row".
+  double best_objective = guess;
+  std::size_t best_r = width;
+  for (std::size_t c = 0; c < cand_row.size(); ++c) {
+    const double objective = cand_energy[c] + true_pen[cand_row[c]];
     if (objective < best_objective) {
       best_objective = objective;
-      best_r = r;
+      best_r = cand_row[c];
     }
   }
   if (best_r == width) {

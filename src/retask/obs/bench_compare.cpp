@@ -56,6 +56,7 @@ void write_bench_report(std::ostream& os, const BenchReport& report) {
   os << "  \"schema\": \"" << json_escape(report.schema) << "\",\n";
   os << "  \"jobs\": " << report.jobs << ",\n";
   os << "  \"repeats\": " << report.repeats << ",\n";
+  os << "  \"backend\": \"" << json_escape(report.backend) << "\",\n";
   os << "  \"workloads\": [";
   for (std::size_t w = 0; w < report.workloads.size(); ++w) {
     const BenchWorkloadResult& workload = report.workloads[w];
@@ -107,6 +108,9 @@ BenchReport read_bench_report(std::istream& is) {
           "bench report: unsupported schema '" + report.schema + "' (expected " + kSchema + ")");
   report.jobs = static_cast<int>(as_uint64(member(document, "jobs"), "jobs"));
   report.repeats = static_cast<int>(as_uint64(member(document, "repeats"), "repeats"));
+  if (const JsonValue* backend = document.find("backend")) {
+    report.backend = backend->as_string();
+  }
 
   for (const JsonValue& entry : member(document, "workloads").as_array()) {
     require(entry.type == JsonValue::Type::kObject, "bench report: workload must be an object");

@@ -36,7 +36,9 @@ EnergyCurve::EnergyCurve(const EnergyCurve& other)
       idle_(other.idle_),
       sleep_(other.sleep_),
       max_workload_(other.max_workload_),
-      hull_(other.hull_) {}
+      hull_(other.hull_),
+      hull_speeds_(other.hull_speeds_),
+      hull_powers_(other.hull_powers_) {}
 
 EnergyCurve& EnergyCurve::operator=(const EnergyCurve& other) {
   if (this != &other) {
@@ -46,6 +48,8 @@ EnergyCurve& EnergyCurve::operator=(const EnergyCurve& other) {
     sleep_ = other.sleep_;
     max_workload_ = other.max_workload_;
     hull_ = other.hull_;
+    hull_speeds_ = other.hull_speeds_;
+    hull_powers_ = other.hull_powers_;
   }
   return *this;
 }
@@ -79,6 +83,30 @@ void EnergyCurve::build_hull() {
     hull_.push_back(p);
   }
   RETASK_ASSERT(!hull_.empty());
+  // Structure-of-arrays mirror for the vector energy kernels.
+  hull_speeds_.clear();
+  hull_powers_.clear();
+  for (const HullPoint& point : hull_) {
+    hull_speeds_.push_back(point.speed);
+    hull_powers_.push_back(point.power);
+  }
+}
+
+simd::HullEnergyParams EnergyCurve::hull_params(double work_per_cycle) const {
+  RETASK_ASSERT(!hull_.empty());
+  simd::HullEnergyParams params;
+  params.window = window_;
+  params.work_per_cycle = work_per_cycle;
+  params.static_power = static_power();
+  params.smax = model_->max_speed();
+  params.switch_energy = sleep_.switch_energy;
+  params.switch_time = sleep_.switch_time;
+  params.dormant_enable = idle_ == IdleDiscipline::kDormantEnable;
+  params.e_zero = params.dormant_enable ? 0.0 : static_power() * window_;
+  params.hull_speed = hull_speeds_.data();
+  params.hull_power = hull_powers_.data();
+  params.hull_size = hull_speeds_.size();
+  return params;
 }
 
 double EnergyCurve::hull_power(double s) const {
@@ -172,7 +200,36 @@ double EnergyCurve::energy(double cycles) const {
     // Dormant-enable processors stay dormant through an empty window.
     return idle_ == IdleDiscipline::kDormantEnable ? 0.0 : static_power() * window_;
   }
+  // Discrete models route through the shared scalar hull kernel — the same
+  // reference body the batched SIMD kernels reduce to — so one-at-a-time and
+  // batched evaluation can never diverge by a bit (the energy memo's replay
+  // guarantee depends on this). best_choice stays the implementation for
+  // continuous models and for plan(), which needs the speed, not the cost.
+  if (!model_->is_continuous()) return simd::energy_hull_one(hull_params(1.0), cycles);
   return best_choice(cycles).cost;
+}
+
+void EnergyCurve::energy_cycles_batch(double work_per_cycle, const std::int64_t* cycles,
+                                      double* out, std::size_t n) const {
+  require(work_per_cycle > 0.0, "EnergyCurve::energy_cycles_batch: work_per_cycle must be positive");
+  constexpr std::int64_t kMaxExact = std::int64_t{1} << 52;  // exact int64->double range
+  bool kernel_ok = !model_->is_continuous();
+  for (std::size_t i = 0; i < n && kernel_ok; ++i) {
+    kernel_ok = cycles[i] >= 0 && cycles[i] < kMaxExact;
+  }
+  if (!kernel_ok) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = energy(work_per_cycle * static_cast<double>(cycles[i]));
+    }
+    return;
+  }
+  // Same feasibility contract as energy(), checked up front so the kernel
+  // only ever sees workloads the scalar path would accept.
+  for (std::size_t i = 0; i < n; ++i) {
+    require(feasible(work_per_cycle * static_cast<double>(cycles[i])),
+            "EnergyCurve::energy: workload exceeds smax * window");
+  }
+  simd::kernels().energy_hull_cycles(hull_params(work_per_cycle), cycles, out, n);
 }
 
 double EnergyCurve::marginal(double cycles) const {

@@ -31,11 +31,13 @@
 #ifndef RETASK_POWER_ENERGY_CURVE_HPP
 #define RETASK_POWER_ENERGY_CURVE_HPP
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "retask/power/power_model.hpp"
 #include "retask/power/sleep.hpp"
+#include "retask/simd/kernels.hpp"
 
 namespace retask {
 
@@ -104,6 +106,15 @@ class EnergyCurve {
   /// processor stays dormant) and Pind * D for dormant-disable.
   double energy(double cycles) const;
 
+  /// Batched energy over integer cycle counts: out[i] equals
+  /// energy(work_per_cycle * cycles[i]) bit for bit. Discrete (hull) models
+  /// dispatch to the active SIMD backend's fused cycles->energy kernel;
+  /// continuous models — and inputs outside the kernel's exact-conversion
+  /// range [0, 2^52) — fall back to per-element evaluation. Requires
+  /// work_per_cycle > 0 and every workload feasible, like energy().
+  void energy_cycles_batch(double work_per_cycle, const std::int64_t* cycles, double* out,
+                           std::size_t n) const;
+
   /// Cost of an idle interval of length `t` under this curve's discipline
   /// and sleep parameters.
   double idle_cost(double t) const;
@@ -145,6 +156,9 @@ class EnergyCurve {
   double hull_power(double s) const;
   /// Best (speed, branch) decision for a positive workload.
   Choice best_choice(double cycles) const;
+  /// Flattened hull + model scalars for the SIMD energy kernels. Only valid
+  /// for discrete models; pointers alias hull_speeds_/hull_powers_.
+  simd::HullEnergyParams hull_params(double work_per_cycle) const;
 
   std::unique_ptr<PowerModel> model_;
   double window_ = 0.0;
@@ -152,6 +166,9 @@ class EnergyCurve {
   SleepParams sleep_;
   double max_workload_ = 0.0;
   std::vector<HullPoint> hull_;  // discrete models: lower hull of operating points
+  // Structure-of-arrays view of hull_ for the vector kernels (same order).
+  std::vector<double> hull_speeds_;
+  std::vector<double> hull_powers_;
 };
 
 }  // namespace retask

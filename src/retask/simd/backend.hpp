@@ -1,0 +1,76 @@
+// Runtime SIMD backend selection for the vector-kernel layer.
+//
+// The library ships one scalar reference implementation of every kernel plus
+// optional SSE2 / AVX2 / NEON translation units compiled with the matching
+// target flags. At first use the dispatcher picks the widest backend the host
+// CPU supports; `RETASK_SIMD=off|scalar|sse2|avx2|neon|auto` (environment) or
+// the `RETASK_SIMD` CMake cache entry overrides that choice process-wide, and
+// `ScopedBackend` overrides it per thread (used by the differential fuzzer to
+// pit backends against each other on worker threads without racing).
+//
+// Every backend is bit-identical to the scalar path by construction: all
+// kernels are elementwise (no reassociated floating-point reductions), so
+// forcing a backend changes latency, never solutions. `tests/
+// test_simd_kernels.cpp` and `retask_fuzz --simd-diff` enforce this.
+#ifndef RETASK_SIMD_BACKEND_HPP
+#define RETASK_SIMD_BACKEND_HPP
+
+#include <string>
+#include <string_view>
+
+namespace retask::simd {
+
+/// Kernel implementation families, narrowest first. `kScalar` is always
+/// available; the vector backends exist only when the translation unit was
+/// compiled for that ISA *and* the host CPU reports support at runtime.
+enum class Backend {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+  kNeon = 3,
+};
+
+/// Human-readable backend name ("scalar", "sse2", "avx2", "neon").
+std::string_view to_string(Backend backend) noexcept;
+
+/// Parses a backend name as accepted by `RETASK_SIMD`. "off" and "scalar"
+/// both mean `kScalar`; "auto" (or "") means detect. Throws `retask::Error`
+/// on unknown names.
+/// Returns true and sets `backend` for explicit names; returns false for
+/// "auto"/"" (caller should detect).
+bool parse_backend(std::string_view name, Backend& backend);
+
+/// Widest backend the host CPU supports among those compiled in.
+Backend detect_backend() noexcept;
+
+/// True when `backend`'s kernel table was compiled in and the host CPU can
+/// execute it.
+bool backend_available(Backend backend) noexcept;
+
+/// The backend the calling thread will dispatch to: the thread-local
+/// override if one is active, else the process-wide selection (resolved on
+/// first use from `RETASK_SIMD`, the compiled-in default, then detection).
+Backend active_backend();
+
+/// Forces the process-wide backend. Throws `retask::Error` when `backend`
+/// is not available on this host. Threads holding a `ScopedBackend`
+/// override are unaffected until it unwinds.
+void set_backend(Backend backend);
+
+/// RAII thread-local backend override, nestable. Used by tests and the
+/// fuzzer's `--simd-diff` mode to run forced-scalar and dispatched solves
+/// side by side on the same worker thread.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(Backend backend);
+  ~ScopedBackend();
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+ private:
+  int saved_;
+};
+
+}  // namespace retask::simd
+
+#endif  // RETASK_SIMD_BACKEND_HPP

@@ -1,0 +1,76 @@
+// Scalar reference bodies for every kernel — the normative semantics that
+// each vector backend must match bit for bit.
+//
+// This file is #included inside an anonymous namespace of every backend
+// translation unit (scalar, SSE2, AVX2, NEON). Internal linkage is on
+// purpose: the backend TUs are compiled with different -m target flags, and
+// out-of-line shared helpers could otherwise be merged across TUs by the
+// linker and picked from a TU whose ISA the host CPU cannot execute. Each TU
+// gets its own private copy instead; the copies are trivially identical
+// arithmetic, so bit-identity across backends is unaffected.
+//
+// The energy body transliterates the discrete (hull) branch of
+// `EnergyCurve::best_choice` / `hull_power` / `leq_tol` exactly — same
+// candidate order, same comparisons, same operation order — so that the
+// solvers can batch-evaluate energies without perturbing a single bit of any
+// solution. Keep the two in sync (test_simd_kernels cross-checks them).
+
+inline void scalar_relax_desc_f64(double* row, std::uint64_t* take_row, std::size_t shift,
+                                  std::size_t lo, std::size_t hi, double add) {
+  for (std::size_t w = hi + 1; w-- > lo;) {
+    const double cand = row[w - shift] + add;  // -inf + add stays -inf
+    if (cand > row[w]) {
+      row[w] = cand;
+      take_row[w >> 6] |= std::uint64_t{1} << (w & 63);
+    }
+  }
+}
+
+inline void scalar_relax_desc_i64(std::int64_t* rej, double* payload, std::uint64_t* take_row,
+                                  std::size_t shift, std::size_t lo, std::size_t hi,
+                                  std::int64_t add_cycles, double add_payload) {
+  for (std::size_t w = hi + 1; w-- > lo;) {
+    const std::int64_t src = rej[w - shift];
+    if (src < 0) continue;  // unreachable sentinel (-1)
+    const std::int64_t cand = src + add_cycles;
+    if (cand > rej[w]) {
+      rej[w] = cand;
+      payload[w] = payload[w - shift] + add_payload;
+      take_row[w >> 6] |= std::uint64_t{1} << (w & 63);
+    }
+  }
+}
+
+inline std::size_t scalar_argmax_f64(const double* values, std::size_t n, double init) {
+  double best = init;
+  std::size_t best_index = ::retask::simd::kNpos;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (values[i] > best) {
+      best = values[i];
+      best_index = i;
+    }
+  }
+  return best_index;
+}
+
+inline std::size_t scalar_argmin_strided_f64(const double* values, std::size_t n,
+                                             std::size_t stride, double init) {
+  double best = init;
+  std::size_t best_index = ::retask::simd::kNpos;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = values[i * stride];
+    if (x < best) {
+      best = x;
+      best_index = i;
+    }
+  }
+  return best_index;
+}
+
+inline void scalar_energy_hull_cycles(const ::retask::simd::HullEnergyParams& params,
+                                      const std::int64_t* cycles, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double work = params.work_per_cycle * static_cast<double>(cycles[i]);
+    out[i] = work <= 0.0 ? params.e_zero : ::retask::simd::energy_hull_one(params, work);
+  }
+}

@@ -10,8 +10,11 @@
 #include "retask/common/parallel.hpp"
 #include "retask/core/budgeted.hpp"
 #include "retask/core/exact_dp.hpp"
+#include "retask/core/fptas.hpp"
+#include "retask/core/greedy.hpp"
 #include "retask/exp/workload.hpp"
 #include "retask/io/cli_options.hpp"
+#include "retask/simd/backend.hpp"
 
 namespace retask {
 namespace {
@@ -234,6 +237,83 @@ std::vector<PropertyViolation> check_sweep_cache(const RejectionProblem& problem
   return violations;
 }
 
+std::vector<PropertyViolation> check_simd_diff(const RejectionProblem& problem) {
+  std::vector<PropertyViolation> violations;
+  if (problem.processor_count() != 1) return violations;
+
+  // Every vector backend the host can execute; empty on scalar-only hosts.
+  std::vector<simd::Backend> vector_backends;
+  for (const simd::Backend b :
+       {simd::Backend::kSse2, simd::Backend::kAvx2, simd::Backend::kNeon}) {
+    if (simd::backend_available(b)) vector_backends.push_back(b);
+  }
+  if (vector_backends.empty()) return violations;
+
+  const auto mismatch = [&](const std::string& solver, const std::string& detail) {
+    violations.push_back({"simd-diff", solver, detail});
+  };
+
+  // Rejection solvers that go through the kernel layer. ScopedBackend is a
+  // thread-local override, so forcing it here covers the whole solve even
+  // when this round runs on a fuzz pool thread.
+  const ExactDpSolver exact;
+  const FptasSolver fptas(0.1);
+  const DensityGreedySolver density;
+  const MarginalGreedySolver marginal;
+  const std::vector<const RejectionSolver*> solvers = {&exact, &fptas, &density, &marginal};
+  for (const RejectionSolver* solver : solvers) {
+    try {
+      RejectionSolution scalar;
+      {
+        simd::ScopedBackend forced(simd::Backend::kScalar);
+        scalar = solver->solve(problem);
+      }
+      for (const simd::Backend backend : vector_backends) {
+        simd::ScopedBackend forced(backend);
+        const RejectionSolution vectored = solver->solve(problem);
+        if (vectored.accepted != scalar.accepted || vectored.energy != scalar.energy ||
+            vectored.penalty != scalar.penalty) {
+          mismatch(solver->name(), std::string(simd::to_string(backend)) + " objective " +
+                                       fmt(vectored.objective()) + " != scalar " +
+                                       fmt(scalar.objective()) + " (or accept masks differ)");
+        }
+      }
+    } catch (const std::exception& error) {
+      mismatch(solver->name(), std::string("simd diff threw: ") + error.what());
+    }
+  }
+
+  // Budgeted DP (value-maximization twin of the rejection DP).
+  const Cycles cap = std::min(problem.cycle_capacity(), problem.tasks().total_cycles());
+  if (cap >= 1) {
+    const double budget = problem.energy_of_cycles(cap);
+    if (budget > 0.0) {
+      BudgetedProblem budgeted{problem.tasks(), problem.curve(), problem.work_per_cycle(),
+                               budget};
+      try {
+        BudgetedSolution scalar;
+        {
+          simd::ScopedBackend forced(simd::Backend::kScalar);
+          scalar = solve_budgeted_dp(budgeted);
+        }
+        for (const simd::Backend backend : vector_backends) {
+          simd::ScopedBackend forced(backend);
+          const BudgetedSolution vectored = solve_budgeted_dp(budgeted);
+          if (vectored.accepted != scalar.accepted || vectored.value != scalar.value ||
+              vectored.energy != scalar.energy) {
+            mismatch("budgeted-dp", std::string(simd::to_string(backend)) + " value " +
+                                        fmt(vectored.value) + " != scalar " + fmt(scalar.value) +
+                                        " (or accept masks differ)");
+          }
+        }
+      } catch (const std::exception& error) {
+        mismatch("budgeted-dp", std::string("simd diff threw: ") + error.what());
+      }
+    }
+  }
+  return violations;
+}
+
 FuzzReport run_differential_fuzz(const FuzzOptions& options, const SuiteFactory& factory) {
   require(options.rounds >= 0, "run_differential_fuzz: rounds must be non-negative");
   require(options.max_n >= 2, "run_differential_fuzz: max_n must be at least 2");
@@ -258,6 +338,11 @@ FuzzReport run_differential_fuzz(const FuzzOptions& options, const SuiteFactory&
           std::vector<PropertyViolation> found = check_instance(problem, suite);
           if (options.sweep_cache) {
             std::vector<PropertyViolation> extra = check_sweep_cache(problem);
+            found.insert(found.end(), std::make_move_iterator(extra.begin()),
+                         std::make_move_iterator(extra.end()));
+          }
+          if (options.simd_diff) {
+            std::vector<PropertyViolation> extra = check_simd_diff(problem);
             found.insert(found.end(), std::make_move_iterator(extra.begin()),
                          std::make_move_iterator(extra.end()));
           }

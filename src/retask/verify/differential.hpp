@@ -68,6 +68,7 @@ struct FuzzOptions {
   int jobs = 0;             ///< parallel_for jobs; 0 = default_jobs()
   bool shrink = true;       ///< minimize failing instances
   bool sweep_cache = false; ///< also check warm-vs-cold sweep solve identity
+  bool simd_diff = false;   ///< also check forced-scalar vs SIMD solve identity
 };
 
 /// Warm-vs-cold sweep-cache check: solves a 3-point capacity sweep of
@@ -78,6 +79,16 @@ struct FuzzOptions {
 /// paths promise strict bit-identity, so the comparison uses exact double
 /// equality. Single-processor instances only (returns empty otherwise).
 std::vector<PropertyViolation> check_sweep_cache(const RejectionProblem& problem);
+
+/// Forced-scalar vs vector-backend check: solves `problem` with every
+/// kernel-using single-processor solver (exact DP, budgeted DP, FPTAS,
+/// density/marginal greedy) under the scalar kernel table and under every
+/// vector backend the host can execute, reporting any bitwise difference
+/// (accept masks, energies, penalties) as "simd-diff" violations. The SIMD
+/// layer promises bit-identity, so the comparison uses exact double
+/// equality. Single-processor instances only (returns empty otherwise, and
+/// on scalar-only hosts).
+std::vector<PropertyViolation> check_simd_diff(const RejectionProblem& problem);
 
 /// One failing, minimized instance.
 struct FuzzCounterexample {

@@ -23,6 +23,7 @@ BenchReport sample_report() {
   BenchReport report;
   report.jobs = 2;
   report.repeats = 5;
+  report.backend = "avx2";
   BenchWorkloadResult fast;
   fast.name = "greedy_density_n2048";
   fast.median_ns = 1000000;
@@ -46,6 +47,7 @@ TEST(BenchReportIo, RoundTripsThroughJson) {
   EXPECT_EQ(parsed.schema, original.schema);
   EXPECT_EQ(parsed.jobs, original.jobs);
   EXPECT_EQ(parsed.repeats, original.repeats);
+  EXPECT_EQ(parsed.backend, original.backend);
   ASSERT_EQ(parsed.workloads.size(), original.workloads.size());
   for (std::size_t i = 0; i < parsed.workloads.size(); ++i) {
     EXPECT_EQ(parsed.workloads[i].name, original.workloads[i].name);
@@ -53,6 +55,15 @@ TEST(BenchReportIo, RoundTripsThroughJson) {
     EXPECT_EQ(parsed.workloads[i].runs_ns, original.workloads[i].runs_ns);
     EXPECT_EQ(parsed.workloads[i].metrics, original.workloads[i].metrics);
   }
+}
+
+TEST(BenchReportIo, AcceptsReportsWithoutBackendField) {
+  // Reports written before the SIMD layer carry no backend tag; they parse
+  // with an empty backend (which the baseline-refresh guard then treats as
+  // a config mismatch).
+  std::istringstream in(R"({"schema":"retask-bench-v1","jobs":1,"repeats":1,"workloads":[]})");
+  const BenchReport parsed = obs::read_bench_report(in);
+  EXPECT_EQ(parsed.backend, "");
 }
 
 TEST(BenchReportIo, RejectsWrongSchemaDuplicatesAndBadValues) {

@@ -1,0 +1,94 @@
+// Tests for the thread-local scratch arenas (cache/scratch.hpp): repeated
+// solves on one thread must reuse the high-water-mark buffers without
+// reallocating, interleaving solver families must stay safe, and arena
+// reuse must never leak state from one solve into the next.
+#include "retask/cache/scratch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "retask/core/exact_dp.hpp"
+#include "retask/core/fptas.hpp"
+#include "retask/core/greedy.hpp"
+#include "test_util.hpp"
+
+namespace retask {
+namespace {
+
+TEST(ScratchArena, ExactDpReusesBuffersAcrossSolves) {
+  const RejectionProblem problem = test::small_instance(11, 12, 1.6);
+  const ExactDpSolver solver;
+  const RejectionSolution first = solver.solve(problem);
+
+  DpScratch& scratch = exact_dp_scratch();
+  const double* value_data = scratch.value.data();
+  const std::size_t value_capacity = scratch.value.capacity();
+  ASSERT_GT(value_capacity, 0u);
+
+  // A same-size solve must not touch the allocator: the value row is
+  // assign()ed in place and BitMatrix::reset reuses its word storage.
+  const RejectionSolution second = solver.solve(problem);
+  EXPECT_EQ(scratch.value.data(), value_data);
+  EXPECT_EQ(scratch.value.capacity(), value_capacity);
+  EXPECT_EQ(second.accepted, first.accepted);
+  EXPECT_EQ(second.objective(), first.objective());
+}
+
+TEST(ScratchArena, FptasReusesBuffersAndGrowsMonotonically) {
+  const FptasSolver solver(0.1);
+  const RejectionSolution small_first = solver.solve(test::small_instance(3, 8, 1.4));
+  FptasScratch& scratch = fptas_scratch();
+  const std::size_t small_capacity = scratch.rej.capacity();
+  ASSERT_GT(small_capacity, 0u);
+
+  // A larger instance grows the arena; returning to the small instance then
+  // reuses the grown buffers without reallocating.
+  solver.solve(test::small_instance(4, 16, 1.8));
+  const std::size_t grown_capacity = scratch.rej.capacity();
+  EXPECT_GE(grown_capacity, small_capacity);
+  const std::int64_t* rej_data = scratch.rej.data();
+
+  const RejectionSolution small_again = solver.solve(test::small_instance(3, 8, 1.4));
+  EXPECT_EQ(scratch.rej.data(), rej_data);
+  EXPECT_EQ(scratch.rej.capacity(), grown_capacity);
+  // Arena reuse (including the round-local energy memo, which must be
+  // cleared per solve) leaves the answer bit-identical.
+  EXPECT_EQ(small_again.accepted, small_first.accepted);
+  EXPECT_EQ(small_again.objective(), small_first.objective());
+}
+
+TEST(ScratchArena, GreedyReusesDeltaRow) {
+  const RejectionProblem problem = test::small_instance(7, 14, 1.7);
+  const MarginalGreedySolver solver;
+  const RejectionSolution first = solver.solve(problem);
+  GreedyScratch& scratch = greedy_scratch();
+  const double* delta_data = scratch.delta.data();
+  ASSERT_GT(scratch.delta.capacity(), 0u);
+
+  const RejectionSolution second = solver.solve(problem);
+  EXPECT_EQ(scratch.delta.data(), delta_data);
+  EXPECT_EQ(second.accepted, first.accepted);
+  EXPECT_EQ(second.objective(), first.objective());
+}
+
+TEST(ScratchArena, InterleavedSolverFamiliesStayIndependent) {
+  // Each family owns a distinct arena, so alternating solvers on one thread
+  // must reproduce the isolated runs bit for bit.
+  const RejectionProblem a = test::small_instance(21, 10, 1.5);
+  const RejectionProblem b = test::small_instance(22, 12, 1.9);
+  const ExactDpSolver exact;
+  const FptasSolver fptas(0.2);
+  const MarginalGreedySolver greedy;
+
+  const double exact_a = exact.solve(a).objective();
+  const double fptas_b = fptas.solve(b).objective();
+  const double greedy_a = greedy.solve(a).objective();
+
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(exact.solve(a).objective(), exact_a);
+    EXPECT_EQ(fptas.solve(b).objective(), fptas_b);
+    EXPECT_EQ(greedy.solve(a).objective(), greedy_a);
+  }
+}
+
+}  // namespace
+}  // namespace retask

@@ -1,0 +1,390 @@
+// Tests for the SIMD kernel layer: every available backend must reproduce
+// the scalar reference kernels bit for bit at every width (including the
+// vector-width edges), the fused hull-energy kernel must match
+// EnergyCurve::energy exactly, and whole solvers must be backend- and
+// thread-count-invariant down to the last bit.
+#include "retask/simd/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "retask/common/error.hpp"
+#include "retask/common/rng.hpp"
+#include "retask/core/budgeted.hpp"
+#include "retask/core/exact_dp.hpp"
+#include "retask/core/fptas.hpp"
+#include "retask/core/greedy.hpp"
+#include "retask/core/lower_bound.hpp"
+#include "retask/exp/harness.hpp"
+#include "retask/power/table_power.hpp"
+#include "retask/simd/backend.hpp"
+#include "test_util.hpp"
+
+namespace retask {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Every backend the host can actually execute (always includes scalar).
+std::vector<simd::Backend> available_backends() {
+  std::vector<simd::Backend> out;
+  for (const simd::Backend b : {simd::Backend::kScalar, simd::Backend::kSse2,
+                                simd::Backend::kAvx2, simd::Backend::kNeon}) {
+    if (simd::backend_available(b)) out.push_back(b);
+  }
+  return out;
+}
+
+/// Row widths covering the interesting edges: below/at/above every vector
+/// width in use (2 and 4 lanes), the take-bit word boundary, and a bulk size.
+const std::vector<std::size_t> kWidths = {1, 2, 3, 4, 5, 7, 8, 9, 63, 64, 65, 130, 4096};
+
+/// Bitwise equality for doubles (distinguishes -0.0 from 0.0 and compares
+/// NaN/inf payloads exactly).
+::testing::AssertionResult bits_equal(double a, double b) {
+  if (std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure() << a << " != " << b << " (bitwise)";
+}
+
+/// A random DP value row: mostly finite values, ~25% -inf sentinels.
+std::vector<double> random_f64_row(Rng& rng, std::size_t width) {
+  std::vector<double> row(width);
+  for (double& v : row) {
+    v = rng.uniform() < 0.25 ? -kInf : rng.uniform(-50.0, 50.0);
+  }
+  return row;
+}
+
+TEST(SimdBackend, ParseNamesRoundTrip) {
+  simd::Backend b = simd::Backend::kScalar;
+  EXPECT_TRUE(simd::parse_backend("off", b));
+  EXPECT_EQ(b, simd::Backend::kScalar);
+  EXPECT_TRUE(simd::parse_backend("scalar", b));
+  EXPECT_EQ(b, simd::Backend::kScalar);
+  EXPECT_TRUE(simd::parse_backend("sse2", b));
+  EXPECT_EQ(b, simd::Backend::kSse2);
+  EXPECT_TRUE(simd::parse_backend("avx2", b));
+  EXPECT_EQ(b, simd::Backend::kAvx2);
+  EXPECT_TRUE(simd::parse_backend("neon", b));
+  EXPECT_EQ(b, simd::Backend::kNeon);
+  // "auto" and "" defer to detection: recognized but not a fixed backend.
+  EXPECT_FALSE(simd::parse_backend("auto", b));
+  EXPECT_FALSE(simd::parse_backend("", b));
+  EXPECT_THROW(simd::parse_backend("avx512", b), Error);
+  EXPECT_EQ(simd::to_string(simd::Backend::kScalar), "scalar");
+  EXPECT_EQ(simd::to_string(simd::Backend::kAvx2), "avx2");
+}
+
+TEST(SimdBackend, ScalarAlwaysAvailableAndDetectIsAvailable) {
+  EXPECT_TRUE(simd::backend_available(simd::Backend::kScalar));
+  EXPECT_TRUE(simd::backend_available(simd::detect_backend()));
+  EXPECT_EQ(&simd::kernels_for(simd::Backend::kScalar), simd::scalar_table());
+  EXPECT_NE(simd::scalar_table(), nullptr);
+}
+
+TEST(SimdBackend, ScopedOverrideNestsAndRestores) {
+  const simd::Backend ambient = simd::active_backend();
+  {
+    simd::ScopedBackend outer(simd::Backend::kScalar);
+    EXPECT_EQ(simd::active_backend(), simd::Backend::kScalar);
+    if (simd::backend_available(simd::Backend::kSse2)) {
+      simd::ScopedBackend inner(simd::Backend::kSse2);
+      EXPECT_EQ(simd::active_backend(), simd::Backend::kSse2);
+    }
+    EXPECT_EQ(simd::active_backend(), simd::Backend::kScalar);
+  }
+  EXPECT_EQ(simd::active_backend(), ambient);
+}
+
+TEST(SimdKernels, RelaxF64MatchesScalarAtEveryWidth) {
+  const simd::KernelTable& scalar = *simd::scalar_table();
+  for (const simd::Backend backend : available_backends()) {
+    const simd::KernelTable& table = simd::kernels_for(backend);
+    for (const std::size_t width : kWidths) {
+      Rng rng(0xC0FFEE ^ (width * 4u + static_cast<std::size_t>(backend)));
+      for (int rep = 0; rep < 8; ++rep) {
+        const auto shift = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(width) - 1));
+        const std::vector<double> base = random_f64_row(rng, width);
+        const std::size_t words = (width + 63) / 64;
+        std::vector<std::uint64_t> base_take(words);
+        for (auto& w : base_take) w = rng();
+        const double add = rng.uniform(0.1, 20.0);
+
+        std::vector<double> row_a = base;
+        std::vector<double> row_b = base;
+        std::vector<std::uint64_t> take_a = base_take;
+        std::vector<std::uint64_t> take_b = base_take;
+        scalar.relax_desc_f64(row_a.data(), take_a.data(), shift, shift, width - 1, add);
+        table.relax_desc_f64(row_b.data(), take_b.data(), shift, shift, width - 1, add);
+        for (std::size_t w = 0; w < width; ++w) {
+          ASSERT_TRUE(bits_equal(row_a[w], row_b[w]))
+              << simd::to_string(backend) << " width=" << width << " shift=" << shift
+              << " w=" << w;
+        }
+        ASSERT_EQ(take_a, take_b) << simd::to_string(backend) << " width=" << width;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, RelaxF64EmptyRangeIsANoop) {
+  for (const simd::Backend backend : available_backends()) {
+    const simd::KernelTable& table = simd::kernels_for(backend);
+    std::vector<double> row = {1.0, 2.0, 3.0};
+    std::vector<std::uint64_t> take = {0};
+    // hi < lo: the descending loop never executes.
+    table.relax_desc_f64(row.data(), take.data(), 2, 2, 1, 5.0);
+    EXPECT_EQ(row, (std::vector<double>{1.0, 2.0, 3.0}));
+    EXPECT_EQ(take[0], 0u);
+  }
+}
+
+TEST(SimdKernels, RelaxI64MatchesScalarAtEveryWidth) {
+  const simd::KernelTable& scalar = *simd::scalar_table();
+  for (const simd::Backend backend : available_backends()) {
+    const simd::KernelTable& table = simd::kernels_for(backend);
+    for (const std::size_t width : kWidths) {
+      Rng rng(0xBADD1E ^ (width * 4u + static_cast<std::size_t>(backend)));
+      for (int rep = 0; rep < 8; ++rep) {
+        const auto shift = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(width) - 1));
+        std::vector<std::int64_t> base_rej(width);
+        std::vector<double> base_pay(width);
+        for (std::size_t w = 0; w < width; ++w) {
+          base_rej[w] = rng.uniform() < 0.3 ? -1 : rng.uniform_int(0, 1000000);
+          base_pay[w] = rng.uniform(0.0, 100.0);
+        }
+        const std::size_t words = (width + 63) / 64;
+        std::vector<std::uint64_t> base_take(words);
+        for (auto& w : base_take) w = rng();
+        const std::int64_t add_cycles = rng.uniform_int(1, 5000);
+        const double add_pay = rng.uniform(0.1, 10.0);
+
+        std::vector<std::int64_t> rej_a = base_rej;
+        std::vector<std::int64_t> rej_b = base_rej;
+        std::vector<double> pay_a = base_pay;
+        std::vector<double> pay_b = base_pay;
+        std::vector<std::uint64_t> take_a = base_take;
+        std::vector<std::uint64_t> take_b = base_take;
+        scalar.relax_desc_i64(rej_a.data(), pay_a.data(), take_a.data(), shift, shift, width - 1,
+                              add_cycles, add_pay);
+        table.relax_desc_i64(rej_b.data(), pay_b.data(), take_b.data(), shift, shift, width - 1,
+                             add_cycles, add_pay);
+        ASSERT_EQ(rej_a, rej_b) << simd::to_string(backend) << " width=" << width;
+        for (std::size_t w = 0; w < width; ++w) {
+          ASSERT_TRUE(bits_equal(pay_a[w], pay_b[w]))
+              << simd::to_string(backend) << " width=" << width << " w=" << w;
+        }
+        ASSERT_EQ(take_a, take_b) << simd::to_string(backend) << " width=" << width;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, ArgmaxMatchesScalarIncludingTies) {
+  const simd::KernelTable& scalar = *simd::scalar_table();
+  for (const simd::Backend backend : available_backends()) {
+    const simd::KernelTable& table = simd::kernels_for(backend);
+    for (const std::size_t n : kWidths) {
+      Rng rng(0xA97A ^ (n * 4u + static_cast<std::size_t>(backend)));
+      for (int rep = 0; rep < 12; ++rep) {
+        std::vector<double> values(n);
+        for (double& v : values) v = rng.uniform(-10.0, 10.0);
+        // Force ties (duplicate the value at a random index elsewhere) and
+        // signed zeros so the first-attainment rule is actually exercised.
+        if (n >= 2) {
+          const auto i = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+          const auto j = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+          values[j] = values[i];
+          values[static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(n) - 1))] =
+              rng.uniform() < 0.5 ? 0.0 : -0.0;
+        }
+        for (const double init : {-kInf, 0.0, values[0], 100.0}) {
+          ASSERT_EQ(scalar.argmax_f64(values.data(), n, init),
+                    table.argmax_f64(values.data(), n, init))
+              << simd::to_string(backend) << " n=" << n << " init=" << init;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, ArgminStridedMatchesScalarIncludingInfSentinels) {
+  const simd::KernelTable& scalar = *simd::scalar_table();
+  for (const simd::Backend backend : available_backends()) {
+    const simd::KernelTable& table = simd::kernels_for(backend);
+    for (const std::size_t n : kWidths) {
+      for (const std::size_t stride : {std::size_t{1}, std::size_t{3}}) {
+        Rng rng(0x317 ^ (n * 8u + stride + static_cast<std::size_t>(backend)));
+        for (int rep = 0; rep < 8; ++rep) {
+          std::vector<double> values(n * stride, 1e300);
+          for (std::size_t i = 0; i < n; ++i) {
+            // The greedy's delta rows mix finite deltas with +inf sentinels.
+            values[i * stride] = rng.uniform() < 0.3 ? kInf : rng.uniform(-5.0, 5.0);
+          }
+          if (n >= 2) values[(n - 1) * stride] = values[0];  // tie across ends
+          for (const double init : {kInf, 0.0, -1e-12}) {
+            ASSERT_EQ(scalar.argmin_strided_f64(values.data(), n, stride, init),
+                      table.argmin_strided_f64(values.data(), n, stride, init))
+                << simd::to_string(backend) << " n=" << n << " stride=" << stride;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Curves covering both idle disciplines and a costly sleep transition on a
+/// discrete (hull) model — the kernel's entire domain.
+std::vector<EnergyCurve> hull_curves() {
+  const TablePowerModel model = TablePowerModel::xscale5();
+  std::vector<EnergyCurve> curves;
+  curves.emplace_back(model, 1.0, IdleDiscipline::kDormantEnable);
+  curves.emplace_back(model, 2.5, IdleDiscipline::kDormantDisable);
+  SleepParams sleep;
+  sleep.switch_time = 0.2;
+  sleep.switch_energy = 0.05;
+  curves.emplace_back(model, 1.0, IdleDiscipline::kDormantEnable, sleep);
+  return curves;
+}
+
+TEST(SimdKernels, EnergyBatchMatchesPerElementEnergyBitwise) {
+  for (const EnergyCurve& curve : hull_curves()) {
+    const double wpc = 1.0 / 1000.0;
+    const auto cap = static_cast<std::int64_t>(curve.max_workload() / wpc * (1.0 - 1e-9));
+    for (const simd::Backend backend : available_backends()) {
+      simd::ScopedBackend forced(backend);
+      for (const std::size_t n : kWidths) {
+        Rng rng(0xE6E ^ (n * 4u + static_cast<std::size_t>(backend)));
+        std::vector<std::int64_t> cycles(n);
+        for (auto& c : cycles) c = rng.uniform_int(0, cap);
+        cycles[0] = 0;  // the e_zero blend lane
+        if (n >= 2) cycles[1] = cap;
+        std::vector<double> batch(n);
+        curve.energy_cycles_batch(wpc, cycles.data(), batch.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          const double one = curve.energy(wpc * static_cast<double>(cycles[i]));
+          ASSERT_TRUE(bits_equal(batch[i], one))
+              << simd::to_string(backend) << " n=" << n << " cycles=" << cycles[i];
+        }
+      }
+    }
+  }
+}
+
+/// A discrete-model rejection instance (hull energy kernel engaged).
+RejectionProblem hull_instance(std::uint64_t seed, int task_count = 12, double load = 1.6) {
+  ScenarioConfig config;
+  config.task_count = task_count;
+  config.load = load;
+  config.resolution = 400.0;
+  config.seed = seed;
+  return make_scenario(config, TablePowerModel::xscale5());
+}
+
+TEST(SimdSolvers, EveryBackendReproducesForcedScalarBitwise) {
+  std::vector<std::unique_ptr<RejectionSolver>> solvers;
+  solvers.push_back(std::make_unique<ExactDpSolver>());
+  solvers.push_back(std::make_unique<FptasSolver>(0.1));
+  solvers.push_back(std::make_unique<DensityGreedySolver>());
+  solvers.push_back(std::make_unique<MarginalGreedySolver>());
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    // Both model families: continuous (relax/argmin kernels only) and
+    // discrete (adds the fused hull-energy kernel).
+    const std::vector<RejectionProblem> problems = {test::small_instance(seed, 12, 1.6),
+                                                    hull_instance(seed)};
+    for (std::size_t p = 0; p < problems.size(); ++p) {
+      for (const auto& solver : solvers) {
+        SCOPED_TRACE(solver->name() + " seed=" + std::to_string(seed) +
+                     " problem=" + std::to_string(p));
+        RejectionSolution reference;
+        {
+          simd::ScopedBackend forced(simd::Backend::kScalar);
+          reference = solver->solve(problems[p]);
+        }
+        for (const simd::Backend backend : available_backends()) {
+          simd::ScopedBackend forced(backend);
+          const RejectionSolution got = solver->solve(problems[p]);
+          EXPECT_EQ(got.accepted, reference.accepted) << simd::to_string(backend);
+          EXPECT_TRUE(bits_equal(got.energy, reference.energy)) << simd::to_string(backend);
+          EXPECT_TRUE(bits_equal(got.penalty, reference.penalty)) << simd::to_string(backend);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdSolvers, BudgetedDpIsBackendInvariant) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const RejectionProblem source = hull_instance(seed, 10, 1.4);
+    BudgetedProblem problem{source.tasks(), source.curve(), source.work_per_cycle(),
+                            /*energy_budget=*/0.6 * source.energy_of_cycles(
+                                std::min(source.tasks().total_cycles(), source.cycle_capacity()))};
+    BudgetedSolution reference;
+    {
+      simd::ScopedBackend forced(simd::Backend::kScalar);
+      reference = solve_budgeted_dp(problem);
+    }
+    for (const simd::Backend backend : available_backends()) {
+      simd::ScopedBackend forced(backend);
+      const BudgetedSolution got = solve_budgeted_dp(problem);
+      EXPECT_EQ(got.accepted, reference.accepted) << simd::to_string(backend);
+      EXPECT_TRUE(bits_equal(got.value, reference.value)) << simd::to_string(backend);
+      EXPECT_TRUE(bits_equal(got.energy, reference.energy)) << simd::to_string(backend);
+    }
+  }
+}
+
+/// Restores the process-wide backend on scope exit (the jobs-invariance test
+/// must force worker threads too, which the thread-local override cannot).
+class GlobalBackendGuard {
+ public:
+  explicit GlobalBackendGuard(simd::Backend forced) : saved_(simd::active_backend()) {
+    simd::set_backend(forced);
+  }
+  ~GlobalBackendGuard() { simd::set_backend(saved_); }
+  GlobalBackendGuard(const GlobalBackendGuard&) = delete;
+  GlobalBackendGuard& operator=(const GlobalBackendGuard&) = delete;
+
+ private:
+  simd::Backend saved_;
+};
+
+TEST(SimdSolvers, HarnessStatsAreJobCountInvariantUnderEveryBackend) {
+  const auto factory = [](std::uint64_t seed) { return hull_instance(seed, 10, 1.5); };
+  const auto reference = [](const RejectionProblem& p) { return fractional_lower_bound(p); };
+  for (const simd::Backend backend : available_backends()) {
+    SCOPED_TRACE(std::string("backend=") + std::string(simd::to_string(backend)));
+    GlobalBackendGuard forced(backend);
+    std::vector<std::unique_ptr<RejectionSolver>> lineup;
+    lineup.push_back(std::make_unique<DensityGreedySolver>());
+    lineup.push_back(std::make_unique<FptasSolver>(0.1));
+    constexpr int kInstances = 24;
+    const auto sequential = run_comparison(factory, lineup, reference, kInstances, 1, /*jobs=*/1);
+    const auto parallel = run_comparison(factory, lineup, reference, kInstances, 1, /*jobs=*/8);
+    ASSERT_EQ(sequential.size(), parallel.size());
+    for (std::size_t a = 0; a < sequential.size(); ++a) {
+      SCOPED_TRACE(sequential[a].name);
+      EXPECT_EQ(sequential[a].ratio.mean(), parallel[a].ratio.mean());
+      EXPECT_EQ(sequential[a].ratio.variance(), parallel[a].ratio.variance());
+      EXPECT_EQ(sequential[a].objective.mean(), parallel[a].objective.mean());
+      EXPECT_EQ(sequential[a].objective.min(), parallel[a].objective.min());
+      EXPECT_EQ(sequential[a].objective.max(), parallel[a].objective.max());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace retask

@@ -1,6 +1,6 @@
 // retask_bench — pinned-workload benchmark runner with regression gating.
 //
-//   retask_bench --out BENCH_PR3.json                   # run + compare
+//   retask_bench --out bench/reports/BENCH_PR5.json     # run + compare
 //   retask_bench --write-baseline                       # refresh the baseline
 //   retask_bench --filter greedy --repeats 9            # focus a subset
 //   retask_bench --trace-out trace.json                 # chrome://tracing dump
@@ -40,18 +40,28 @@
 #include "retask/obs/metrics.hpp"
 #include "retask/obs/trace.hpp"
 #include "retask/sched/edf_sim.hpp"
+#include "retask/simd/backend.hpp"
+#include "retask/simd/kernels.hpp"
 #include "retask/task/generator.hpp"
 
 #ifndef RETASK_BENCH_BASELINE_DEFAULT
 #define RETASK_BENCH_BASELINE_DEFAULT ""
+#endif
+#ifndef RETASK_BENCH_REPORT_DIR_DEFAULT
+#define RETASK_BENCH_REPORT_DIR_DEFAULT ""
 #endif
 
 namespace {
 
 using namespace retask;
 
+std::string default_out_path() {
+  const std::string dir = RETASK_BENCH_REPORT_DIR_DEFAULT;
+  return dir.empty() ? "BENCH_PR5.json" : dir + "/BENCH_PR5.json";
+}
+
 struct BenchCliOptions {
-  std::string out = "BENCH_PR3.json";
+  std::string out = default_out_path();
   std::string baseline = RETASK_BENCH_BASELINE_DEFAULT;
   std::string filter;
   std::string trace_out;
@@ -59,6 +69,7 @@ struct BenchCliOptions {
   int repeats = 5;
   int jobs = 1;
   bool write_baseline = false;
+  bool force = false;
   bool list = false;
   bool help = false;
 };
@@ -68,7 +79,8 @@ const char* kUsage =
 
 usage: retask_bench [options]
 
-  --out FILE         report JSON path (default BENCH_PR3.json)
+  --out FILE         report JSON path (default bench/reports/BENCH_PR5.json
+                     next to the sources; the directory is created)
   --baseline FILE    baseline JSON to compare against (default: the
                      checked-in bench/baseline/BENCH_BASELINE.json)
   --threshold X      fail when median > X * baseline median (default 2.5)
@@ -76,7 +88,11 @@ usage: retask_bench [options]
   --filter SUBSTR    only run workloads whose name contains SUBSTR
   --jobs J           worker threads for the harness workload (default 1)
   --write-baseline   write this run's report to the baseline path and skip
-                     the comparison (baseline refresh)
+                     the comparison (baseline refresh). Refuses to replace
+                     a baseline recorded under a different SIMD backend or
+                     --jobs count — such wall times are not comparable and
+                     the swap would poison every later comparison.
+  --force            override the --write-baseline backend/jobs guard
   --trace-out FILE   enable tracing and dump a chrome://tracing JSON
   --list             print workload names and exit
   --help             this text
@@ -138,6 +154,8 @@ BenchCliOptions parse(const std::vector<std::string>& args) {
       options.jobs = static_cast<int>(parse_int(arg, value(i, arg), 1, 4096));
     } else if (arg == "--write-baseline") {
       options.write_baseline = true;
+    } else if (arg == "--force") {
+      options.force = true;
     } else if (arg == "--trace-out") {
       options.trace_out = value(i, arg);
     } else if (arg == "--list") {
@@ -325,6 +343,139 @@ std::vector<Workload> build_workloads(int jobs) {
                          }});
   }
 
+  // Scalar-vs-dispatched pairs: the same body once under the forced-scalar
+  // kernel table and once under the backend runtime dispatch would pick.
+  // ScopedBackend is a thread-local override, so these bodies must run
+  // entirely on the calling thread (never through the harness pool).
+  const simd::Backend dispatched = simd::detect_backend();
+  const auto simd_pair = [&](const std::string& stem,
+                             std::function<void(obs::Registry&)> body) {
+    workloads.push_back({stem + "_scalar", [body](obs::Registry& metrics) {
+                           simd::ScopedBackend forced(simd::Backend::kScalar);
+                           body(metrics);
+                         }});
+    workloads.push_back({stem + "_simd", [body, dispatched](obs::Registry& metrics) {
+                           simd::ScopedBackend forced(dispatched);
+                           body(metrics);
+                         }});
+  };
+
+  // Kernel microbenchmarks: the hot loops in isolation, big enough rows that
+  // the dispatch overhead vanishes.
+  simd_pair("kernel_relax_f64", [](obs::Registry&) {
+    constexpr std::size_t kWidth = 1 << 15;
+    std::vector<double> row(kWidth, -std::numeric_limits<double>::infinity());
+    row[0] = 0.0;
+    std::vector<std::uint64_t> take((kWidth + 63) / 64, 0);
+    const simd::KernelTable& table = simd::kernels();
+    for (std::size_t t = 0; t < 64; ++t) {
+      const std::size_t shift = 97 * t + 31;
+      table.relax_desc_f64(row.data(), take.data(), shift, shift, kWidth - 1,
+                           1.0 + static_cast<double>(t));
+    }
+  });
+  simd_pair("kernel_relax_i64", [](obs::Registry&) {
+    constexpr std::size_t kWidth = 1 << 15;
+    std::vector<std::int64_t> rej(kWidth, -1);
+    rej[0] = 0;
+    std::vector<double> payload(kWidth, 0.0);
+    std::vector<std::uint64_t> take((kWidth + 63) / 64, 0);
+    const simd::KernelTable& table = simd::kernels();
+    for (std::size_t t = 0; t < 64; ++t) {
+      const std::size_t shift = 89 * t + 29;
+      table.relax_desc_i64(rej.data(), payload.data(), take.data(), shift, shift, kWidth - 1,
+                           static_cast<std::int64_t>(t) + 3, 0.5 + static_cast<double>(t));
+    }
+  });
+  {
+    // Fused cycles->energy over a discrete (hull) model.
+    const std::unique_ptr<PowerModel> model = make_model_by_name("table5");
+    const auto curve = std::make_shared<EnergyCurve>(*model, 1.0,
+                                                     IdleDiscipline::kDormantEnable);
+    const double wpc = 1.0 / 4000.0;
+    const auto cap = static_cast<Cycles>(curve->max_workload() / wpc * (1.0 - 1e-9));
+    const auto cycles = std::make_shared<std::vector<Cycles>>();
+    Rng rng(23);
+    for (int i = 0; i < 16384; ++i) cycles->push_back(rng.uniform_int(0, cap));
+    simd_pair("kernel_energy_hull", [curve, cycles, wpc](obs::Registry&) {
+      std::vector<double> out(cycles->size());
+      curve->energy_cycles_batch(wpc, cycles->data(), out.data(), cycles->size());
+    });
+  }
+
+  // End-to-end scalar-vs-dispatched sweeps mirroring the R1 (load), R2
+  // (penalty) and R14 (budgeted) evaluation grids. Instances are prebuilt so
+  // the pair measures solving, not generation.
+  {
+    const auto r1 = std::make_shared<std::vector<RejectionProblem>>();
+    for (const double load : {0.8, 1.2, 1.6, 2.0}) {
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        r1->push_back(scenario(48, load, 3000.0, seed));
+      }
+    }
+    simd_pair("r1_load_sweep", [r1](obs::Registry& metrics) {
+      obs::ActiveScope scope(metrics);
+      const DensityGreedySolver greedy;
+      const FptasSolver fptas(0.1);
+      for (const RejectionProblem& problem : *r1) {
+        greedy.solve(problem);
+        fptas.solve(problem);
+      }
+    });
+  }
+  {
+    const auto r2 = std::make_shared<std::vector<RejectionProblem>>();
+    const std::unique_ptr<PowerModel> model = make_model_by_name("xscale");
+    for (const double penalty_scale : {0.1, 0.3, 1.0, 3.0}) {
+      for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+        ScenarioConfig config;
+        config.task_count = 64;
+        config.load = 1.4;
+        config.resolution = 2500.0;
+        config.penalty_scale = penalty_scale;
+        config.seed = seed;
+        r2->push_back(make_scenario(config, *model));
+      }
+    }
+    simd_pair("r2_penalty_sweep", [r2](obs::Registry& metrics) {
+      obs::ActiveScope scope(metrics);
+      const MarginalGreedySolver greedy;
+      const FptasSolver fptas(0.1);
+      for (const RejectionProblem& problem : *r2) {
+        greedy.solve(problem);
+        fptas.solve(problem);
+      }
+    });
+  }
+  {
+    // R14 on the discrete model so the budget sweep also drives the fused
+    // hull-energy kernel end to end.
+    const std::unique_ptr<PowerModel> model = make_model_by_name("table5");
+    ScenarioConfig config;
+    config.task_count = 96;
+    config.load = 1.3;
+    config.resolution = 8000.0;
+    config.seed = 31;
+    const auto base = std::make_shared<RejectionProblem>(make_scenario(config, *model));
+    const auto problem = std::make_shared<BudgetedProblem>(
+        BudgetedProblem{base->tasks(), base->curve(), base->work_per_cycle(), 1.0});
+    const auto budgets = std::make_shared<std::vector<double>>();
+    const Cycles cap = std::min(base->cycle_capacity(), base->tasks().total_cycles());
+    for (int b = 0; b < 12; ++b) {
+      const double fill = 0.3 + 0.055 * b;
+      budgets->push_back(
+          base->energy_of_cycles(static_cast<Cycles>(static_cast<double>(cap) * fill)));
+    }
+    simd_pair("r14_budget_sweep", [problem, budgets](obs::Registry& metrics) {
+      obs::ActiveScope scope(metrics);
+      BudgetedProblem local = *problem;
+      for (const double budget : *budgets) {
+        local.energy_budget = budget;
+        solve_budgeted_dp(local);
+      }
+    });
+  }
+
   {
     PeriodicWorkloadConfig config;
     config.task_count = 32;
@@ -392,6 +543,8 @@ int run(const BenchCliOptions& options) {
   obs::BenchReport report;
   report.jobs = options.jobs;
   report.repeats = options.repeats;
+  report.backend = std::string(simd::to_string(simd::active_backend()));
+  std::cout << "simd backend: " << report.backend << "\n";
   for (const Workload& workload : workloads) {
     obs::BenchWorkloadResult result = run_workload(workload, options.repeats);
     std::cout << result.name << ": median " << result.median_ns / 1000 << " us over "
@@ -399,22 +552,25 @@ int run(const BenchCliOptions& options) {
     report.workloads.push_back(std::move(result));
   }
 
-  // Cold/warm pairs measure the sweep-caching layer: report the speedup of
-  // every <name>_warm over its <name>_cold sibling.
-  for (const obs::BenchWorkloadResult& cold : report.workloads) {
-    const std::string suffix = "_cold";
-    if (cold.name.size() <= suffix.size() ||
-        cold.name.compare(cold.name.size() - suffix.size(), suffix.size(), suffix) != 0) {
-      continue;
+  // Before/after pairs: _cold/_warm measures the sweep-caching layer,
+  // _scalar/_simd the vector kernels. Report the speedup of each pair.
+  const auto print_speedups = [&report](const std::string& before, const std::string& after) {
+    for (const obs::BenchWorkloadResult& slow : report.workloads) {
+      if (slow.name.size() <= before.size() ||
+          slow.name.compare(slow.name.size() - before.size(), before.size(), before) != 0) {
+        continue;
+      }
+      const std::string stem = slow.name.substr(0, slow.name.size() - before.size());
+      const obs::BenchWorkloadResult* fast = report.find(stem + after);
+      if (fast == nullptr || fast->median_ns == 0) continue;
+      std::cout << "speedup " << stem << ": " << after.substr(1) << " "
+                << static_cast<double>(slow.median_ns) / static_cast<double>(fast->median_ns)
+                << "x faster than " << before.substr(1) << " (" << slow.median_ns / 1000
+                << " us -> " << fast->median_ns / 1000 << " us)\n";
     }
-    const std::string stem = cold.name.substr(0, cold.name.size() - suffix.size());
-    const obs::BenchWorkloadResult* warm = report.find(stem + "_warm");
-    if (warm == nullptr || warm->median_ns == 0) continue;
-    std::cout << "speedup " << stem << ": warm "
-              << static_cast<double>(cold.median_ns) / static_cast<double>(warm->median_ns)
-              << "x faster than cold (" << cold.median_ns / 1000 << " us -> "
-              << warm->median_ns / 1000 << " us)\n";
-  }
+  };
+  print_speedups("_cold", "_warm");
+  print_speedups("_scalar", "_simd");
 
   if (!options.trace_out.empty()) {
     obs::write_chrome_trace_file(options.trace_out);
@@ -424,6 +580,21 @@ int run(const BenchCliOptions& options) {
 
   if (options.write_baseline) {
     require(!options.baseline.empty(), "--write-baseline: no baseline path configured");
+    if (!options.force && std::filesystem::exists(options.baseline)) {
+      // Refuse to swap the recorded config out from under future
+      // comparisons: wall times measured under a different kernel backend
+      // or thread count are not comparable, so silently replacing the
+      // baseline would make every later regression check meaningless.
+      const obs::BenchReport previous = obs::read_bench_report_file(options.baseline);
+      require(previous.backend == report.backend,
+              "--write-baseline: existing baseline was recorded with backend '" +
+                  previous.backend + "' but this run used '" + report.backend +
+                  "'; pass --force to replace it anyway");
+      require(previous.jobs == report.jobs,
+              "--write-baseline: existing baseline was recorded with --jobs " +
+                  std::to_string(previous.jobs) + " but this run used --jobs " +
+                  std::to_string(report.jobs) + "; pass --force to replace it anyway");
+    }
     obs::write_bench_report_file(options.baseline, report);
     std::cout << "baseline written: " << options.baseline << "\n";
     return 0;

@@ -51,6 +51,9 @@ usage: retask_fuzz [options]
   --sweep-cache      also check the cached sweep paths (solve_sweep,
                      solve_budgeted_dp_sweep) stay bit-identical to the
                      per-point cold solves on every instance
+  --simd-diff        also solve every instance under the forced-scalar
+                     kernels and under every vector backend the host can
+                     execute, requiring bit-identical solutions
   --replay FILE      re-run one dumped counterexample and report
   --inject-broken    add a deliberately wrong solver (exact DP against an
                      off-by-one capacity); the sweep must catch it
@@ -100,6 +103,8 @@ FuzzCliOptions parse(const std::vector<std::string>& args) {
       options.fuzz.shrink = false;
     } else if (arg == "--sweep-cache") {
       options.fuzz.sweep_cache = true;
+    } else if (arg == "--simd-diff") {
+      options.fuzz.simd_diff = true;
     } else if (arg == "--replay") {
       options.replay_path = value(i, arg);
     } else if (arg == "--inject-broken") {
