@@ -1,0 +1,179 @@
+#include "retask/batch/wavefront.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "retask/common/error.hpp"
+#include "retask/common/parallel.hpp"
+#include "retask/obs/metrics.hpp"
+#include "retask/simd/kernels.hpp"
+
+namespace retask {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Auto-mode floor: below this table width the per-diagonal barriers and the
+/// out-of-place copies cost more than the parallelism returns.
+constexpr std::size_t kMinAutoWidth = std::size_t{1} << 16;
+
+/// Level-ring memory budget; the tile width grows until C + 1 rows fit.
+constexpr std::size_t kMaxRingBytes = std::size_t{256} << 20;
+
+std::atomic<int> g_mode{-1};  // -1: not yet resolved from the environment
+
+int resolve_mode() {
+  const char* env = std::getenv("RETASK_WAVEFRONT");
+  const std::string name = env != nullptr ? std::string(env) : std::string();
+  if (name.empty() || name == "auto") return static_cast<int>(WavefrontMode::kAuto);
+  if (name == "off") return static_cast<int>(WavefrontMode::kOff);
+  if (name == "force") return static_cast<int>(WavefrontMode::kForce);
+  throw Error("RETASK_WAVEFRONT: unknown mode '" + name + "' (expected off|auto|force)");
+}
+
+/// Level-row ring reused across fills (high-water sizing), owned by the
+/// calling thread; pool workers write disjoint tile ranges inside one
+/// diagonal's region, separated from the next diagonal by the region
+/// barrier.
+std::vector<double>& ring_buffer() {
+  thread_local std::vector<double> ring;
+  return ring;
+}
+
+}  // namespace
+
+WavefrontMode wavefront_mode() {
+  int mode = g_mode.load(std::memory_order_acquire);
+  if (mode < 0) {
+    // Resolution is deterministic, so a first-use race recomputes the same
+    // value on both threads.
+    mode = resolve_mode();
+    g_mode.store(mode, std::memory_order_release);
+  }
+  return static_cast<WavefrontMode>(mode);
+}
+
+void set_wavefront_mode(WavefrontMode mode) {
+  g_mode.store(static_cast<int>(mode), std::memory_order_release);
+}
+
+bool wavefront_fill(const FrameTaskSet& tasks, Cycles cap, DpScratch& scratch,
+                    const WavefrontOptions& options) {
+  require(cap >= 0, "wavefront_fill: negative capacity");
+  require(options.tile_width > 0 && options.tile_width % 64 == 0,
+          "wavefront_fill: tile_width must be a positive multiple of 64");
+  const WavefrontMode mode = wavefront_mode();
+  if (mode == WavefrontMode::kOff) return false;
+
+  const std::size_t n = tasks.size();
+  const auto width = static_cast<std::size_t>(cap) + 1;
+  const int jobs = options.jobs > 0 ? options.jobs : default_jobs();
+
+  // Grow the tile until the level ring (C + 1 rows) fits its budget; the
+  // halo-free per-task levels make wider tiles purely a parallelism tradeoff.
+  std::size_t tile = options.tile_width;
+  auto tile_count = [&] { return (width + tile - 1) / tile; };
+  while (tile_count() > 1 && (tile_count() + 1) * width * sizeof(double) > kMaxRingBytes) {
+    tile *= 2;
+  }
+  const std::size_t tiles = tile_count();
+
+  const bool forced = options.force || mode == WavefrontMode::kForce;
+  if (!forced) {
+    // Auto gate: tiling only pays when the table is big, the pool has real
+    // workers, there are several row updates to overlap, and the caller is
+    // not already running under sweep-level parallelism (nested parallel_for
+    // degrades to inline, leaving only the out-of-place copy overhead).
+    if (width < kMinAutoWidth || n < 4 || tiles < 2 || jobs < 2 || inside_parallel_region()) {
+      return false;
+    }
+  }
+
+  // Static reachability — identical to the serial loop's running `reachable`
+  // because both only advance on kept tasks: reach[i] is the largest
+  // non-(-inf) row of level i.
+  std::vector<std::size_t> reach(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const FrameTask& task = tasks[i];
+    reach[i + 1] = task.cycles > cap
+                       ? reach[i]
+                       : std::min(width - 1, reach[i] + static_cast<std::size_t>(task.cycles));
+  }
+
+  const std::size_t ring_levels = tiles + 1;  // level L lives in slot L % (C + 1)
+  std::vector<double>& ring = ring_buffer();
+  ring.resize(ring_levels * width);
+  double* level0 = ring.data();
+  std::fill(level0, level0 + width, kNegInf);
+  level0[0] = 0.0;
+  scratch.take.reset(n, width);
+
+  const simd::KernelTable& kernels = simd::kernels();
+  // Tile counters are bumped from pool workers, so they aggregate through
+  // relaxed atomics and flush to the caller's registry once per fill.
+  RETASK_OBS_ONLY(std::atomic<std::uint64_t> relax_tiles{0}; std::atomic<std::uint64_t>
+                      pruned_tiles{0};
+                  std::uint64_t stalls = 0; std::uint64_t diagonals = 0;)
+
+  // Anti-diagonal schedule with a barrier per diagonal: tile (i, t) runs on
+  // diagonal i + t and only reads level-i tiles written on earlier
+  // diagonals (see the header's dependency argument). Ring slots are reused
+  // dirty, which is sound because every tile overwrites its full range.
+  const std::size_t last_diagonal = n == 0 ? 0 : (n - 1) + (tiles - 1);
+  for (std::size_t d = 0; n > 0 && d <= last_diagonal; ++d) {
+    const std::size_t i_lo = d >= tiles - 1 ? d - (tiles - 1) : 0;
+    const std::size_t i_hi = std::min(n - 1, d);
+    const std::size_t count = i_hi - i_lo + 1;
+    RETASK_OBS_ONLY(++diagonals; if (count < static_cast<std::size_t>(jobs)) ++stalls;)
+    parallel_for(count, [&](std::size_t slot) {
+      const std::size_t i = i_lo + slot;
+      const std::size_t t = d - i;
+      const std::size_t w0 = t * tile;
+      const std::size_t w1 = std::min(width, w0 + tile);
+      const double* prev = ring.data() + (i % ring_levels) * width;
+      double* cur = ring.data() + ((i + 1) % ring_levels) * width;
+      const FrameTask& task = tasks[i];
+      if (task.cycles > cap) {  // serial loop skips the task: identity level
+        std::memcpy(cur + w0, prev + w0, (w1 - w0) * sizeof(double));
+        return;
+      }
+      const auto ci = static_cast<std::size_t>(task.cycles);
+      const std::size_t r_lo = std::max(ci, w0);
+      const std::size_t r_hi = std::min(reach[i + 1], w1 - 1);
+      if (w0 > reach[i + 1]) {
+        // Fully above reach: both prev and the relaxed row are -inf here.
+        std::fill(cur + w0, cur + w1, kNegInf);
+        RETASK_OBS_ONLY(pruned_tiles.fetch_add(1, std::memory_order_relaxed);)
+        return;
+      }
+      if (r_lo > r_hi) {  // below the relax range: unchanged cells
+        std::memcpy(cur + w0, prev + w0, (w1 - w0) * sizeof(double));
+        return;
+      }
+      if (w0 < r_lo) std::memcpy(cur + w0, prev + w0, (r_lo - w0) * sizeof(double));
+      if (r_hi + 1 < w1) {
+        std::memcpy(cur + r_hi + 1, prev + r_hi + 1, (w1 - r_hi - 1) * sizeof(double));
+      }
+      kernels.relax_out_f64(prev, cur, scratch.take.row_words(i), ci, r_lo, r_hi, task.penalty);
+      RETASK_OBS_ONLY(relax_tiles.fetch_add(1, std::memory_order_relaxed);)
+    }, jobs);
+  }
+
+  scratch.value.resize(width);
+  std::memcpy(scratch.value.data(), ring.data() + (n % ring_levels) * width,
+              width * sizeof(double));
+  RETASK_COUNT("wavefront.fills", 1);
+  RETASK_COUNT("wavefront.tiles", relax_tiles.load(std::memory_order_relaxed));
+  RETASK_COUNT("wavefront.tiles_pruned", pruned_tiles.load(std::memory_order_relaxed));
+  RETASK_COUNT("wavefront.diagonals", diagonals);
+  RETASK_COUNT("wavefront.stalls", stalls);
+  RETASK_RECORD("wavefront.tile_width", tile);
+  return true;
+}
+
+}  // namespace retask

@@ -1,0 +1,79 @@
+// Wavefront (anti-diagonal) tiling of one large knapsack DP table.
+//
+// The exact and budgeted DPs fill their table row update by row update: task
+// i maps the value row L_i to L_{i+1} by a descending relaxation. One big
+// solve therefore runs on a single core even when the sweep-level
+// parallelism of the harness has nothing else to schedule. This module cuts
+// each row update into weight tiles and runs the tiles over the
+// parallel_for pool along anti-diagonals d = task + tile.
+//
+// Dependency argument (docs/ALGORITHMS.md has the long form): the cell
+// (i+1, w) depends on (i, w) and (i, w - c_i) — both in level i, both at
+// weight <= w. A tile (i, t) therefore only reads tiles (i-1, t') with
+// t' <= t, all of which sit on anti-diagonals i-1+t' <= d-1, i.e. strictly
+// earlier diagonals. Running each diagonal as one parallel_for region (a
+// barrier between diagonals) makes every read happen-after its write, for
+// any halo width, because halos only ever extend to the LEFT.
+//
+// Bit-identity: tiles relax out-of-place (cur from prev), and every cell of
+// the relaxation is a pure function of the previous level, so the tile
+// decomposition and the parallel schedule cannot change a bit relative to
+// the serial in-place fill. Choice-bit writes stay word-race-free because
+// tile boundaries are multiples of 64 (one tile owns every word it ORs
+// into). tests/test_wavefront.cpp checks tiled == serial on 63/64/65-wide
+// tables and retask_fuzz re-checks solutions under RETASK_WAVEFRONT=force.
+#ifndef RETASK_BATCH_WAVEFRONT_HPP
+#define RETASK_BATCH_WAVEFRONT_HPP
+
+#include <cstddef>
+
+#include "retask/cache/scratch.hpp"
+#include "retask/task/task_set.hpp"
+
+namespace retask {
+
+/// Process-wide wavefront policy. kAuto (the default) tiles only when the
+/// table is large, the pool has more than one job, and the caller is not
+/// already inside a parallel region; kForce tiles whenever the fill is
+/// well-formed (tests, benches); kOff never tiles.
+enum class WavefrontMode {
+  kOff,
+  kAuto,
+  kForce,
+};
+
+/// The active mode: the last set_wavefront_mode() value, else the
+/// RETASK_WAVEFRONT environment variable (off|auto|force), else kAuto.
+WavefrontMode wavefront_mode();
+
+/// Overrides the mode process-wide (benches pit serial against tiled fills
+/// without re-exec'ing; tests force the tiled path on small tables).
+void set_wavefront_mode(WavefrontMode mode);
+
+/// Per-call knobs; the defaults serve the solver hot paths.
+struct WavefrontOptions {
+  /// Weight cells per tile; must be a positive multiple of 64 (choice-bit
+  /// word ownership). Grown automatically when the level ring would exceed
+  /// its memory budget.
+  std::size_t tile_width = std::size_t{1} << 14;
+  /// parallel_for jobs for the per-diagonal regions; 0 = default_jobs().
+  int jobs = 0;
+  /// Bypass the auto-mode size/jobs gate (but not kOff) — used by tests to
+  /// drive tiny tables through the tiled path.
+  bool force = false;
+};
+
+/// Tiled equivalent of the serial exact/budgeted DP fill: on success,
+/// scratch.value[w] holds the maximum total penalty of accepted tasks whose
+/// cycles sum to exactly w (w in [0, cap], -inf when unreachable) and
+/// scratch.take bit (i, w) marks task i improving state w — bit-identical
+/// to the serial in-place loop over `kernels().relax_desc_f64`. Returns
+/// false without touching `scratch` when the mode/gate says the serial fill
+/// is the better plan (small table, single job, nested parallelism, mode
+/// off); callers keep their serial loop as the fallback.
+bool wavefront_fill(const FrameTaskSet& tasks, Cycles cap, DpScratch& scratch,
+                    const WavefrontOptions& options = {});
+
+}  // namespace retask
+
+#endif  // RETASK_BATCH_WAVEFRONT_HPP

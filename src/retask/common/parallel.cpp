@@ -187,6 +187,8 @@ void set_default_jobs(int jobs) {
   g_jobs_override.store(jobs, std::memory_order_relaxed);
 }
 
+bool inside_parallel_region() { return t_inside_parallel_region; }
+
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn, int jobs) {
   require(jobs >= 0, "parallel_for: jobs must be >= 0 (0 = auto)");
   if (jobs == 0) jobs = default_jobs();

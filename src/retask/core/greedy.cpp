@@ -12,7 +12,6 @@
 #include "retask/simd/kernels.hpp"
 
 namespace retask {
-namespace {
 
 /// Indices sorted by increasing penalty density rho_i / c_i (cheapest
 /// rejection per saved cycle first); ties by index for determinism.
@@ -44,8 +43,6 @@ Cycles reject_until_feasible(const RejectionProblem& problem,
           "reject_until_feasible: instance infeasible even with every task rejected");
   return load;
 }
-
-}  // namespace
 
 RejectionSolution AllAcceptSolver::solve(const RejectionProblem& problem) const {
   require(problem.processor_count() == 1, "AllAcceptSolver: single-processor algorithm");

@@ -17,10 +17,23 @@
 #define RETASK_CORE_GREEDY_HPP
 
 #include <cstdint>
+#include <vector>
 
 #include "retask/core/solver.hpp"
 
 namespace retask {
+
+/// Task indices sorted by increasing penalty density rho_i / c_i (cheapest
+/// rejection per saved cycle first); ties broken by index for determinism.
+/// The shared ordering of the greedy family, exposed so the lockstep batch
+/// solver (batch/lockstep.hpp) replays the exact single-instance decisions.
+std::vector<std::size_t> density_order(const RejectionProblem& problem);
+
+/// Rejects tasks from `accepted` in `order` until the load fits one
+/// processor; returns the remaining accepted cycle load. Throws when the
+/// instance stays infeasible with every task rejected.
+Cycles reject_until_feasible(const RejectionProblem& problem,
+                             const std::vector<std::size_t>& order, std::vector<bool>& accepted);
 
 /// Accept-everything baseline; rejects in increasing penalty density only
 /// while the instance is infeasible.

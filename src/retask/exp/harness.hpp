@@ -77,6 +77,16 @@ struct BatchOptions {
   /// one identical (EnergyCurve, work_per_cycle) pair — see
   /// RejectionProblem::attach_energy_memo. Leave null to use per-cell memos.
   std::shared_ptr<EnergyMemo> shared_energy_memo;
+  /// Solve instances that do NOT take the sweep-reuse path through the
+  /// lockstep batch solver (batch/lockstep.hpp): the replication axis is
+  /// split into blocks of lockstep_lanes() instances, and each block's
+  /// same-shape instances run through one BatchRejectionSolver per point.
+  /// Solutions are bit-identical either way (the lockstep contract); like
+  /// sweep_reuse, the only observable difference is metric attribution — a
+  /// batched chunk's solver metrics land in the FIRST participating
+  /// instance's AlgoStats for that point. RETASK_BATCH=off (lanes 0/1)
+  /// disables batching even when this flag is set.
+  bool lockstep = true;
 };
 
 /// Batch form used by the sweep drivers: one factory per sweep point, all

@@ -112,6 +112,14 @@ bool backend_available(Backend backend) noexcept {
   return table_for(backend) != nullptr && cpu_supports(backend);
 }
 
+std::vector<Backend> available_vector_backends() {
+  std::vector<Backend> backends;
+  for (const Backend candidate : {Backend::kSse2, Backend::kAvx2, Backend::kNeon}) {
+    if (backend_available(candidate)) backends.push_back(candidate);
+  }
+  return backends;
+}
+
 Backend active_backend() {
   if (t_backend_override >= 0) return static_cast<Backend>(t_backend_override);
   int backend = g_backend.load(std::memory_order_acquire);

@@ -17,6 +17,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace retask::simd {
 
@@ -46,6 +47,12 @@ Backend detect_backend() noexcept;
 /// True when `backend`'s kernel table was compiled in and the host CPU can
 /// execute it.
 bool backend_available(Backend backend) noexcept;
+
+/// Every vector (non-scalar) backend the host can execute, in enum order;
+/// empty on scalar-only hosts. The single source of the backend list for
+/// the differential checks (`--simd-diff`, `--lockstep-diff`) and the
+/// equivalence tests, so a new backend is picked up everywhere at once.
+std::vector<Backend> available_vector_backends();
 
 /// The backend the calling thread will dispatch to: the thread-local
 /// override if one is active, else the process-wide selection (resolved on

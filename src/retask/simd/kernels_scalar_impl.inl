@@ -26,6 +26,38 @@ inline void scalar_relax_desc_f64(double* row, std::uint64_t* take_row, std::siz
   }
 }
 
+inline void scalar_relax_desc_f64_lanes(double* row, std::uint64_t* take_row, std::size_t lanes,
+                                        const std::size_t* shift, const std::size_t* lo,
+                                        const std::size_t* hi, const double* add,
+                                        const unsigned char* active) {
+  // Lane-major order; lanes touch disjoint strided cells, so this matches
+  // the w-major vector traversal bit for bit.
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    if (active[lane] == 0) continue;
+    for (std::size_t w = hi[lane] + 1; w-- > lo[lane];) {
+      const std::size_t cell = w * lanes + lane;
+      const double cand = row[(w - shift[lane]) * lanes + lane] + add[lane];
+      if (cand > row[cell]) {
+        row[cell] = cand;
+        take_row[cell >> 6] |= std::uint64_t{1} << (cell & 63);
+      }
+    }
+  }
+}
+
+inline void scalar_relax_out_f64(const double* prev, double* cur, std::uint64_t* take_row,
+                                 std::size_t shift, std::size_t lo, std::size_t hi, double add) {
+  for (std::size_t w = lo; w <= hi; ++w) {
+    const double cand = prev[w - shift] + add;  // -inf + add stays -inf
+    if (cand > prev[w]) {
+      cur[w] = cand;
+      take_row[w >> 6] |= std::uint64_t{1} << (w & 63);
+    } else {
+      cur[w] = prev[w];
+    }
+  }
+}
+
 inline void scalar_relax_desc_i64(std::int64_t* rej, double* payload, std::uint64_t* take_row,
                                   std::size_t shift, std::size_t lo, std::size_t hi,
                                   std::int64_t add_cycles, double add_payload) {

@@ -5,6 +5,7 @@
 #include <optional>
 #include <sstream>
 
+#include "retask/batch/lockstep.hpp"
 #include "retask/cache/sweep.hpp"
 #include "retask/common/error.hpp"
 #include "retask/common/parallel.hpp"
@@ -242,11 +243,7 @@ std::vector<PropertyViolation> check_simd_diff(const RejectionProblem& problem) 
   if (problem.processor_count() != 1) return violations;
 
   // Every vector backend the host can execute; empty on scalar-only hosts.
-  std::vector<simd::Backend> vector_backends;
-  for (const simd::Backend b :
-       {simd::Backend::kSse2, simd::Backend::kAvx2, simd::Backend::kNeon}) {
-    if (simd::backend_available(b)) vector_backends.push_back(b);
-  }
+  const std::vector<simd::Backend> vector_backends = simd::available_vector_backends();
   if (vector_backends.empty()) return violations;
 
   const auto mismatch = [&](const std::string& solver, const std::string& detail) {
@@ -314,6 +311,76 @@ std::vector<PropertyViolation> check_simd_diff(const RejectionProblem& problem) 
   return violations;
 }
 
+std::vector<PropertyViolation> check_lockstep_diff(const InstanceSpec& spec,
+                                                   const RejectionProblem& problem) {
+  std::vector<PropertyViolation> violations;
+  if (problem.processor_count() != 1) return violations;
+  const auto mismatch = [&](const std::string& solver, const std::string& detail) {
+    violations.push_back({"lockstep-diff", solver, detail});
+  };
+
+  // Same-shape fleet: lane 0 is the instance under test (so shrinking can
+  // minimize a failure), lanes 1..4 are fresh task sets of the same size
+  // drawn from derived seeds. Five instances at 4 lanes exercises a full
+  // chunk plus a ragged single-instance tail; at 8 lanes, a padded chunk.
+  std::vector<RejectionProblem> fleet;
+  fleet.reserve(5);
+  fleet.push_back(problem);
+  for (std::uint64_t v = 1; v <= 4; ++v) {
+    InstanceSpec variant = spec;
+    variant.task_count = static_cast<int>(problem.size());
+    variant.seed = spec.seed + 0x9e3779b97f4a7c15ULL * v;
+    fleet.push_back(build_instance(variant));
+    if (!same_shape(fleet.front(), fleet.back())) {
+      // Never expected (the builder derives shape from the spec alone), but
+      // a silent scalar fallback would hollow the check out.
+      mismatch("fleet", "variant " + std::to_string(v) + " is not shape-compatible");
+      fleet.pop_back();
+    }
+  }
+  std::vector<const RejectionProblem*> batch;
+  batch.reserve(fleet.size());
+  for (const RejectionProblem& instance : fleet) batch.push_back(&instance);
+
+  std::vector<simd::Backend> backends = {simd::Backend::kScalar};
+  for (const simd::Backend b : simd::available_vector_backends()) backends.push_back(b);
+
+  const ExactDpSolver exact;
+  const DensityGreedySolver density;
+  const MarginalGreedySolver marginal;
+  const std::vector<const RejectionSolver*> solvers = {&exact, &density, &marginal};
+  for (const RejectionSolver* solver : solvers) {
+    for (const simd::Backend backend : backends) {
+      try {
+        simd::ScopedBackend forced(backend);
+        std::vector<RejectionSolution> base;
+        base.reserve(batch.size());
+        for (const RejectionProblem* instance : batch) base.push_back(solver->solve(*instance));
+        for (const int lanes : {4, 8}) {
+          const BatchRejectionSolver batched(*solver, BatchConfig{lanes});
+          const std::vector<RejectionSolution> lockstep = batched.solve_batch(batch);
+          RETASK_ASSERT(lockstep.size() == base.size());
+          for (std::size_t k = 0; k < base.size(); ++k) {
+            if (lockstep[k].accepted != base[k].accepted ||
+                lockstep[k].energy != base[k].energy ||
+                lockstep[k].penalty != base[k].penalty) {
+              mismatch(solver->name(),
+                       std::string(simd::to_string(backend)) + " lanes=" +
+                           std::to_string(lanes) + " lane " + std::to_string(k) +
+                           ": lockstep objective " + fmt(lockstep[k].objective()) +
+                           " != per-instance " + fmt(base[k].objective()) +
+                           " (or accept masks differ)");
+            }
+          }
+        }
+      } catch (const std::exception& error) {
+        mismatch(solver->name(), std::string("lockstep diff threw: ") + error.what());
+      }
+    }
+  }
+  return violations;
+}
+
 FuzzReport run_differential_fuzz(const FuzzOptions& options, const SuiteFactory& factory) {
   require(options.rounds >= 0, "run_differential_fuzz: rounds must be non-negative");
   require(options.max_n >= 2, "run_differential_fuzz: max_n must be at least 2");
@@ -343,6 +410,11 @@ FuzzReport run_differential_fuzz(const FuzzOptions& options, const SuiteFactory&
           }
           if (options.simd_diff) {
             std::vector<PropertyViolation> extra = check_simd_diff(problem);
+            found.insert(found.end(), std::make_move_iterator(extra.begin()),
+                         std::make_move_iterator(extra.end()));
+          }
+          if (options.lockstep_diff) {
+            std::vector<PropertyViolation> extra = check_lockstep_diff(spec, problem);
             found.insert(found.end(), std::make_move_iterator(extra.begin()),
                          std::make_move_iterator(extra.end()));
           }

@@ -69,6 +69,7 @@ struct FuzzOptions {
   bool shrink = true;       ///< minimize failing instances
   bool sweep_cache = false; ///< also check warm-vs-cold sweep solve identity
   bool simd_diff = false;   ///< also check forced-scalar vs SIMD solve identity
+  bool lockstep_diff = false; ///< also check batch-lockstep vs per-instance identity
 };
 
 /// Warm-vs-cold sweep-cache check: solves a 3-point capacity sweep of
@@ -89,6 +90,18 @@ std::vector<PropertyViolation> check_sweep_cache(const RejectionProblem& problem
 /// equality. Single-processor instances only (returns empty otherwise, and
 /// on scalar-only hosts).
 std::vector<PropertyViolation> check_simd_diff(const RejectionProblem& problem);
+
+/// Lockstep-batch vs per-instance check: builds a same-shape fleet around
+/// `problem` (lane 0 is `problem` itself, the other lanes are freshly drawn
+/// task sets from `spec` variants), then solves the fleet through
+/// BatchRejectionSolver at lane counts 4 and 8 — exercising both full
+/// chunks and ragged padding — under the scalar table and every available
+/// vector backend, for every lockstep-capable solver (exact DP, density
+/// greedy, marginal greedy). Any bitwise difference from the per-instance
+/// base solves is a "lockstep-diff" violation. Single-processor instances
+/// only (returns empty otherwise).
+std::vector<PropertyViolation> check_lockstep_diff(const InstanceSpec& spec,
+                                                   const RejectionProblem& problem);
 
 /// One failing, minimized instance.
 struct FuzzCounterexample {

@@ -1,0 +1,198 @@
+// Tests for the wavefront-tiled DP fill (batch/wavefront.hpp): the tiled
+// fill must reproduce the serial in-place relaxation bit for bit — value row
+// and choice bits — on table widths straddling the 64-cell word boundary, at
+// any job count; whole solvers must be identical with the mode off and
+// forced; and the gate must decline the configurations the serial loop
+// serves better.
+#include "retask/batch/wavefront.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "retask/cache/scratch.hpp"
+#include "retask/common/bit_matrix.hpp"
+#include "retask/common/rng.hpp"
+#include "retask/core/budgeted.hpp"
+#include "retask/core/exact_dp.hpp"
+#include "retask/simd/kernels.hpp"
+#include "test_util.hpp"
+
+namespace retask {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Restores the process-wide wavefront mode on scope exit.
+class ScopedMode {
+ public:
+  explicit ScopedMode(WavefrontMode mode) : before_(wavefront_mode()) {
+    set_wavefront_mode(mode);
+  }
+  ~ScopedMode() { set_wavefront_mode(before_); }
+  ScopedMode(const ScopedMode&) = delete;
+  ScopedMode& operator=(const ScopedMode&) = delete;
+
+ private:
+  WavefrontMode before_;
+};
+
+/// The serial fill the tiled one must reproduce: in-place descending
+/// relaxation with the reachability bound and the cycles > cap prune
+/// (mirrors core/exact_dp.cpp's fill_table fallback loop).
+void serial_fill(const FrameTaskSet& tasks, Cycles cap, DpScratch& scratch) {
+  const std::size_t n = tasks.size();
+  const auto width = static_cast<std::size_t>(cap) + 1;
+  scratch.value.assign(width, kNegInf);
+  scratch.value[0] = 0.0;
+  scratch.take.reset(n, width);
+  std::size_t reachable = 0;
+  const simd::KernelTable& kernels = simd::kernels();
+  for (std::size_t i = 0; i < n; ++i) {
+    const FrameTask& task = tasks[i];
+    if (task.cycles > cap) continue;
+    const auto ci = static_cast<std::size_t>(task.cycles);
+    const std::size_t top = std::min(width - 1, reachable + ci);
+    kernels.relax_desc_f64(scratch.value.data(), scratch.take.row_words(i), ci, ci, top,
+                           task.penalty);
+    reachable = top;
+  }
+}
+
+/// A task set whose subset sums populate most of a cap-wide table, plus one
+/// task that cannot fit (the prune path must also be identical).
+FrameTaskSet dense_tasks(std::uint64_t seed, Cycles cap, int count = 12) {
+  Rng rng(seed);
+  std::vector<FrameTask> tasks;
+  tasks.reserve(static_cast<std::size_t>(count) + 1);
+  for (int i = 0; i < count; ++i) {
+    tasks.push_back({i, rng.uniform_int(1, std::max<Cycles>(1, cap / 3)),
+                     rng.uniform(0.1, 5.0)});
+  }
+  tasks.push_back({count, cap + 5, 1.0});  // pruned: cycles > cap
+  return FrameTaskSet(std::move(tasks));
+}
+
+void expect_scratch_identical(const DpScratch& got, const DpScratch& want, std::size_t n,
+                              std::size_t width) {
+  ASSERT_EQ(got.value.size(), want.value.size());
+  for (std::size_t w = 0; w < width; ++w) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(got.value[w]),
+              std::bit_cast<std::uint64_t>(want.value[w]))
+        << "value row cell " << w;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t w = 0; w < width; ++w) {
+      ASSERT_EQ(got.take.test(i, w), want.take.test(i, w)) << "take bit (" << i << ", " << w
+                                                           << ")";
+    }
+  }
+}
+
+TEST(Wavefront, TiledFillMatchesSerialOnWordEdgeWidths) {
+  ScopedMode mode(WavefrontMode::kAuto);
+  // Widths 63/64/65 straddle the choice-word boundary with tile_width=64:
+  // below one tile, exactly one tile, one tile plus a 1-cell tail.
+  for (const Cycles cap : {Cycles{62}, Cycles{63}, Cycles{64}, Cycles{130}, Cycles{1000}}) {
+    SCOPED_TRACE("cap " + std::to_string(cap));
+    const FrameTaskSet tasks = dense_tasks(7000 + static_cast<std::uint64_t>(cap), cap);
+    DpScratch want;
+    serial_fill(tasks, cap, want);
+    WavefrontOptions options;
+    options.tile_width = 64;
+    options.jobs = 4;
+    options.force = true;
+    DpScratch got;
+    ASSERT_TRUE(wavefront_fill(tasks, cap, got, options));
+    expect_scratch_identical(got, want, tasks.size(), static_cast<std::size_t>(cap) + 1);
+  }
+}
+
+TEST(Wavefront, TiledFillIsJobCountInvariant) {
+  ScopedMode mode(WavefrontMode::kAuto);
+  const Cycles cap = 257;
+  const FrameTaskSet tasks = dense_tasks(8100, cap, 16);
+  WavefrontOptions options;
+  options.tile_width = 64;
+  options.force = true;
+  options.jobs = 1;
+  DpScratch one;
+  ASSERT_TRUE(wavefront_fill(tasks, cap, one, options));
+  options.jobs = 8;
+  DpScratch eight;
+  ASSERT_TRUE(wavefront_fill(tasks, cap, eight, options));
+  expect_scratch_identical(eight, one, tasks.size(), static_cast<std::size_t>(cap) + 1);
+}
+
+TEST(Wavefront, GateDeclinesOffModeSmallTablesAndBadTiles) {
+  const Cycles cap = 64;
+  const FrameTaskSet tasks = dense_tasks(8200, cap);
+  DpScratch scratch;
+  {
+    // kOff wins over force: the kill switch must always work.
+    ScopedMode mode(WavefrontMode::kOff);
+    WavefrontOptions options;
+    options.force = true;
+    EXPECT_FALSE(wavefront_fill(tasks, cap, scratch, options));
+  }
+  {
+    // kAuto without force: a 65-cell table is far below the size gate.
+    ScopedMode mode(WavefrontMode::kAuto);
+    EXPECT_FALSE(wavefront_fill(tasks, cap, scratch));
+  }
+}
+
+TEST(Wavefront, ExactDpIsIdenticalOffVersusForced) {
+  const ExactDpSolver solver;
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    const RejectionProblem problem = test::small_instance(seed, 14, 1.6);
+    RejectionSolution off;
+    RejectionSolution forced;
+    {
+      ScopedMode mode(WavefrontMode::kOff);
+      off = solver.solve(problem);
+    }
+    {
+      ScopedMode mode(WavefrontMode::kForce);
+      forced = solver.solve(problem);
+    }
+    EXPECT_EQ(off.accepted, forced.accepted);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(off.energy),
+              std::bit_cast<std::uint64_t>(forced.energy));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(off.penalty),
+              std::bit_cast<std::uint64_t>(forced.penalty));
+  }
+}
+
+TEST(Wavefront, BudgetedSweepIsIdenticalOffVersusForced) {
+  const RejectionProblem base = test::small_instance(21, 12, 1.5);
+  const BudgetedProblem problem{base.tasks(), base.curve(), base.work_per_cycle(), 1.0};
+  const double full = base.energy_of_cycles(base.cycle_capacity());
+  const std::vector<double> budgets{0.25 * full, 0.5 * full, 0.9 * full};
+  std::vector<BudgetedSolution> off;
+  std::vector<BudgetedSolution> forced;
+  {
+    ScopedMode mode(WavefrontMode::kOff);
+    off = solve_budgeted_dp_sweep(problem, budgets);
+  }
+  {
+    ScopedMode mode(WavefrontMode::kForce);
+    forced = solve_budgeted_dp_sweep(problem, budgets);
+  }
+  ASSERT_EQ(off.size(), forced.size());
+  for (std::size_t b = 0; b < off.size(); ++b) {
+    SCOPED_TRACE("budget " + std::to_string(budgets[b]));
+    EXPECT_EQ(off[b].accepted, forced[b].accepted);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(off[b].value),
+              std::bit_cast<std::uint64_t>(forced[b].value));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(off[b].energy),
+              std::bit_cast<std::uint64_t>(forced[b].energy));
+  }
+}
+
+}  // namespace
+}  // namespace retask

@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "retask/batch/lockstep.hpp"
+#include "retask/batch/wavefront.hpp"
 #include "retask/cache/sweep.hpp"
 #include "retask/common/error.hpp"
 #include "retask/common/parallel.hpp"
@@ -57,7 +59,7 @@ using namespace retask;
 
 std::string default_out_path() {
   const std::string dir = RETASK_BENCH_REPORT_DIR_DEFAULT;
-  return dir.empty() ? "BENCH_PR5.json" : dir + "/BENCH_PR5.json";
+  return dir.empty() ? "BENCH_PR6.json" : dir + "/BENCH_PR6.json";
 }
 
 struct BenchCliOptions {
@@ -79,7 +81,7 @@ const char* kUsage =
 
 usage: retask_bench [options]
 
-  --out FILE         report JSON path (default bench/reports/BENCH_PR5.json
+  --out FILE         report JSON path (default bench/reports/BENCH_PR6.json
                      next to the sources; the directory is created)
   --baseline FILE    baseline JSON to compare against (default: the
                      checked-in bench/baseline/BENCH_BASELINE.json)
@@ -343,6 +345,73 @@ std::vector<Workload> build_workloads(int jobs) {
                          }});
   }
 
+  {
+    // Lockstep batch solving: one same-shape fleet of 8 instances through
+    // the exact DP, per instance vs. 8 lanes at once. n=24 makes the subset
+    // sums dense, so each lane's select sweep evaluates energies on most
+    // rows — exactly the work the lockstep chunk shares across lanes (one
+    // fused batch eval over the union of needed rows instead of 8 solo
+    // sweeps over largely the same rows).
+    const auto fleet = std::make_shared<std::vector<RejectionProblem>>();
+    const std::unique_ptr<PowerModel> model = make_model_by_name("table5");
+    for (std::uint64_t seed = 41; seed <= 48; ++seed) {
+      ScenarioConfig config;
+      config.task_count = 24;
+      config.load = 1.3;
+      config.resolution = 4000.0;
+      config.penalty_scale = 2.0;
+      config.seed = seed;
+      fleet->push_back(make_scenario(config, *model));
+    }
+    workloads.push_back({"batch_lockstep_single", [fleet](obs::Registry& metrics) {
+                           obs::ActiveScope scope(metrics);
+                           const ExactDpSolver solver;
+                           for (const RejectionProblem& problem : *fleet) solver.solve(problem);
+                         }});
+    workloads.push_back({"batch_lockstep_lanes", [fleet](obs::Registry& metrics) {
+                           obs::ActiveScope scope(metrics);
+                           const ExactDpSolver base;
+                           const BatchRejectionSolver batched(base, BatchConfig{8});
+                           std::vector<const RejectionProblem*> group;
+                           group.reserve(fleet->size());
+                           for (const RejectionProblem& problem : *fleet) group.push_back(&problem);
+                           batched.solve_batch(group);
+                         }});
+  }
+  {
+    // Wavefront DP tiling: one wide exact-DP table (n=96, ~300k cells per
+    // row), filled serially vs. tiled across the pool at 8 jobs. The tiny
+    // penalty scale keeps the select sweep's energy early-exit quick, so the
+    // pair measures the table fill the wavefront parallelizes.
+    const auto problem = [] {
+      const std::unique_ptr<PowerModel> model = make_model_by_name("xscale");
+      ScenarioConfig config;
+      config.task_count = 96;
+      config.load = 1.3;
+      config.resolution = 300000.0;
+      config.penalty_scale = 0.01;
+      config.seed = 51;
+      return std::make_shared<RejectionProblem>(make_scenario(config, *model));
+    }();
+    const auto with_mode = [problem](WavefrontMode mode, int fill_jobs) {
+      const WavefrontMode before_mode = wavefront_mode();
+      const int before_jobs = default_jobs();
+      set_wavefront_mode(mode);
+      set_default_jobs(fill_jobs);
+      ExactDpSolver().solve(*problem);
+      set_default_jobs(before_jobs);
+      set_wavefront_mode(before_mode);
+    };
+    workloads.push_back({"big_dp_wavefront_serial", [with_mode](obs::Registry& metrics) {
+                           obs::ActiveScope scope(metrics);
+                           with_mode(WavefrontMode::kOff, 1);
+                         }});
+    workloads.push_back({"big_dp_wavefront_tiled", [with_mode](obs::Registry& metrics) {
+                           obs::ActiveScope scope(metrics);
+                           with_mode(WavefrontMode::kForce, 8);
+                         }});
+  }
+
   // Scalar-vs-dispatched pairs: the same body once under the forced-scalar
   // kernel table and once under the backend runtime dispatch would pick.
   // ScopedBackend is a thread-local override, so these bodies must run
@@ -571,6 +640,8 @@ int run(const BenchCliOptions& options) {
   };
   print_speedups("_cold", "_warm");
   print_speedups("_scalar", "_simd");
+  print_speedups("_single", "_lanes");
+  print_speedups("_serial", "_tiled");
 
   if (!options.trace_out.empty()) {
     obs::write_chrome_trace_file(options.trace_out);
@@ -580,20 +651,53 @@ int run(const BenchCliOptions& options) {
 
   if (options.write_baseline) {
     require(!options.baseline.empty(), "--write-baseline: no baseline path configured");
-    if (!options.force && std::filesystem::exists(options.baseline)) {
-      // Refuse to swap the recorded config out from under future
-      // comparisons: wall times measured under a different kernel backend
-      // or thread count are not comparable, so silently replacing the
-      // baseline would make every later regression check meaningless.
+    if (std::filesystem::exists(options.baseline)) {
       const obs::BenchReport previous = obs::read_bench_report_file(options.baseline);
-      require(previous.backend == report.backend,
-              "--write-baseline: existing baseline was recorded with backend '" +
-                  previous.backend + "' but this run used '" + report.backend +
-                  "'; pass --force to replace it anyway");
-      require(previous.jobs == report.jobs,
-              "--write-baseline: existing baseline was recorded with --jobs " +
-                  std::to_string(previous.jobs) + " but this run used --jobs " +
-                  std::to_string(report.jobs) + "; pass --force to replace it anyway");
+      if (!options.force) {
+        // Refuse to swap the recorded config out from under future
+        // comparisons: wall times measured under a different kernel backend
+        // or thread count are not comparable, so silently replacing the
+        // baseline would make every later regression check meaningless.
+        require(previous.backend == report.backend,
+                "--write-baseline: existing baseline was recorded with backend '" +
+                    previous.backend + "' but this run used '" + report.backend +
+                    "'; pass --force to replace it anyway");
+        require(previous.jobs == report.jobs,
+                "--write-baseline: existing baseline was recorded with --jobs " +
+                    std::to_string(previous.jobs) + " but this run used --jobs " +
+                    std::to_string(report.jobs) + "; pass --force to replace it anyway");
+      }
+      // A refresh must not silently shrink coverage: a workload present in
+      // the old baseline but absent from this run (a --filter run, or a
+      // renamed workload) would vanish from every later regression check.
+      std::size_t dropped = 0;
+      for (const obs::BenchWorkloadResult& old : previous.workloads) {
+        if (report.find(old.name) == nullptr) {
+          std::cout << "DROPPED " << old.name << ": in the old baseline but not in this run\n";
+          ++dropped;
+        }
+      }
+      require(dropped == 0 || options.force,
+              "--write-baseline: this run is missing " + std::to_string(dropped) +
+                  " workload(s) present in the baseline (listed above); rerun without "
+                  "--filter, or pass --force to drop them from the baseline");
+      // Show what the refresh actually rewrites, so a "routine" refresh that
+      // hides a real slowdown is visible in the log.
+      for (const obs::BenchWorkloadResult& current : report.workloads) {
+        const obs::BenchWorkloadResult* old = previous.find(current.name);
+        if (old == nullptr) {
+          std::cout << "baseline add " << current.name << ": " << current.median_ns / 1000
+                    << " us (new workload)\n";
+          continue;
+        }
+        if (old->median_ns == 0) continue;
+        const double ratio =
+            static_cast<double>(current.median_ns) / static_cast<double>(old->median_ns);
+        if (ratio < 0.95 || ratio > 1.05) {
+          std::cout << "baseline change " << current.name << ": " << old->median_ns / 1000
+                    << " us -> " << current.median_ns / 1000 << " us (" << ratio << "x)\n";
+        }
+      }
     }
     obs::write_bench_report_file(options.baseline, report);
     std::cout << "baseline written: " << options.baseline << "\n";

@@ -54,6 +54,9 @@ usage: retask_fuzz [options]
   --simd-diff        also solve every instance under the forced-scalar
                      kernels and under every vector backend the host can
                      execute, requiring bit-identical solutions
+  --lockstep-diff    also solve a same-shape fleet around every instance
+                     through the lockstep batch solver (lanes 4 and 8, every
+                     backend), requiring bit-identical per-lane solutions
   --replay FILE      re-run one dumped counterexample and report
   --inject-broken    add a deliberately wrong solver (exact DP against an
                      off-by-one capacity); the sweep must catch it
@@ -105,6 +108,8 @@ FuzzCliOptions parse(const std::vector<std::string>& args) {
       options.fuzz.sweep_cache = true;
     } else if (arg == "--simd-diff") {
       options.fuzz.simd_diff = true;
+    } else if (arg == "--lockstep-diff") {
+      options.fuzz.lockstep_diff = true;
     } else if (arg == "--replay") {
       options.replay_path = value(i, arg);
     } else if (arg == "--inject-broken") {
