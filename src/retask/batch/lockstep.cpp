@@ -7,12 +7,12 @@
 #include <string>
 #include <vector>
 
+#include "retask/cache/sweep.hpp"
 #include "retask/common/bit_matrix.hpp"
 #include "retask/common/error.hpp"
 #include "retask/core/exact_dp.hpp"
 #include "retask/core/greedy.hpp"
 #include "retask/obs/metrics.hpp"
-#include "retask/power/polynomial_power.hpp"
 #include "retask/simd/kernels.hpp"
 
 namespace retask {
@@ -34,37 +34,6 @@ int resolve_lanes() {
     throw Error("RETASK_BATCH: unknown value '" + name + "' (expected off|auto|<lanes>)");
   }
   return static_cast<int>(parsed);
-}
-
-/// Bitwise power-model equality as far as the energy curve can see it.
-/// Discrete models are compared point by point (their curve is a function
-/// of the operating points and the static power alone); continuous models
-/// are compared by parameters when the concrete type is known. Unknown
-/// continuous models never match — the cost is a scalar fallback, never a
-/// wrong lane grouping.
-bool same_models(const PowerModel& a, const PowerModel& b) {
-  if (a.is_continuous() != b.is_continuous()) return false;
-  if (a.static_power() != b.static_power()) return false;
-  if (a.min_speed() != b.min_speed() || a.max_speed() != b.max_speed()) return false;
-  if (!a.is_continuous()) {
-    const std::vector<double> speeds_a = a.available_speeds();
-    if (speeds_a != b.available_speeds()) return false;
-    for (const double s : speeds_a) {
-      if (a.power(s) != b.power(s)) return false;
-    }
-    return true;
-  }
-  const auto* pa = dynamic_cast<const PolynomialPowerModel*>(&a);
-  const auto* pb = dynamic_cast<const PolynomialPowerModel*>(&b);
-  if (pa == nullptr || pb == nullptr) return false;
-  return pa->beta1() == pb->beta1() && pa->beta2() == pb->beta2() && pa->alpha() == pb->alpha();
-}
-
-bool same_curves(const EnergyCurve& a, const EnergyCurve& b) {
-  return a.window() == b.window() && a.idle() == b.idle() &&
-         a.sleep().switch_time == b.sleep().switch_time &&
-         a.sleep().switch_energy == b.sleep().switch_energy &&
-         a.max_workload() == b.max_workload() && same_models(a.model(), b.model());
 }
 
 /// Per-lane fill capacity — the single-instance solver's fill_capacity.
@@ -398,9 +367,10 @@ void set_lockstep_lanes(int lanes) {
 }
 
 bool same_shape(const RejectionProblem& a, const RejectionProblem& b) {
+  // Platform equality (curve/work_per_cycle; see cache/sweep.hpp) plus the
+  // lane-layout constraints: same task count and the single-processor form.
   return a.size() == b.size() && a.processor_count() == 1 && b.processor_count() == 1 &&
-         a.cycle_capacity() == b.cycle_capacity() && a.work_per_cycle() == b.work_per_cycle() &&
-         same_curves(a.curve(), b.curve());
+         a.cycle_capacity() == b.cycle_capacity() && same_platforms(a, b);
 }
 
 BatchRejectionSolver::BatchRejectionSolver(const RejectionSolver& base, BatchConfig config)

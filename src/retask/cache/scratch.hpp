@@ -22,10 +22,13 @@
 namespace retask {
 
 /// Buffers of one exact/budgeted DP solve: the value row plus the choice
-/// table.
+/// table, and the chunked-select batch buffers (core/dp_select.hpp: the
+/// predicted rows of one 64-row chunk and their batched energies).
 struct DpScratch {
   std::vector<double> value;
   BitMatrix take;
+  std::vector<Cycles> select_cycles;
+  std::vector<double> select_energy;
 };
 
 /// Buffers reused across the guess-refinement rounds of one FPTAS solve.

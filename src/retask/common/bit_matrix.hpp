@@ -28,6 +28,12 @@ class BitMatrix {
     words_.assign(rows * words_per_row_, 0);
   }
 
+  /// Changes the row count in place, keeping the column stride: existing
+  /// rows keep their bits, new rows start all-zero. Used by the serve-mode
+  /// delta solver to grow its retained choice table one task at a time
+  /// without rebuilding the filled prefix.
+  void resize_rows(std::size_t rows) { words_.resize(rows * words_per_row_); }
+
   bool test(std::size_t row, std::size_t col) const {
     return (words_[row * words_per_row_ + col / 64] >> (col % 64)) & 1u;
   }

@@ -1,0 +1,93 @@
+// Chunked row selection over a filled knapsack value table.
+//
+// Reading a solution off the exact-DP table means sweeping every reachable
+// accepted-cycle total w for the best objective E(w) + (total_penalty -
+// kept[w]). The energy evaluation dominates that sweep, and evaluating it
+// row by row wastes the fused cycles->energy batch kernel (simd/kernels.hpp)
+// that batch/lockstep.cpp already exploits across lanes. This header applies
+// the same predict/batch/replay idiom to a single table so the sweep-reuse
+// warm path (ExactDpSolver::solve_sweep) and the serve-mode delta solver
+// batch their per-point energy evaluations too:
+//
+//   1. predict — per 64-row chunk, keep the rows that survive the penalty
+//      prune against the best objective at chunk entry. The live best only
+//      ever decreases, so this snapshot keeps a superset of the rows the
+//      serial sweep would evaluate; E is a pure function of the row, so the
+//      extra evaluations cannot change the outcome.
+//   2. batch — one BatchEnergyFn call per chunk over the predicted rows.
+//      The callback must be bit-identical to one-at-a-time evaluation
+//      (RejectionProblem::energy_of_cycles_batch guarantees exactly that).
+//   3. replay — scan the predicted rows with the serial loop's live prunes:
+//      the penalty prune re-checked against the current best, and the
+//      energy early-exit (E non-decreasing in the load) ending the whole
+//      sweep. The replay makes the same decisions in the same order as the
+//      serial sweep, so the selected row is bit-identical.
+#ifndef RETASK_CORE_DP_SELECT_HPP
+#define RETASK_CORE_DP_SELECT_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "retask/task/task.hpp"
+
+namespace retask {
+
+/// Outcome of one chunked select sweep.
+struct DpSelectResult {
+  std::size_t best_w = 0;
+  double best_objective = std::numeric_limits<double>::infinity();
+  std::uint64_t energy_evals = 0;  ///< rows sent through the batch callback
+};
+
+/// Sweeps rows [0, cap] of `kept` (the exact-DP value table: maximum total
+/// penalty of accepted tasks at exactly w cycles, -inf when unreachable) for
+/// the row minimizing E(w) + (total_penalty - kept[w]), batching energy
+/// evaluations through `energy_batch(cycles, out, n)` in 64-row chunks.
+/// `batch_cycles` / `batch_energy` are caller-owned reusable buffers (see
+/// DpScratch in cache/scratch.hpp); the result is bit-identical to the
+/// serial row-by-row sweep with the penalty prune and energy early-exit.
+template <class BatchEnergyFn>
+DpSelectResult select_best_row(const std::vector<double>& kept, std::size_t cap,
+                               double total_penalty, BatchEnergyFn&& energy_batch,
+                               std::vector<Cycles>& batch_cycles,
+                               std::vector<double>& batch_energy) {
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  constexpr std::size_t kChunk = 64;
+  DpSelectResult result;
+  bool done = false;
+  for (std::size_t chunk = 0; chunk <= cap && !done; chunk += kChunk) {
+    const std::size_t end = std::min(cap, chunk + kChunk - 1);
+    batch_cycles.clear();
+    for (std::size_t w = chunk; w <= end; ++w) {
+      if (kept[w] == kNegInf) continue;
+      if (total_penalty - kept[w] >= result.best_objective) continue;
+      batch_cycles.push_back(static_cast<Cycles>(w));
+    }
+    if (batch_cycles.empty()) continue;
+    batch_energy.resize(batch_cycles.size());
+    energy_batch(batch_cycles.data(), batch_energy.data(), batch_cycles.size());
+    result.energy_evals += batch_cycles.size();
+    for (std::size_t j = 0; j < batch_cycles.size(); ++j) {
+      const auto w = static_cast<std::size_t>(batch_cycles[j]);
+      const double penalty = total_penalty - kept[w];
+      if (penalty >= result.best_objective) continue;
+      const double energy = batch_energy[j];
+      if (energy >= result.best_objective) {
+        done = true;
+        break;
+      }
+      const double objective = energy + penalty;
+      if (objective < result.best_objective) {
+        result.best_objective = objective;
+        result.best_w = w;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace retask
+
+#endif  // RETASK_CORE_DP_SELECT_HPP

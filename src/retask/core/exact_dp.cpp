@@ -6,6 +6,7 @@
 
 #include "retask/batch/wavefront.hpp"
 #include "retask/cache/scratch.hpp"
+#include "retask/core/dp_select.hpp"
 #include "retask/cache/sweep.hpp"
 #include "retask/common/bit_matrix.hpp"
 #include "retask/common/error.hpp"
@@ -103,10 +104,8 @@ void fill_table(const RejectionProblem& problem, Cycles cap, DpScratch& scratch)
 /// >= `cap`: sweeps rows [0, cap] for the best objective and reconstructs
 /// the accept set through the choice bits. Only rows <= cap are touched, so
 /// a table filled at a larger capacity yields bit-identical results.
-RejectionSolution select_best(const RejectionProblem& problem, Cycles cap,
-                              const DpScratch& scratch) {
+RejectionSolution select_best(const RejectionProblem& problem, Cycles cap, DpScratch& scratch) {
   const std::size_t n = problem.size();
-  const std::vector<double>& kept = scratch.value;
   const BitMatrix& take = scratch.take;
 
   // Sweep achievable accepted-cycle totals for the best objective. The
@@ -116,31 +115,23 @@ RejectionSolution select_best(const RejectionProblem& problem, Cycles cap,
   // in the load (the invariant the budgeted binary search and the
   // exhaustive bound also rely on; asserted for every registered power
   // model in tests/test_solve_cache.cpp) ends the sweep once the energy
-  // term alone loses. Both prunes only drop rows with objective >= the
-  // current best, so the selected row is exactly the naive sweep's.
+  // term alone loses. The chunked helper batches the surviving rows
+  // through the fused cycles->energy kernel while replaying exactly these
+  // serial prunes, so the selected row is bit-identical to the naive
+  // sweep's (see core/dp_select.hpp for the superset argument).
   const double total_penalty = problem.tasks().total_penalty();
-  double best_objective = std::numeric_limits<double>::infinity();
-  std::size_t best_w = 0;
-  RETASK_OBS_ONLY(std::uint64_t energy_evals = 0;)
-  for (std::size_t w = 0; w <= static_cast<std::size_t>(cap); ++w) {
-    if (kept[w] == kNegInf) continue;
-    const double penalty = total_penalty - kept[w];
-    if (penalty >= best_objective) continue;
-    RETASK_OBS_ONLY(++energy_evals;)
-    const double energy = problem.energy_of_cycles(static_cast<Cycles>(w));
-    if (energy >= best_objective) break;
-    const double objective = energy + penalty;
-    if (objective < best_objective) {
-      best_objective = objective;
-      best_w = w;
-    }
-  }
-  RETASK_COUNT("exact_dp.energy_evals", energy_evals);
-  RETASK_ASSERT(best_objective < std::numeric_limits<double>::infinity());
+  const DpSelectResult sel = select_best_row(
+      scratch.value, static_cast<std::size_t>(cap), total_penalty,
+      [&problem](const Cycles* cycles, double* out, std::size_t m) {
+        problem.energy_of_cycles_batch(cycles, out, m);
+      },
+      scratch.select_cycles, scratch.select_energy);
+  RETASK_COUNT("exact_dp.energy_evals", sel.energy_evals);
+  RETASK_ASSERT(sel.best_objective < std::numeric_limits<double>::infinity());
 
   // Reconstruct the accept set backwards through the per-task choice bits.
   std::vector<bool> accepted(n, false);
-  std::size_t w = best_w;
+  std::size_t w = sel.best_w;
   for (std::size_t i = n; i-- > 0;) {
     if (take.test(i, w)) {
       accepted[i] = true;

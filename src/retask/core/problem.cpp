@@ -7,6 +7,14 @@
 
 namespace retask {
 
+Cycles cycle_capacity_for(const EnergyCurve& curve, double work_per_cycle) {
+  require(work_per_cycle > 0.0, "cycle_capacity_for: work_per_cycle must be positive");
+  // Tolerant floor so that "exactly full at top speed" instances keep their
+  // analytic capacity.
+  return static_cast<Cycles>(
+      std::floor(curve.max_workload() / work_per_cycle * (1.0 + 1e-12) + 1e-9));
+}
+
 RejectionProblem::RejectionProblem(FrameTaskSet tasks, EnergyCurve curve, double work_per_cycle,
                                    int processor_count)
     : tasks_(std::move(tasks)),
@@ -15,10 +23,7 @@ RejectionProblem::RejectionProblem(FrameTaskSet tasks, EnergyCurve curve, double
       processor_count_(processor_count) {
   require(work_per_cycle_ > 0.0, "RejectionProblem: work_per_cycle must be positive");
   require(processor_count_ >= 1, "RejectionProblem: processor_count must be at least 1");
-  // Tolerant floor so that "exactly full at top speed" instances keep their
-  // analytic capacity.
-  cycle_capacity_ = static_cast<Cycles>(
-      std::floor(curve_.max_workload() / work_per_cycle_ * (1.0 + 1e-12) + 1e-9));
+  cycle_capacity_ = cycle_capacity_for(curve_, work_per_cycle_);
 }
 
 double RejectionProblem::work_of(std::size_t index) const {

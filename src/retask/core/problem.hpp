@@ -27,6 +27,13 @@
 
 namespace retask {
 
+/// Largest per-processor cycle load that fits `curve`'s window at top speed
+/// for the given cycle scale — the capacity RejectionProblem computes at
+/// construction, exposed so task-set-free callers (the serve-mode delta
+/// solver sizes its retained DP table before any task exists) derive the
+/// same bits.
+Cycles cycle_capacity_for(const EnergyCurve& curve, double work_per_cycle);
+
 /// An instance of the rejection-scheduling problem.
 class RejectionProblem {
  public:

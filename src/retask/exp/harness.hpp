@@ -67,10 +67,13 @@ struct BatchOptions {
   /// solver metrics land in the FIRST point's AlgoStats instead of being
   /// split per point (the per-point split does not exist for shared work).
   bool sweep_reuse = true;
-  /// Attach a fresh EnergyMemo to every instance, shared by reference by
-  /// all lineup algorithms solving it (and all sweep points of the
-  /// instance's group when their (curve, work_per_cycle) coincide — the
-  /// memo is attached per problem, so differing points still get their own).
+  /// Attach an EnergyMemo per sweep point, shared across every instance of
+  /// a parallel block whose platform (curve, work_per_cycle) matches that
+  /// point's first instance — cells are solved on one thread per block, so
+  /// one instance's cycles -> energy evaluations serve the rest. All lineup
+  /// algorithms solving a cell share its memo by reference. A factory whose
+  /// platform varies with the seed fails the same_platforms guard and gets
+  /// a private per-cell memo instead (bit-identical either way).
   bool cell_energy_memo = true;
   /// Caller-supplied memo attached to EVERY problem of the grid instead of
   /// per-cell memos. The caller asserts all factories produce problems with

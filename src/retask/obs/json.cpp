@@ -128,6 +128,22 @@ class Parser {
     }
   }
 
+  /// Consumes the 4 hex digits of a \uXXXX escape (the "\u" is already
+  /// consumed) and returns the UTF-16 code unit.
+  unsigned parse_hex4() {
+    require(pos_ + 4 <= text_.size(), error("truncated \\u escape"));
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char hex = text_[pos_++];
+      code <<= 4;
+      if (hex >= '0' && hex <= '9') code |= static_cast<unsigned>(hex - '0');
+      else if (hex >= 'a' && hex <= 'f') code |= static_cast<unsigned>(hex - 'a' + 10);
+      else if (hex >= 'A' && hex <= 'F') code |= static_cast<unsigned>(hex - 'A' + 10);
+      else throw Error(error("bad \\u escape digit"));
+    }
+    return code;
+  }
+
   std::string parse_string() {
     expect('"');
     std::string out;
@@ -152,26 +168,34 @@ class Parser {
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          require(pos_ + 4 <= text_.size(), error("truncated \\u escape"));
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char hex = text_[pos_++];
-            code <<= 4;
-            if (hex >= '0' && hex <= '9') code |= static_cast<unsigned>(hex - '0');
-            else if (hex >= 'a' && hex <= 'f') code |= static_cast<unsigned>(hex - 'a' + 10);
-            else if (hex >= 'A' && hex <= 'F') code |= static_cast<unsigned>(hex - 'A' + 10);
-            else throw Error(error("bad \\u escape digit"));
+          unsigned code = parse_hex4();
+          // UTF-16 escape semantics (RFC 8259 §7): a high surrogate must be
+          // followed by a \u-escaped low surrogate, and the pair decodes to
+          // one non-BMP code point; a lone surrogate in either half is
+          // malformed and rejected rather than smuggled into the output.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            require(pos_ + 2 <= text_.size() && text_[pos_] == '\\' && text_[pos_ + 1] == 'u',
+                    error("high surrogate not followed by \\u escape"));
+            pos_ += 2;
+            const unsigned low = parse_hex4();
+            require(low >= 0xDC00 && low <= 0xDFFF,
+                    error("high surrogate not followed by a low surrogate"));
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else {
+            require(code < 0xDC00 || code > 0xDFFF, error("lone low surrogate \\u escape"));
           }
-          // Encode the BMP code point as UTF-8 (surrogate pairs are not
-          // emitted by this repo's writers; reject them for strictness).
-          require(code < 0xD800 || code > 0xDFFF, error("surrogate \\u escape unsupported"));
           if (code < 0x80) {
             out += static_cast<char>(code);
           } else if (code < 0x800) {
             out += static_cast<char>(0xC0 | (code >> 6));
             out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
+          } else if (code < 0x10000) {
             out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
             out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
             out += static_cast<char>(0x80 | (code & 0x3F));
           }

@@ -18,15 +18,19 @@ struct Job {
   double deadline = 0.0;
   double release = 0.0;
   double remaining = 0.0;  // work units
-  int task_index = 0;
+  int task_id = 0;
 };
 
-// EDF order: earliest deadline first; ties broken by task index then release
-// to keep the simulation deterministic. (Greater-than for min-heap use.)
+// EDF order: earliest deadline first; equal deadlines dispatch the earlier
+// release first (FIFO), and simultaneous equal-deadline releases dispatch in
+// task-id order. Every key is intrinsic to the task set — none depends on
+// the position of a task in the input vector — so the dispatch order (and
+// with it busy/idle fragmentation, responses and energy) is invariant under
+// input permutation. (Greater-than for min-heap use.)
 bool later(const Job& a, const Job& b) {
   if (a.deadline != b.deadline) return a.deadline > b.deadline;
-  if (a.task_index != b.task_index) return a.task_index > b.task_index;
-  return a.release > b.release;
+  if (a.release != b.release) return a.release > b.release;
+  return a.task_id > b.task_id;
 }
 
 }  // namespace
@@ -44,7 +48,7 @@ EdfSimResult simulate_edf(const PeriodicTaskSet& tasks, const std::vector<bool>&
     double period = 0.0;
     double work = 0.0;  // per job, work units
     double next_release = 0.0;
-    int task_index = 0;
+    int task_id = 0;
   };
   std::vector<Source> sources;
   double demanded = 0.0;  // work units per time
@@ -52,7 +56,7 @@ EdfSimResult simulate_edf(const PeriodicTaskSet& tasks, const std::vector<bool>&
     if (!selected.empty() && !selected[i]) continue;
     const PeriodicTask& task = tasks[i];
     const double work = config.work_per_cycle * static_cast<double>(task.cycles);
-    sources.push_back({static_cast<double>(task.period), work, 0.0, static_cast<int>(i)});
+    sources.push_back({static_cast<double>(task.period), work, 0.0, task.id});
     demanded += work / static_cast<double>(task.period);
   }
 
@@ -96,7 +100,7 @@ EdfSimResult simulate_edf(const PeriodicTaskSet& tasks, const std::vector<bool>&
   const auto release_due = [&](double t) {
     for (Source& s : sources) {
       while (s.next_release < horizon && leq_tol(s.next_release, t)) {
-        push_job({s.next_release + s.period, s.next_release, s.work, s.task_index});
+        push_job({s.next_release + s.period, s.next_release, s.work, s.task_id});
         ++result.jobs_released;
         s.next_release += s.period;
       }

@@ -1,0 +1,235 @@
+#include "retask/serve/delta_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "retask/common/error.hpp"
+#include "retask/core/dp_select.hpp"
+#include "retask/obs/metrics.hpp"
+#include "retask/simd/kernels.hpp"
+
+namespace retask {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+double assigned_speed(const EnergyCurve& curve, double work_per_cycle, Cycles load) {
+  require(load >= 0, "assigned_speed: negative load");
+  const ExecutionPlan plan = curve.plan(work_per_cycle * static_cast<double>(load));
+  double work = 0.0;
+  double busy = 0.0;
+  for (const PlanSegment& segment : plan.segments) {
+    if (segment.speed <= 0.0) continue;
+    work += segment.speed * segment.duration;
+    busy += segment.duration;
+  }
+  return busy > 0.0 ? work / busy : 0.0;
+}
+
+DeltaSolver::DeltaSolver(EnergyCurve curve, double work_per_cycle, Config config)
+    : curve_(std::move(curve)), work_per_cycle_(work_per_cycle), config_(config) {
+  require(work_per_cycle_ > 0.0, "DeltaSolver: work_per_cycle must be positive");
+  require(config_.checkpoint_stride >= 1, "DeltaSolver: checkpoint_stride must be >= 1");
+  cycle_capacity_ = cycle_capacity_for(curve_, work_per_cycle_);
+  width_ = static_cast<std::size_t>(cycle_capacity_) + 1;
+  table_.value.assign(width_, kNegInf);
+  table_.value[0] = 0.0;
+  table_.take.reset(0, width_);
+  memo_ = std::make_shared<EnergyMemo>();
+  select();
+}
+
+std::size_t DeltaSolver::index_of(int id) const {
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].id == id) return i;
+  }
+  return kNone;
+}
+
+void DeltaSolver::ensure_rows(std::size_t rows) {
+  if (rows <= rows_) return;
+  rows_ = std::max({rows, rows_ * 2, std::size_t{8}});
+  table_.take.resize_rows(rows_);
+}
+
+void DeltaSolver::relax_row(std::size_t i) {
+  // The row may hold bits from an earlier fill epoch (a removed task's
+  // relaxation); the kernel only ORs improvements in, so clear first.
+  std::fill_n(table_.take.row_words(i), table_.take.words_per_row(), std::uint64_t{0});
+  const FrameTask& task = tasks_[i];
+  if (task.cycles > cycle_capacity_) return;  // can never be accepted
+  const auto ci = static_cast<std::size_t>(task.cycles);
+  const std::size_t top = std::min(width_ - 1, reachable_ + ci);
+  simd::kernels().relax_desc_f64(table_.value.data(), table_.take.row_words(i), ci, ci, top,
+                                 task.penalty);
+  reachable_ = top;
+}
+
+void DeltaSolver::push_checkpoint_if_due(std::size_t prefix) {
+  const auto stride = static_cast<std::size_t>(config_.checkpoint_stride);
+  if (prefix == 0 || prefix % stride != 0) return;
+  if (cp_pool_.empty()) {
+    cp_values_.emplace_back();
+  } else {
+    cp_values_.push_back(std::move(cp_pool_.back()));
+    cp_pool_.pop_back();
+  }
+  cp_values_.back() = table_.value;  // assign into retained capacity
+  cp_reach_.push_back(reachable_);
+}
+
+void DeltaSolver::drop_checkpoints_to(std::size_t count) {
+  while (cp_values_.size() > count) {
+    cp_pool_.push_back(std::move(cp_values_.back()));
+    cp_values_.pop_back();
+    cp_reach_.pop_back();
+  }
+}
+
+void DeltaSolver::replay_from(std::size_t invalidated) {
+  const auto stride = static_cast<std::size_t>(config_.checkpoint_stride);
+  const std::size_t keep = invalidated / stride;  // checkpoints still valid
+  drop_checkpoints_to(keep);
+  const std::size_t start = keep * stride;
+  if (keep == 0) {
+    std::fill(table_.value.begin(), table_.value.end(), kNegInf);
+    table_.value[0] = 0.0;
+    reachable_ = 0;
+  } else {
+    std::copy(cp_values_[keep - 1].begin(), cp_values_[keep - 1].end(), table_.value.begin());
+    reachable_ = cp_reach_[keep - 1];
+  }
+  if (start == 0 && !tasks_.empty()) {
+    ++cold_falls_;
+    RETASK_COUNT("serve.cold_falls", 1);
+  } else {
+    ++delta_hits_;
+    RETASK_COUNT("serve.delta_hits", 1);
+  }
+  for (std::size_t i = start; i < tasks_.size(); ++i) {
+    relax_row(i);
+    push_checkpoint_if_due(i + 1);
+  }
+}
+
+const RejectionSolution& DeltaSolver::admit(const FrameTask& task) {
+  validate(task);
+  require(index_of(task.id) == kNone, "DeltaSolver::admit: task id already resident");
+  tasks_.push_back(task);
+  total_cycles_ += task.cycles;
+  const std::size_t i = tasks_.size() - 1;
+  ensure_rows(i + 1);
+  relax_row(i);
+  push_checkpoint_if_due(i + 1);
+  ++delta_hits_;
+  RETASK_COUNT("serve.delta_hits", 1);
+  select();
+  return solution_;
+}
+
+const RejectionSolution& DeltaSolver::remove(int id) {
+  const std::size_t i = index_of(id);
+  require(i != kNone, "DeltaSolver::remove: unknown task id");
+  total_cycles_ -= tasks_[i].cycles;
+  tasks_.erase(tasks_.begin() + static_cast<std::ptrdiff_t>(i));
+  replay_from(i);
+  select();
+  return solution_;
+}
+
+const RejectionSolution& DeltaSolver::reprice(int id, double penalty) {
+  const std::size_t i = index_of(id);
+  require(i != kNone, "DeltaSolver::reprice: unknown task id");
+  FrameTask probe = tasks_[i];
+  probe.penalty = penalty;
+  validate(probe);  // same rules as admit (finite, non-negative)
+  tasks_[i] = probe;
+  replay_from(i);
+  select();
+  return solution_;
+}
+
+double DeltaSolver::energy_of(Cycles cycles) {
+  return memo_->get_or_compute(cycles, [this](Cycles c) {
+    return curve_.energy(work_per_cycle_ * static_cast<double>(c));
+  });
+}
+
+void DeltaSolver::energy_batch(const Cycles* cycles, double* out, std::size_t n) {
+  // Mirrors RejectionProblem::energy_of_cycles_batch: memo hits replay
+  // recorded bits, misses run through the fused batch kernel (bit-identical
+  // to one-at-a-time evaluation) and are recorded.
+  miss_index_.clear();
+  miss_cycles_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!memo_->lookup(cycles[i], out[i])) {
+      miss_index_.push_back(i);
+      miss_cycles_.push_back(cycles[i]);
+    }
+  }
+  if (miss_index_.empty()) return;
+  miss_out_.resize(miss_index_.size());
+  curve_.energy_cycles_batch(work_per_cycle_, miss_cycles_.data(), miss_out_.data(),
+                             miss_index_.size());
+  for (std::size_t j = 0; j < miss_index_.size(); ++j) {
+    memo_->record(miss_cycles_[j], miss_out_[j]);
+    out[miss_index_[j]] = miss_out_[j];
+  }
+}
+
+void DeltaSolver::select() {
+  const std::size_t n = tasks_.size();
+  // A cold solve fills at min(capacity, total cycles); our retained table
+  // is filled at the full capacity, and the prefix property makes rows
+  // <= that cap bit-identical, so sweeping the same range reads the same
+  // answer.
+  const auto cap = static_cast<std::size_t>(std::min(cycle_capacity_, total_cycles_));
+  // Recomputed in residual order every time — FrameTaskSet accumulates its
+  // total the same way, and float addition is order-sensitive, so an
+  // incrementally maintained sum could drift from the cold solve's bits.
+  double total_penalty = 0.0;
+  for (const FrameTask& task : tasks_) total_penalty += task.penalty;
+
+  const DpSelectResult sel = select_best_row(
+      table_.value, cap, total_penalty,
+      [this](const Cycles* cycles, double* out, std::size_t m) { energy_batch(cycles, out, m); },
+      table_.select_cycles, table_.select_energy);
+  RETASK_COUNT("serve.select_energy_evals", sel.energy_evals);
+  RETASK_ASSERT(sel.best_objective < std::numeric_limits<double>::infinity());
+
+  solution_.accepted.assign(n, false);
+  std::size_t w = sel.best_w;
+  for (std::size_t i = n; i-- > 0;) {
+    if (table_.take.test(i, w)) {
+      solution_.accepted[i] = true;
+      w -= static_cast<std::size_t>(tasks_[i].cycles);
+    }
+  }
+  RETASK_ASSERT(w == 0);
+
+  // Score exactly as make_solution does: rejected penalties summed in index
+  // order, energy through the single-load evaluation.
+  solution_.processor_of.assign(n, -1);
+  Cycles load = 0;
+  double penalty = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (solution_.accepted[i]) {
+      solution_.processor_of[i] = 0;
+      load += tasks_[i].cycles;
+    } else {
+      penalty += tasks_[i].penalty;
+    }
+  }
+  solution_.energy = energy_of(load);
+  solution_.penalty = penalty;
+  accepted_load_ = load;
+}
+
+RejectionProblem DeltaSolver::make_problem() const {
+  return RejectionProblem(FrameTaskSet(tasks_), curve_, work_per_cycle_, 1);
+}
+
+}  // namespace retask

@@ -1,0 +1,46 @@
+#include "retask/serve/protocol.hpp"
+
+#include <array>
+#include <istream>
+#include <ostream>
+
+#include "retask/common/error.hpp"
+
+namespace retask {
+
+bool read_frame(std::istream& in, std::string& payload) {
+  std::array<char, 4> header;
+  in.read(header.data(), 4);
+  if (in.gcount() == 0) return false;  // clean end of stream
+  require(in.gcount() == 4, "read_frame: truncated frame header");
+  const std::uint32_t length = static_cast<std::uint32_t>(static_cast<unsigned char>(header[0])) |
+                               (static_cast<std::uint32_t>(static_cast<unsigned char>(header[1]))
+                                << 8) |
+                               (static_cast<std::uint32_t>(static_cast<unsigned char>(header[2]))
+                                << 16) |
+                               (static_cast<std::uint32_t>(static_cast<unsigned char>(header[3]))
+                                << 24);
+  require(length <= kMaxFramePayload, "read_frame: frame payload exceeds the protocol cap");
+  payload.resize(length);
+  if (length > 0) {
+    in.read(payload.data(), static_cast<std::streamsize>(length));
+    require(static_cast<std::uint32_t>(in.gcount()) == length, "read_frame: truncated frame payload");
+  }
+  return true;
+}
+
+void write_frame(std::ostream& out, std::string_view payload) {
+  require(payload.size() <= kMaxFramePayload, "write_frame: payload exceeds the protocol cap");
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  const std::array<char, 4> header = {
+      static_cast<char>(length & 0xFF),
+      static_cast<char>((length >> 8) & 0xFF),
+      static_cast<char>((length >> 16) & 0xFF),
+      static_cast<char>((length >> 24) & 0xFF),
+  };
+  out.write(header.data(), 4);
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  require(static_cast<bool>(out), "write_frame: stream write failed");
+}
+
+}  // namespace retask

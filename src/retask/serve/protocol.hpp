@@ -1,0 +1,37 @@
+// Length-prefixed frame protocol of the serve mode.
+//
+// retask_serve speaks a byte-stream protocol designed for pipes and local
+// sockets: each message is one frame — a 4-byte little-endian unsigned
+// payload length followed by exactly that many payload bytes. Inside a
+// frame, requests and replies are single-line ASCII text (the grammar lives
+// in serve/server.hpp); the framing exists so that a client never has to
+// scan for delimiters, a reply can contain any byte, and a short read is
+// detectable as corruption instead of silently splitting a message.
+//
+// The reader enforces a payload cap so a corrupt or hostile length prefix
+// cannot turn into an attempted multi-gigabyte allocation.
+#ifndef RETASK_SERVE_PROTOCOL_HPP
+#define RETASK_SERVE_PROTOCOL_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace retask {
+
+/// Largest accepted frame payload in bytes. Requests are one short text
+/// line; a length prefix beyond this is treated as stream corruption.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
+
+/// Reads one frame into `payload` (reusing its capacity). Returns false on
+/// a clean end of stream (no bytes before the header); throws retask::Error
+/// on a truncated header/payload or an oversized length prefix.
+bool read_frame(std::istream& in, std::string& payload);
+
+/// Writes one frame. The caller flushes when a reply batch is complete.
+void write_frame(std::ostream& out, std::string_view payload);
+
+}  // namespace retask
+
+#endif  // RETASK_SERVE_PROTOCOL_HPP

@@ -15,6 +15,7 @@
 #include "retask/core/greedy.hpp"
 #include "retask/exp/workload.hpp"
 #include "retask/io/cli_options.hpp"
+#include "retask/serve/delta_solver.hpp"
 #include "retask/simd/backend.hpp"
 
 namespace retask {
@@ -381,6 +382,77 @@ std::vector<PropertyViolation> check_lockstep_diff(const InstanceSpec& spec,
   return violations;
 }
 
+std::vector<PropertyViolation> check_delta_diff(const InstanceSpec& spec,
+                                                const RejectionProblem& problem) {
+  std::vector<PropertyViolation> violations;
+  if (problem.processor_count() != 1) return violations;
+  const auto mismatch = [&](const std::string& detail) {
+    violations.push_back({"delta-diff", "delta-dp", detail});
+  };
+
+  // Stride 4 instead of the serving default: with fuzz-sized task sets every
+  // removal then lands between checkpoints, so the checkpointed replay (not
+  // just the base-state cold refill) is exercised.
+  DeltaSolver::Config config;
+  config.checkpoint_stride = 4;
+  DeltaSolver delta(problem.curve(), problem.work_per_cycle(), config);
+
+  // After every mutation the incremental table must reproduce a cold solve
+  // of the same resident set bit for bit.
+  const auto agrees = [&](const std::string& step) {
+    const RejectionSolution& live = delta.solution();
+    const RejectionSolution cold = ExactDpSolver().solve(delta.make_problem());
+    if (live.accepted != cold.accepted || live.energy != cold.energy ||
+        live.penalty != cold.penalty) {
+      mismatch(step + ": delta objective " + fmt(live.objective()) + " != cold " +
+               fmt(cold.objective()) + " (or accept masks differ)");
+      return false;
+    }
+    return true;
+  };
+
+  try {
+    const FrameTaskSet& tasks = problem.tasks();
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      delta.admit(tasks[i]);
+      if (!agrees("admit id " + std::to_string(tasks[i].id))) return violations;
+    }
+    // Seeded mutation walk (replays bit-for-bit from the instance spec):
+    // remove residents, readmit removed tasks, reprice survivors.
+    Rng rng(spec.seed ^ 0xde17ad1ffULL);
+    std::vector<FrameTask> removed;
+    const std::size_t steps = 2 * tasks.size();
+    for (std::size_t step = 0; step < steps; ++step) {
+      const std::int64_t op = rng.uniform_int(0, 2);
+      if (op == 0 && delta.size() > 0) {
+        const auto at = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(delta.size()) - 1));
+        const FrameTask victim = delta.resident()[at];
+        delta.remove(victim.id);
+        removed.push_back(victim);
+        if (!agrees("remove id " + std::to_string(victim.id))) return violations;
+      } else if (op == 1 && !removed.empty()) {
+        const auto at = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(removed.size()) - 1));
+        const FrameTask task = removed[at];
+        removed.erase(removed.begin() + static_cast<std::ptrdiff_t>(at));
+        delta.admit(task);
+        if (!agrees("readmit id " + std::to_string(task.id))) return violations;
+      } else if (op == 2 && delta.size() > 0) {
+        const auto at = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(delta.size()) - 1));
+        const FrameTask target = delta.resident()[at];
+        const double penalty = target.penalty * rng.uniform(0.25, 4.0);
+        delta.reprice(target.id, penalty);
+        if (!agrees("reprice id " + std::to_string(target.id))) return violations;
+      }
+    }
+  } catch (const std::exception& error) {
+    mismatch(std::string("delta walk threw: ") + error.what());
+  }
+  return violations;
+}
+
 FuzzReport run_differential_fuzz(const FuzzOptions& options, const SuiteFactory& factory) {
   require(options.rounds >= 0, "run_differential_fuzz: rounds must be non-negative");
   require(options.max_n >= 2, "run_differential_fuzz: max_n must be at least 2");
@@ -415,6 +487,11 @@ FuzzReport run_differential_fuzz(const FuzzOptions& options, const SuiteFactory&
           }
           if (options.lockstep_diff) {
             std::vector<PropertyViolation> extra = check_lockstep_diff(spec, problem);
+            found.insert(found.end(), std::make_move_iterator(extra.begin()),
+                         std::make_move_iterator(extra.end()));
+          }
+          if (options.delta_diff) {
+            std::vector<PropertyViolation> extra = check_delta_diff(spec, problem);
             found.insert(found.end(), std::make_move_iterator(extra.begin()),
                          std::make_move_iterator(extra.end()));
           }

@@ -70,6 +70,7 @@ struct FuzzOptions {
   bool sweep_cache = false; ///< also check warm-vs-cold sweep solve identity
   bool simd_diff = false;   ///< also check forced-scalar vs SIMD solve identity
   bool lockstep_diff = false; ///< also check batch-lockstep vs per-instance identity
+  bool delta_diff = false;  ///< also check serve-mode delta-solve vs cold identity
 };
 
 /// Warm-vs-cold sweep-cache check: solves a 3-point capacity sweep of
@@ -102,6 +103,18 @@ std::vector<PropertyViolation> check_simd_diff(const RejectionProblem& problem);
 /// only (returns empty otherwise).
 std::vector<PropertyViolation> check_lockstep_diff(const InstanceSpec& spec,
                                                    const RejectionProblem& problem);
+
+/// Serve-mode delta-solve vs cold-solve check: admits `problem`'s tasks one
+/// at a time into a DeltaSolver (checkpoint stride 4, so removals exercise
+/// the checkpointed replay path), then drives a seeded random walk of
+/// remove / readmit / reprice mutations over the resident set. After every
+/// step the incremental solution must be bitwise identical (accept mask,
+/// energy, penalty) to a cold ExactDpSolver solve of the same resident set;
+/// any difference is a "delta-diff" violation. The incremental path promises
+/// strict bit-identity, so the comparison uses exact double equality.
+/// Single-processor instances only (returns empty otherwise).
+std::vector<PropertyViolation> check_delta_diff(const InstanceSpec& spec,
+                                                const RejectionProblem& problem);
 
 /// One failing, minimized instance.
 struct FuzzCounterexample {

@@ -78,6 +78,29 @@ TEST(BitMatrix, ResetClearsAndResizes) {
   EXPECT_TRUE(m.test(5, 129));
 }
 
+TEST(BitMatrix, ResizeRowsPreservesExistingBitsAndZeroFillsNewRows) {
+  BitMatrix m;
+  m.reset(2, 100);  // two words per row
+  m.set(0, 0);
+  m.set(1, 99);
+
+  // Grow: the filled prefix survives untouched, appended rows start clear.
+  m.resize_rows(5);
+  EXPECT_TRUE(m.test(0, 0));
+  EXPECT_TRUE(m.test(1, 99));
+  for (std::size_t r = 2; r < 5; ++r) {
+    for (std::size_t c = 0; c < 100; ++c) EXPECT_FALSE(m.test(r, c)) << r << "," << c;
+  }
+
+  // Shrink, then regrow over the dropped range: shrinking trims the storage,
+  // so the regrown rows must come back all-zero, not with their old bits.
+  m.set(4, 50);
+  m.resize_rows(3);
+  m.resize_rows(5);
+  EXPECT_FALSE(m.test(4, 50));
+  EXPECT_TRUE(m.test(1, 99));
+}
+
 TEST(BitMatrix, ZeroRowsIsUsableAfterReset) {
   BitMatrix m;
   m.reset(0, 64);  // empty table (e.g. every task filtered out)

@@ -1,0 +1,164 @@
+// DeltaSolver: the serve-mode incremental exact solver. The contract under
+// test is strict bit-identity with cold ExactDpSolver solves over the same
+// resident set after every mutation — admits (one relaxation row), removals
+// and reprices (checkpointed replay), and the cold-fall path (change inside
+// the first checkpoint stride).
+#include "retask/serve/delta_solver.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "retask/common/error.hpp"
+#include "retask/common/rng.hpp"
+#include "retask/core/exact_dp.hpp"
+#include "retask/power/polynomial_power.hpp"
+#include "retask/task/generator.hpp"
+
+namespace retask {
+namespace {
+
+EnergyCurve xscale_curve() {
+  return EnergyCurve(PolynomialPowerModel::xscale(), 1.0, IdleDiscipline::kDormantEnable);
+}
+
+constexpr double kWpc = 1.0 / 200.0;  // 200 cycles fit at top speed
+
+void expect_matches_cold(const DeltaSolver& delta, const char* where) {
+  const RejectionSolution cold = ExactDpSolver().solve(delta.make_problem());
+  const RejectionSolution& live = delta.solution();
+  EXPECT_EQ(live.accepted, cold.accepted) << where;
+  EXPECT_EQ(live.energy, cold.energy) << where;
+  EXPECT_EQ(live.penalty, cold.penalty) << where;
+}
+
+std::vector<FrameTask> mixed_tasks() {
+  // Loads past capacity so some admissions force rejections/evictions.
+  return {{1, 80, 0.6}, {2, 120, 1.5}, {3, 40, 0.2}, {4, 90, 2.0},
+          {5, 60, 0.4}, {6, 150, 3.0}, {7, 30, 0.1}, {8, 70, 0.9}};
+}
+
+TEST(DeltaSolver, AdmitMatchesColdSolveStepByStep) {
+  DeltaSolver delta(xscale_curve(), kWpc);
+  for (const FrameTask& task : mixed_tasks()) {
+    const RejectionSolution& live = delta.admit(task);
+    EXPECT_EQ(live.accepted.size(), delta.size());
+    expect_matches_cold(delta, "admit");
+  }
+  EXPECT_EQ(delta.delta_hits(), mixed_tasks().size());
+  EXPECT_EQ(delta.cold_falls(), 0u);
+}
+
+TEST(DeltaSolver, RemoveMatchesColdSolveAtCheckpointBoundaries) {
+  DeltaSolver::Config config;
+  config.checkpoint_stride = 4;
+  // Removal indices straddling the stride: before the first checkpoint
+  // (cold fall), exactly at one, and between two.
+  for (const int victim : {1, 4, 5, 8}) {
+    DeltaSolver delta(xscale_curve(), kWpc, config);
+    for (const FrameTask& task : mixed_tasks()) delta.admit(task);
+    delta.remove(victim);
+    EXPECT_FALSE(delta.contains(victim));
+    expect_matches_cold(delta, "remove");
+  }
+}
+
+TEST(DeltaSolver, RepriceMatchesColdSolve) {
+  DeltaSolver::Config config;
+  config.checkpoint_stride = 4;
+  DeltaSolver delta(xscale_curve(), kWpc, config);
+  for (const FrameTask& task : mixed_tasks()) delta.admit(task);
+  // Cheap -> expensive flips the verdict for a previously rejected task.
+  delta.reprice(6, 50.0);
+  expect_matches_cold(delta, "reprice up");
+  EXPECT_TRUE(delta.solution().accepted[delta.index_of(6)]);
+  delta.reprice(6, 1e-3);
+  expect_matches_cold(delta, "reprice down");
+}
+
+TEST(DeltaSolver, ChangeInsideFirstStrideIsACountedColdFall) {
+  DeltaSolver::Config config;
+  config.checkpoint_stride = 4;
+  DeltaSolver delta(xscale_curve(), kWpc, config);
+  for (const FrameTask& task : mixed_tasks()) delta.admit(task);
+  const std::uint64_t colds = delta.cold_falls();
+  delta.remove(1);  // index 0: no checkpoint survives
+  EXPECT_EQ(delta.cold_falls(), colds + 1);
+  expect_matches_cold(delta, "cold fall");
+}
+
+TEST(DeltaSolver, DrainToEmptyAndRefill) {
+  DeltaSolver delta(xscale_curve(), kWpc);
+  for (const FrameTask& task : mixed_tasks()) delta.admit(task);
+  for (const FrameTask& task : mixed_tasks()) {
+    delta.remove(task.id);
+    expect_matches_cold(delta, "drain");
+  }
+  EXPECT_EQ(delta.size(), 0u);
+  EXPECT_TRUE(delta.solution().accepted.empty());
+  EXPECT_EQ(delta.accepted_load(), 0);
+  delta.admit({42, 100, 1.0});
+  expect_matches_cold(delta, "refill");
+  EXPECT_TRUE(delta.solution().accepted[0]);
+}
+
+TEST(DeltaSolver, InfeasibleTaskIsAlwaysRejected) {
+  DeltaSolver delta(xscale_curve(), kWpc);
+  // More cycles than the platform fits at top speed: must reject, and the
+  // penalty must show up in the objective.
+  const RejectionSolution& sol = delta.admit({1, 10000, 5.0});
+  EXPECT_FALSE(sol.accepted[0]);
+  EXPECT_EQ(sol.penalty, 5.0);
+  expect_matches_cold(delta, "infeasible");
+}
+
+TEST(DeltaSolver, RejectsDuplicateAndUnknownIds) {
+  DeltaSolver delta(xscale_curve(), kWpc);
+  delta.admit({1, 50, 1.0});
+  EXPECT_THROW(delta.admit({1, 60, 2.0}), Error);
+  EXPECT_THROW(delta.remove(99), Error);
+  EXPECT_THROW(delta.reprice(99, 1.0), Error);
+  // Failed requests leave the resident set untouched.
+  EXPECT_EQ(delta.size(), 1u);
+  expect_matches_cold(delta, "after errors");
+}
+
+TEST(DeltaSolver, RandomWalkStaysBitIdenticalToColdSolves) {
+  DeltaSolver::Config config;
+  config.checkpoint_stride = 4;
+  DeltaSolver delta(xscale_curve(), kWpc, config);
+  Rng rng(2026);
+  int next_id = 1;
+  for (int step = 0; step < 200; ++step) {
+    const std::int64_t op = rng.uniform_int(0, 2);
+    if (op == 0 || delta.size() == 0) {
+      delta.admit({next_id++, rng.uniform_int(10, 220), rng.uniform(0.05, 3.0)});
+    } else if (op == 1) {
+      const auto at = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(delta.size()) - 1));
+      delta.remove(delta.resident()[at].id);
+    } else {
+      const auto at = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(delta.size()) - 1));
+      delta.reprice(delta.resident()[at].id, rng.uniform(0.05, 3.0));
+    }
+    expect_matches_cold(delta, "walk");
+    if (HasFailure()) break;
+  }
+  EXPECT_GT(delta.delta_hits(), 0u);
+}
+
+TEST(DeltaSolver, AssignedSpeedMatchesPlanAndLoad) {
+  DeltaSolver delta(xscale_curve(), kWpc);
+  delta.admit({1, 100, 5.0});
+  ASSERT_TRUE(delta.solution().accepted[0]);
+  EXPECT_EQ(delta.accepted_load(), 100);
+  const double speed = assigned_speed(delta.curve(), kWpc, delta.accepted_load());
+  EXPECT_GT(speed, 0.0);
+  EXPECT_LE(speed, delta.curve().model().max_speed() + 1e-12);
+  EXPECT_EQ(assigned_speed(delta.curve(), kWpc, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace retask

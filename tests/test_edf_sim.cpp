@@ -176,6 +176,50 @@ TEST(EdfSim, ProcrastinationStressNoMissesAcrossRandomSets) {
   }
 }
 
+TEST(EdfSim, DeadlineTieBreakIsPermutationInvariant) {
+  // At t=50 task 0 (released at 0, 20 work units left after preemption) ties
+  // on deadline 100 with task 1's second job (released at 50). The tie must
+  // resolve FIFO by release — never by the position of the task in the input
+  // vector, which an earlier comparator used and which made the schedule
+  // (here: max_response 70 vs 80) depend on input permutation.
+  const PeriodicTaskSet forward({{0, 60, 100, 0.0}, {1, 10, 50, 0.0}});
+  const PeriodicTaskSet reversed({{1, 10, 50, 0.0}, {0, 60, 100, 0.0}});
+  const EdfSimConfig config{1.0, 1.0, 100.0};
+  const EnergyCurve curve = xscale_curve(100.0, IdleDiscipline::kDormantEnable);
+  const EdfSimResult f = simulate_edf(forward, {}, config, curve);
+  const EdfSimResult r = simulate_edf(reversed, {}, config, curve);
+  EXPECT_EQ(f.deadline_misses, 0);
+  EXPECT_NEAR(f.max_response, 70.0, 1e-9);  // FIFO: the t=0 job finishes first
+  // The permuted input must reproduce the schedule exactly, not just nearly.
+  EXPECT_EQ(f.deadline_misses, r.deadline_misses);
+  EXPECT_EQ(f.jobs_released, r.jobs_released);
+  EXPECT_EQ(f.busy_time, r.busy_time);
+  EXPECT_EQ(f.idle_time, r.idle_time);
+  EXPECT_EQ(f.idle_intervals, r.idle_intervals);
+  EXPECT_EQ(f.max_response, r.max_response);
+  EXPECT_EQ(f.max_lateness, r.max_lateness);
+  EXPECT_EQ(f.energy, r.energy);
+}
+
+TEST(EdfSim, SimultaneousEqualDeadlineReleasesDispatchInIdOrder) {
+  // Overloaded: both jobs release at 0 with deadline 100 but only 30 work
+  // units fit before it. Dispatching task 0 (10 units) first finishes it on
+  // time — one miss; the opposite order would miss both. The id tie-break
+  // must pick task 0 regardless of input order.
+  const PeriodicTaskSet forward({{0, 10, 100, 0.0}, {1, 50, 100, 0.0}});
+  const PeriodicTaskSet reversed({{1, 50, 100, 0.0}, {0, 10, 100, 0.0}});
+  const EdfSimConfig config{0.3, 1.0, 100.0};
+  const EnergyCurve curve = xscale_curve(100.0, IdleDiscipline::kDormantEnable);
+  const EdfSimResult f = simulate_edf(forward, {}, config, curve);
+  const EdfSimResult r = simulate_edf(reversed, {}, config, curve);
+  EXPECT_EQ(f.deadline_misses, 1);
+  EXPECT_EQ(r.deadline_misses, 1);
+  EXPECT_EQ(f.max_response, r.max_response);
+  EXPECT_EQ(f.max_lateness, r.max_lateness);
+  EXPECT_EQ(f.busy_time, r.busy_time);
+  EXPECT_EQ(f.energy, r.energy);
+}
+
 TEST(EdfSim, ProcrastinationDegradesGracefullyWithoutSlack) {
   // U == speed: no spare capacity, the wake rule must fire immediately and
   // the schedule must still be the eager one (no misses, same busy time).

@@ -292,6 +292,41 @@ TEST(Json, ParsesTheSubsetTheRepoEmits) {
             "A");
 }
 
+TEST(Json, DecodesSurrogatePairsToNonBmpCodePoints) {
+  // U+1F600 (GRINNING FACE) as its UTF-16 escape pair, per RFC 8259 §7.
+  EXPECT_EQ(obs::parse_json("\"\\ud83d\\ude00\"").as_string(), "\xF0\x9F\x98\x80");
+  EXPECT_EQ(obs::parse_json("\"a\\uD83D\\uDE00b\"").as_string(),
+            "a\xF0\x9F\x98\x80"
+            "b");
+  // Supplementary-plane boundaries: U+10000 and U+10FFFF.
+  EXPECT_EQ(obs::parse_json("\"\\ud800\\udc00\"").as_string(), "\xF0\x90\x80\x80");
+  EXPECT_EQ(obs::parse_json("\"\\udbff\\udfff\"").as_string(), "\xF4\x8F\xBF\xBF");
+}
+
+TEST(Json, RejectsLoneAndMalformedSurrogates) {
+  EXPECT_THROW(obs::parse_json("\"\\ud83d\""), Error);         // lone high at end of string
+  EXPECT_THROW(obs::parse_json("\"\\ud83dxx\""), Error);       // high followed by raw text
+  EXPECT_THROW(obs::parse_json("\"\\ud83d\\n\""), Error);      // high followed by another escape
+  EXPECT_THROW(obs::parse_json("\"\\ud83d\\ud83d\""), Error);  // high followed by high
+  EXPECT_THROW(obs::parse_json("\"\\ude00\""), Error);         // lone low
+}
+
+TEST(Trace, NonBmpEventNamesRoundTripThroughChromeJson) {
+  obs::set_trace_enabled(true);
+  obs::clear_trace();
+  const std::string name = "test_obs.\xF0\x9F\x98\x80.kernel";  // U+1F600 in the name
+  obs::emit_trace(name.c_str(), 5, 9);
+  obs::set_trace_enabled(false);
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const obs::JsonValue doc = obs::parse_json(os.str());
+  const obs::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->as_array().size(), 1u);
+  EXPECT_EQ(events->as_array()[0].find("name")->as_string(), name);
+  obs::clear_trace();
+}
+
 TEST(Json, RejectsMalformedInput) {
   EXPECT_THROW(obs::parse_json(""), Error);
   EXPECT_THROW(obs::parse_json("{"), Error);

@@ -42,6 +42,8 @@
 #include "retask/obs/metrics.hpp"
 #include "retask/obs/trace.hpp"
 #include "retask/sched/edf_sim.hpp"
+#include "retask/serve/delta_solver.hpp"
+#include "retask/serve/server.hpp"
 #include "retask/simd/backend.hpp"
 #include "retask/simd/kernels.hpp"
 #include "retask/task/generator.hpp"
@@ -59,7 +61,7 @@ using namespace retask;
 
 std::string default_out_path() {
   const std::string dir = RETASK_BENCH_REPORT_DIR_DEFAULT;
-  return dir.empty() ? "BENCH_PR6.json" : dir + "/BENCH_PR6.json";
+  return dir.empty() ? "BENCH_PR7.json" : dir + "/BENCH_PR7.json";
 }
 
 struct BenchCliOptions {
@@ -81,7 +83,7 @@ const char* kUsage =
 
 usage: retask_bench [options]
 
-  --out FILE         report JSON path (default bench/reports/BENCH_PR6.json
+  --out FILE         report JSON path (default bench/reports/BENCH_PR7.json
                      next to the sources; the directory is created)
   --baseline FILE    baseline JSON to compare against (default: the
                      checked-in bench/baseline/BENCH_BASELINE.json)
@@ -409,6 +411,92 @@ std::vector<Workload> build_workloads(int jobs) {
     workloads.push_back({"big_dp_wavefront_tiled", [with_mode](obs::Registry& metrics) {
                            obs::ActiveScope scope(metrics);
                            with_mode(WavefrontMode::kForce, 8);
+                         }});
+  }
+
+  {
+    // Serve-mode admission stream: one pinned op sequence (~70% admit, ~30%
+    // remove; membership decided by the rng alone, never by verdicts, so
+    // both runs replay the identical stream) against the incremental
+    // DeltaSolver (warm) and against a full cold exact-DP solve of the
+    // resident set per request (cold). The warm run also records
+    // admissions/sec and a p99 per-request latency from a log2 histogram.
+    struct ServeOp {
+      bool admit = true;
+      int id = 0;
+      Cycles cycles = 0;
+      double penalty = 0.0;
+    };
+    const auto ops = std::make_shared<std::vector<ServeOp>>();
+    {
+      Rng rng(61);
+      std::vector<int> resident;
+      int next_id = 1;
+      for (int i = 0; i < 400; ++i) {
+        if (resident.empty() || rng.uniform() < 0.7) {
+          const int id = next_id++;
+          resident.push_back(id);
+          ops->push_back({true, id, rng.uniform_int(50, 1500), rng.uniform(0.05, 3.0)});
+        } else {
+          const auto at = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(resident.size()) - 1));
+          ops->push_back({false, resident[at], 0, 0.0});
+          resident.erase(resident.begin() + static_cast<std::ptrdiff_t>(at));
+        }
+      }
+    }
+    const auto serve_curve = std::make_shared<EnergyCurve>(
+        *make_model_by_name("xscale"), 1.0, IdleDiscipline::kDormantEnable);
+    const double serve_wpc = serve_curve->model().max_speed() / 2000.0;
+    workloads.push_back({"serve_admissions_cold", [ops, serve_curve,
+                                                   serve_wpc](obs::Registry& metrics) {
+                           obs::ActiveScope scope(metrics);
+                           std::vector<FrameTask> resident;
+                           const ExactDpSolver solver;
+                           for (const ServeOp& op : *ops) {
+                             if (op.admit) {
+                               resident.push_back({op.id, op.cycles, op.penalty});
+                             } else {
+                               for (std::size_t i = 0; i < resident.size(); ++i) {
+                                 if (resident[i].id == op.id) {
+                                   resident.erase(resident.begin() +
+                                                  static_cast<std::ptrdiff_t>(i));
+                                   break;
+                                 }
+                               }
+                             }
+                             solver.solve(RejectionProblem(FrameTaskSet(resident), *serve_curve,
+                                                           serve_wpc, 1));
+                           }
+                         }});
+    workloads.push_back({"serve_admissions_warm", [ops, serve_curve,
+                                                   serve_wpc](obs::Registry& metrics) {
+                           obs::ActiveScope scope(metrics);
+                           DeltaSolver delta(*serve_curve, serve_wpc);
+                           ServeLoopStats latency;
+                           const auto begin = std::chrono::steady_clock::now();
+                           for (const ServeOp& op : *ops) {
+                             const auto start = std::chrono::steady_clock::now();
+                             if (op.admit) {
+                               delta.admit({op.id, op.cycles, op.penalty});
+                             } else {
+                               delta.remove(op.id);
+                             }
+                             latency.record_latency(static_cast<std::uint64_t>(
+                                 std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                     std::chrono::steady_clock::now() - start)
+                                     .count()));
+                           }
+                           const double elapsed =
+                               std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                             begin)
+                                   .count();
+                           RETASK_RECORD("serve.admissions_per_sec",
+                                         static_cast<std::int64_t>(
+                                             static_cast<double>(ops->size()) / elapsed));
+                           RETASK_RECORD("serve.request_p99_ns",
+                                         static_cast<std::int64_t>(
+                                             latency.latency_percentile_ns(0.99)));
                          }});
   }
 

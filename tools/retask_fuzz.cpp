@@ -57,6 +57,10 @@ usage: retask_fuzz [options]
   --lockstep-diff    also solve a same-shape fleet around every instance
                      through the lockstep batch solver (lanes 4 and 8, every
                      backend), requiring bit-identical per-lane solutions
+  --delta-diff       also replay every instance as a serve-mode admit /
+                     remove / reprice walk through the incremental
+                     DeltaSolver, requiring bit-identical solutions to a
+                     cold solve after every mutation
   --replay FILE      re-run one dumped counterexample and report
   --inject-broken    add a deliberately wrong solver (exact DP against an
                      off-by-one capacity); the sweep must catch it
@@ -110,6 +114,8 @@ FuzzCliOptions parse(const std::vector<std::string>& args) {
       options.fuzz.simd_diff = true;
     } else if (arg == "--lockstep-diff") {
       options.fuzz.lockstep_diff = true;
+    } else if (arg == "--delta-diff") {
+      options.fuzz.delta_diff = true;
     } else if (arg == "--replay") {
       options.replay_path = value(i, arg);
     } else if (arg == "--inject-broken") {
