@@ -24,6 +24,15 @@ Rng::Rng(std::uint64_t seed) {
   for (auto& word : state_) word = splitmix64(s);
 }
 
+std::uint64_t Rng::stream_seed(std::uint64_t base, std::uint64_t stream) {
+  // Jump the splitmix64 counter directly to position `stream` (the gamma
+  // increment is additive) and emit that one output.
+  std::uint64_t x = base + (stream + 1) * 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 Rng::result_type Rng::operator()() {
   const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
   const std::uint64_t t = state_[1] << 17;

@@ -24,6 +24,13 @@ class Rng {
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~0ULL; }
 
+  /// Derives the seed of an independent substream: output number `stream`
+  /// of the splitmix64 sequence anchored at `base`. Seeding an Rng with
+  /// stream_seed(base, k) gives every (instance, trajectory, ...) index its
+  /// own reproducible stream without consuming draws from any other — the
+  /// derivation the stochastic sweep pins for its jobs-invariance guarantee.
+  static std::uint64_t stream_seed(std::uint64_t base, std::uint64_t stream);
+
   /// Next 64 raw bits.
   result_type operator()();
 

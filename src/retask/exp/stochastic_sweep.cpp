@@ -1,0 +1,130 @@
+#include "retask/exp/stochastic_sweep.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "retask/common/error.hpp"
+#include "retask/common/parallel.hpp"
+#include "retask/core/algorithm_registry.hpp"
+#include "retask/core/solution.hpp"
+
+namespace retask {
+namespace {
+
+/// Per-instance accumulator slot, reduced in instance order.
+struct InstanceSlot {
+  OnlineStats rejection_rate;
+  OnlineStats acceptance;
+  std::vector<StochasticPolicyStats> policies;
+};
+
+void merge_policy(StochasticPolicyStats& into, const StochasticPolicyStats& from) {
+  into.energy.merge(from.energy);
+  into.ratio_to_clairvoyant.merge(from.ratio_to_clairvoyant);
+  into.completion.merge(from.completion);
+  into.deadline_misses += from.deadline_misses;
+  into.trajectories += from.trajectories;
+}
+
+}  // namespace
+
+StochasticSweepResult run_stochastic_sweep(const StochasticSweepConfig& config,
+                                           const PowerModel& model, int jobs) {
+  require(model.is_continuous(), "run_stochastic_sweep: continuous models only");
+  require(config.instances >= 1, "run_stochastic_sweep: at least one instance required");
+  require(config.trajectories >= 1, "run_stochastic_sweep: at least one trajectory required");
+  require(!config.policies.empty(), "run_stochastic_sweep: empty policy lineup");
+  require(config.ladder_levels >= 0, "run_stochastic_sweep: ladder_levels must be >= 0");
+  require(config.scenario.processor_count == 1,
+          "run_stochastic_sweep: single-processor scenarios only");
+  validate(config.distribution);
+
+  const FreqLadder ladder = config.ladder_levels > 0
+                                ? FreqLadder::from_model(model, config.ladder_levels)
+                                : FreqLadder::from_model(model, 1);
+  const FreqLadder* ladder_ptr = config.ladder_levels > 0 ? &ladder : nullptr;
+  const double expected_ratio = config.distribution.mean_ratio();
+
+  const auto instances = static_cast<std::size_t>(config.instances);
+  std::vector<InstanceSlot> slots(instances);
+
+  parallel_for(
+      instances,
+      [&](std::size_t k) {
+        InstanceSlot& slot = slots[k];
+        slot.policies.resize(config.policies.size());
+        for (std::size_t p = 0; p < config.policies.size(); ++p) {
+          slot.policies[p].policy = config.policies[p];
+        }
+
+        ScenarioConfig scenario = config.scenario;
+        scenario.seed = config.seed0 + k;
+        const RejectionProblem problem = make_scenario(scenario, model);
+        const std::unique_ptr<RejectionSolver> solver = make_solver(config.solver);
+        const RejectionSolution solution = solver->solve(problem);
+
+        std::vector<FrameTask> accepted;
+        accepted.reserve(problem.size());
+        for (std::size_t i = 0; i < problem.size(); ++i) {
+          if (solution.accepted[i]) accepted.push_back(problem.tasks()[i]);
+        }
+        const double n = static_cast<double>(problem.size());
+        const double acc = n > 0.0 ? static_cast<double>(accepted.size()) / n : 1.0;
+        slot.acceptance.add(acc);
+        slot.rejection_rate.add(1.0 - acc);
+
+        Rng trajectory_rng(Rng::stream_seed(config.trajectory_seed, k));
+        StochasticFrameConfig frame;
+        frame.ladder = ladder_ptr;
+        frame.expected_ratio = expected_ratio;
+
+        for (int r = 0; r < config.trajectories; ++r) {
+          const std::vector<Cycles> actual =
+              draw_trajectory(accepted, config.distribution, trajectory_rng);
+
+          // The CONTINUOUS clairvoyant optimum normalizes every policy of
+          // this trajectory: ladder levels lie on the model curve, so it is
+          // the lower bound for both backends (clairvoyant executed on a
+          // ladder is not — low-first emulation of a slow speed can cost
+          // more than running outright at the ladder's critical level).
+          frame.ladder = nullptr;
+          frame.policy = StochasticPolicy::kClairvoyant;
+          const StochasticFrameResult bound = simulate_frame_stochastic(
+              accepted, actual, problem.work_per_cycle(), problem.curve(), frame);
+          frame.ladder = ladder_ptr;
+
+          for (std::size_t p = 0; p < config.policies.size(); ++p) {
+            frame.policy = config.policies[p];
+            const StochasticFrameResult run =
+                frame.policy == StochasticPolicy::kClairvoyant && ladder_ptr == nullptr
+                    ? bound
+                    : simulate_frame_stochastic(accepted, actual, problem.work_per_cycle(),
+                                                problem.curve(), frame);
+            StochasticPolicyStats& stats = slot.policies[p];
+            stats.energy.add(run.energy);
+            stats.ratio_to_clairvoyant.add(
+                bound.energy > 0.0 ? run.energy / bound.energy : 1.0);
+            stats.completion.add(run.completion);
+            if (!run.deadline_met) ++stats.deadline_misses;
+            ++stats.trajectories;
+          }
+        }
+      },
+      jobs);
+
+  StochasticSweepResult result;
+  result.policies.resize(config.policies.size());
+  for (std::size_t p = 0; p < config.policies.size(); ++p) {
+    result.policies[p].policy = config.policies[p];
+  }
+  for (const InstanceSlot& slot : slots) {
+    result.rejection_rate.merge(slot.rejection_rate);
+    result.acceptance.merge(slot.acceptance);
+    for (std::size_t p = 0; p < result.policies.size(); ++p) {
+      merge_policy(result.policies[p], slot.policies[p]);
+    }
+  }
+  return result;
+}
+
+}  // namespace retask

@@ -1,0 +1,70 @@
+// Stochastic-execution sweep: the experiment-harness entry point of the
+// stochastic engine (sched/stochastic.hpp).
+//
+// One sweep point draws `instances` scenario instances (seeds seed0 + k),
+// solves each with an admission solver to fix the accepted set and the
+// rejection rate, then replays `trajectories` seeded actual-cycle
+// trajectories per instance through every requested policy — the SAME
+// trajectory for every policy, so per-policy energies are matched-pair
+// comparable. Instance k's trajectory stream is seeded with
+// Rng::stream_seed(trajectory_seed, k): the derivation depends only on the
+// instance index, never on the worker that runs it, and slots are reduced
+// in instance order, so every aggregate is bit-identical at any RETASK_JOBS
+// (the same guarantee exp/harness.hpp gives the deterministic sweeps).
+#ifndef RETASK_EXP_STOCHASTIC_SWEEP_HPP
+#define RETASK_EXP_STOCHASTIC_SWEEP_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "retask/common/stats.hpp"
+#include "retask/exp/workload.hpp"
+#include "retask/sched/stochastic.hpp"
+
+namespace retask {
+
+/// Knobs of one stochastic sweep point.
+struct StochasticSweepConfig {
+  /// Scenario family (task count, load, frame, penalties, idle discipline);
+  /// scenario.seed is ignored — instance k uses seed0 + k.
+  ScenarioConfig scenario;
+  /// Admission solver fixing the accepted set (core/algorithm_registry.hpp
+  /// name; the density greedy is the fast paper heuristic).
+  std::string solver = "greedy";
+  TrajectoryDistribution distribution;
+  std::vector<StochasticPolicy> policies = all_stochastic_policies();
+  /// 0 = continuous speeds; N >= 1 executes on FreqLadder::from_model(N).
+  int ladder_levels = 0;
+  int instances = 20;
+  int trajectories = 16;        ///< per instance
+  std::uint64_t seed0 = 1;      ///< scenario seeds seed0 + k
+  std::uint64_t trajectory_seed = 1;  ///< stream base for Rng::stream_seed
+};
+
+/// Aggregates of one policy over every (instance, trajectory) pair.
+struct StochasticPolicyStats {
+  StochasticPolicy policy = StochasticPolicy::kStatic;
+  OnlineStats energy;                 ///< frame energy per trajectory
+  OnlineStats ratio_to_clairvoyant;   ///< energy / CONTINUOUS clairvoyant lower bound
+                                      ///< (>= 1 on any backend; 1 when both idle)
+  OnlineStats completion;             ///< last-task completion time
+  std::int64_t deadline_misses = 0;
+  std::int64_t trajectories = 0;
+};
+
+/// Outcome of one sweep point.
+struct StochasticSweepResult {
+  OnlineStats rejection_rate;  ///< rejected task fraction per instance
+  OnlineStats acceptance;      ///< accepted task fraction per instance
+  std::vector<StochasticPolicyStats> policies;  ///< config.policies order
+};
+
+/// Runs the sweep point on `model` (continuous models only). `jobs` = 0 uses
+/// default_jobs(); any job count produces bit-identical aggregates.
+StochasticSweepResult run_stochastic_sweep(const StochasticSweepConfig& config,
+                                           const PowerModel& model, int jobs = 0);
+
+}  // namespace retask
+
+#endif  // RETASK_EXP_STOCHASTIC_SWEEP_HPP

@@ -7,6 +7,7 @@
 #include "retask/common/error.hpp"
 #include "retask/power/polynomial_power.hpp"
 #include "retask/power/table_power.hpp"
+#include "retask/sched/stochastic.hpp"
 
 namespace retask {
 namespace {
@@ -46,6 +47,16 @@ int parse_positive_int(const std::string& flag, const std::string& value) {
   return static_cast<int>(parsed);
 }
 
+std::uint64_t parse_seed(const std::string& flag, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  require(end != nullptr && *end == '\0' && !value.empty() && errno != ERANGE &&
+              value.find('-') == std::string::npos,
+          flag + " expects a non-negative integer seed, got '" + value + "'");
+  return static_cast<std::uint64_t>(parsed);
+}
+
 }  // namespace
 
 std::string cli_usage() {
@@ -70,6 +81,15 @@ usage: retask_cli --input FILE [options]
                       (default: RETASK_JOBS env var, else all hardware
                       threads; results are identical for every N)
   --csv               print the per-task decision table as CSV
+  --stochastic SPEC   frame mode, 1 processor, continuous models: after the
+                      solve, replay the accepted set with per-job actual
+                      cycles drawn from SPEC = KIND:LO,HI (kind uniform,
+                      normal or bimodal; LO,HI the ACET/WCET support) and
+                      print a per-policy mean-energy table
+  --trajectories K    stochastic replay: seeded trajectories (default 16)
+  --ladder N          stochastic replay: execute on an N-level frequency
+                      ladder (default 0 = ideal continuous speeds)
+  --traj-seed S       stochastic replay: trajectory-draw seed (default 1)
   --help              this text
 )";
 }
@@ -122,6 +142,14 @@ CliOptions parse_cli_options(const std::vector<std::string>& args) {
       options.sleep.switch_time = parse_non_negative_double(arg, next_value(i, arg));
     } else if (arg == "--csv") {
       options.csv = true;
+    } else if (arg == "--stochastic") {
+      options.stochastic = next_value(i, arg);
+    } else if (arg == "--trajectories") {
+      options.trajectories = parse_positive_int(arg, next_value(i, arg));
+    } else if (arg == "--ladder") {
+      options.ladder = parse_positive_int(arg, next_value(i, arg));
+    } else if (arg == "--traj-seed") {
+      options.trajectory_seed = parse_seed(arg, next_value(i, arg));
     } else {
       throw Error("unknown option '" + arg + "' (see --help)");
     }
@@ -130,6 +158,15 @@ CliOptions parse_cli_options(const std::vector<std::string>& args) {
   if (!options.help) {
     require(!options.input_path.empty(), "--input is required (see --help)");
     make_model_by_name(options.model);  // validate early
+    if (!options.stochastic.empty()) {
+      require(options.mode == CliOptions::Mode::kFrame,
+              "--stochastic replays the frame schedule; use --mode frame");
+      require(options.processors == 1, "--stochastic requires --processors 1");
+      require(options.model != "table5",
+              "--stochastic requires a continuous model (the --ladder flag supplies "
+              "the discreteness)");
+      validate(parse_distribution(options.stochastic));  // fail on bad SPEC early
+    }
   }
   return options;
 }

@@ -3,6 +3,7 @@
 #ifndef RETASK_IO_CLI_OPTIONS_HPP
 #define RETASK_IO_CLI_OPTIONS_HPP
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,6 +29,13 @@ struct CliOptions {
   int jobs = 0;             ///< worker threads for parallel paths; 0 = auto
   bool csv = false;         ///< emit the per-task decision table as CSV
   bool help = false;
+
+  // Stochastic replay of the accepted set (frame mode, single processor,
+  // continuous models): --stochastic KIND:LO,HI enables it.
+  std::string stochastic;            ///< empty = off; else "KIND:LO,HI"
+  int trajectories = 16;             ///< seeded trajectories to replay
+  int ladder = 0;                    ///< 0 = continuous; N >= 1 = N-level ladder
+  std::uint64_t trajectory_seed = 1; ///< trajectory-draw seed
 };
 
 /// Parses `args` (without argv[0]); throws retask::Error on unknown flags,

@@ -1,0 +1,92 @@
+#include "retask/power/freq_ladder.hpp"
+
+#include <algorithm>
+
+#include "retask/common/error.hpp"
+#include "retask/common/math.hpp"
+
+namespace retask {
+
+FreqLadder::FreqLadder(std::vector<LadderLevel> levels) : levels_(std::move(levels)) {
+  require(!levels_.empty(), "FreqLadder: at least one level required");
+  std::sort(levels_.begin(), levels_.end(),
+            [](const LadderLevel& a, const LadderLevel& b) { return a.speed < b.speed; });
+  double prev_speed = 0.0;
+  double prev_power = 0.0;
+  for (const LadderLevel& level : levels_) {
+    require(level.speed > prev_speed, "FreqLadder: speeds must be positive, strictly increasing");
+    require(level.power > prev_power, "FreqLadder: powers must be positive, strictly increasing");
+    prev_speed = level.speed;
+    prev_power = level.power;
+  }
+}
+
+FreqLadder FreqLadder::from_model(const PowerModel& model, int count) {
+  require(model.is_continuous(), "FreqLadder::from_model: continuous models only");
+  require(count >= 1, "FreqLadder::from_model: at least one level required");
+  const double smax = model.max_speed();
+  std::vector<LadderLevel> levels;
+  levels.reserve(static_cast<std::size_t>(count));
+  for (int i = 1; i <= count; ++i) {
+    const double speed = smax * static_cast<double>(i) / static_cast<double>(count);
+    levels.push_back({speed, model.power(speed)});
+  }
+  return FreqLadder(std::move(levels));
+}
+
+FreqLadder FreqLadder::from_table(const TablePowerModel& table) {
+  std::vector<LadderLevel> levels;
+  levels.reserve(table.points().size());
+  for (const OperatingPoint& point : table.points()) levels.push_back({point.speed, point.power});
+  return FreqLadder(std::move(levels));
+}
+
+std::size_t FreqLadder::level_at_or_above(double speed) const {
+  require(leq_tol(speed, max_speed()), "FreqLadder: speed exceeds the top level");
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].speed >= speed) return i;
+  }
+  return levels_.size() - 1;  // within tolerance of the top level
+}
+
+FreqLadder::Split FreqLadder::two_speed_split(double speed, double duration) const {
+  require(duration >= 0.0, "FreqLadder: split duration must be non-negative");
+  Split split;
+  const double clamped = clamp(speed, min_speed(), max_speed());
+  require(leq_tol(speed, max_speed()), "FreqLadder: speed exceeds the top level");
+  const std::size_t hi = level_at_or_above(clamped);
+  if (hi == 0 || levels_[hi].speed == clamped) {
+    // On a level (or clamped up to the bottom one): no time sharing.
+    split.lo = hi;
+    split.hi = hi;
+    split.t_lo = duration;
+    split.t_hi = 0.0;
+    return split;
+  }
+  const std::size_t lo = hi - 1;
+  const double s_lo = levels_[lo].speed;
+  const double s_hi = levels_[hi].speed;
+  split.lo = lo;
+  split.hi = hi;
+  split.t_hi = duration * (clamped - s_lo) / (s_hi - s_lo);
+  split.t_lo = duration - split.t_hi;
+  return split;
+}
+
+double FreqLadder::emulation_power(double speed) const {
+  const Split split = two_speed_split(speed, 1.0);
+  return split.t_lo * levels_[split.lo].power + split.t_hi * levels_[split.hi].power;
+}
+
+double FreqLadder::emulation_energy(double speed, double duration) const {
+  return emulation_power(speed) * duration;
+}
+
+TablePowerModel FreqLadder::as_table_model(double static_power) const {
+  std::vector<OperatingPoint> points;
+  points.reserve(levels_.size());
+  for (const LadderLevel& level : levels_) points.push_back({level.speed, level.power});
+  return TablePowerModel(std::move(points), static_power);
+}
+
+}  // namespace retask

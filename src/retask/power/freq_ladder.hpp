@@ -1,0 +1,92 @@
+// Discrete frequency/voltage ladder: the N operating levels a real DVS part
+// exposes, plus the classic two-speed emulation of intermediate speeds.
+//
+// The EnergyCurve already time-shares operating points for *offline* energy
+// accounting (on the lower convex hull, minimizing over the whole window).
+// The ladder is the *run-time* counterpart: a simulator that wants to run at
+// some average speed s must realize it by splitting the interval between the
+// two ladder levels adjacent to s — no hull shortcut, no window-global
+// optimization — which is exactly what CC-EDF/LA-EDF style reclamation does
+// on real frequency tables. Levels sampled from a convex power curve make
+// the emulated (chord) power at least the continuous power at every speed,
+// so quantization can only cost energy; the stochastic fuzz leans on the
+// feasibility side of that contract.
+#ifndef RETASK_POWER_FREQ_LADDER_HPP
+#define RETASK_POWER_FREQ_LADDER_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "retask/power/power_model.hpp"
+#include "retask/power/table_power.hpp"
+
+namespace retask {
+
+/// One ladder level: an execution speed and the total power drawn there.
+struct LadderLevel {
+  double speed = 0.0;
+  double power = 0.0;
+};
+
+/// An N-level frequency/voltage ladder, ascending in speed.
+class FreqLadder {
+ public:
+  /// Requires at least one level; speeds and powers must be positive and
+  /// strictly increasing after sorting by speed (a dominated level indicates
+  /// a configuration error, as in TablePowerModel).
+  explicit FreqLadder(std::vector<LadderLevel> levels);
+
+  /// Samples `count` equally spaced levels {smax/count, 2*smax/count, ...,
+  /// smax} on a continuous model's power curve — the standard "k-level
+  /// processor" of the discrete-frequency-selection literature. count == 1
+  /// degenerates to a single full-speed level. Requires a continuous model.
+  static FreqLadder from_model(const PowerModel& model, int count);
+
+  /// Adopts a discrete model's operating points verbatim.
+  static FreqLadder from_table(const TablePowerModel& table);
+
+  std::size_t size() const { return levels_.size(); }
+  const std::vector<LadderLevel>& levels() const { return levels_; }
+  double min_speed() const { return levels_.front().speed; }
+  double max_speed() const { return levels_.back().speed; }
+
+  /// Index of the slowest level whose speed is >= `speed` (quantize-up);
+  /// requires speed <= max_speed() within tolerance.
+  std::size_t level_at_or_above(double speed) const;
+
+  /// Two-speed realization of average speed `speed` over `duration`.
+  struct Split {
+    std::size_t lo = 0;  ///< lower adjacent level index
+    std::size_t hi = 0;  ///< upper adjacent level index (== lo on a level)
+    double t_lo = 0.0;   ///< time share at `lo`
+    double t_hi = 0.0;   ///< time share at `hi`
+  };
+
+  /// Splits `duration` between the two adjacent levels bracketing `speed` so
+  /// the executed work equals speed * duration exactly:
+  /// t_lo + t_hi == duration and s_lo*t_lo + s_hi*t_hi == speed * duration.
+  /// A speed below the bottom level is clamped up to it (the ladder cannot
+  /// run slower, so the whole duration executes at the bottom level and the
+  /// plan simply finishes early); requires speed <= max_speed() within
+  /// tolerance and duration >= 0.
+  Split two_speed_split(double speed, double duration) const;
+
+  /// Time-shared power of the two-speed emulation at average speed `speed`
+  /// (the chord through the adjacent levels; the level power on a level).
+  double emulation_power(double speed) const;
+
+  /// Closed-form energy of emulating `speed` for `duration`:
+  /// emulation_power(speed) * duration.
+  double emulation_energy(double speed, double duration) const;
+
+  /// The ladder as a discrete power model (for EnergyCurve interop);
+  /// `static_power` is the idle-but-awake draw, as in TablePowerModel.
+  TablePowerModel as_table_model(double static_power) const;
+
+ private:
+  std::vector<LadderLevel> levels_;  // ascending by speed
+};
+
+}  // namespace retask
+
+#endif  // RETASK_POWER_FREQ_LADDER_HPP

@@ -32,6 +32,7 @@
 #include "retask/core/solver.hpp"
 #include "retask/core/two_pe.hpp"
 #include "retask/exp/harness.hpp"
+#include "retask/exp/stochastic_sweep.hpp"
 #include "retask/exp/workload.hpp"
 #include "retask/obs/bench_compare.hpp"
 #include "retask/obs/json.hpp"
@@ -39,6 +40,7 @@
 #include "retask/obs/trace.hpp"
 #include "retask/power/critical_speed.hpp"
 #include "retask/power/energy_curve.hpp"
+#include "retask/power/freq_ladder.hpp"
 #include "retask/power/polynomial_power.hpp"
 #include "retask/power/power_model.hpp"
 #include "retask/power/table_power.hpp"
@@ -49,6 +51,7 @@
 #include "retask/sched/partition.hpp"
 #include "retask/sched/reclaim.hpp"
 #include "retask/sched/speed_schedule.hpp"
+#include "retask/sched/stochastic.hpp"
 #include "retask/task/generator.hpp"
 #include "retask/task/task.hpp"
 #include "retask/task/task_set.hpp"

@@ -8,25 +8,20 @@
 #include "retask/power/critical_speed.hpp"
 
 namespace retask {
-namespace {
 
-/// Execution-speed floor: critical speed on dormant-enable processors (free
-/// sleep makes slower speeds wasteful), the model's minimum otherwise.
-double speed_floor(const EnergyCurve& curve) {
+double reclaim_speed_floor(const EnergyCurve& curve) {
   if (curve.idle() == IdleDiscipline::kDormantEnable) return critical_speed(curve.model());
   return curve.model().min_speed();
 }
 
-/// Speed for `work` remaining within `window` time.
-double speed_for(const EnergyCurve& curve, double work, double window) {
+double reclaim_speed_for(const EnergyCurve& curve, double work, double window) {
   const double smax = curve.model().max_speed();
   require(window > 0.0, "reclaim: no time left in the window");
   const double demanded = work / window;
   require(leq_tol(demanded, smax), "reclaim: remaining work no longer fits the window");
-  return clamp(std::max(demanded, speed_floor(curve)), std::max(smax * 1e-12, 1e-300), smax);
+  return clamp(std::max(demanded, reclaim_speed_floor(curve)), std::max(smax * 1e-12, 1e-300),
+               smax);
 }
-
-}  // namespace
 
 ReclaimResult simulate_frame_reclaim(const std::vector<FrameTask>& accepted,
                                      const std::vector<Cycles>& actual_cycles,
@@ -62,7 +57,7 @@ ReclaimResult simulate_frame_reclaim(const std::vector<FrameTask>& accepted,
 
   switch (policy) {
     case ReclaimPolicy::kStatic: {
-      const double s = speed_for(curve, wcet_work, window);
+      const double s = reclaim_speed_for(curve, wcet_work, window);
       result.initial_speed = s;
       result.final_speed = s;
       now = actual_work / s;
@@ -70,7 +65,7 @@ ReclaimResult simulate_frame_reclaim(const std::vector<FrameTask>& accepted,
       break;
     }
     case ReclaimPolicy::kClairvoyant: {
-      const double s = speed_for(curve, actual_work, window);
+      const double s = reclaim_speed_for(curve, actual_work, window);
       result.initial_speed = s;
       result.final_speed = s;
       now = actual_work / s;
@@ -80,7 +75,7 @@ ReclaimResult simulate_frame_reclaim(const std::vector<FrameTask>& accepted,
     case ReclaimPolicy::kGreedy: {
       double remaining_wcet = wcet_work;
       for (std::size_t i = 0; i < accepted.size(); ++i) {
-        const double s = speed_for(curve, remaining_wcet, window - now);
+        const double s = reclaim_speed_for(curve, remaining_wcet, window - now);
         if (i == 0) result.initial_speed = s;
         result.final_speed = s;
         const double work_i = work_per_cycle * static_cast<double>(actual_cycles[i]);

@@ -56,6 +56,17 @@ ReclaimResult simulate_frame_reclaim(const std::vector<FrameTask>& accepted,
 std::vector<Cycles> draw_actual_cycles(const std::vector<FrameTask>& accepted, double ratio_lo,
                                        double ratio_hi, Rng& rng);
 
+/// Execution-speed floor: critical speed on dormant-enable processors (free
+/// sleep makes slower speeds wasteful), the model's minimum otherwise.
+/// Shared with the stochastic engine (sched/stochastic.hpp) so both pick
+/// identical speeds from identical state.
+double reclaim_speed_floor(const EnergyCurve& curve);
+
+/// Clamped speed for `work` remaining within `window` time:
+/// max(work / window, floor) clamped into (0, smax]. Throws when the window
+/// is exhausted or the demand exceeds the top speed (beyond tolerance).
+double reclaim_speed_for(const EnergyCurve& curve, double work, double window);
+
 }  // namespace retask
 
 #endif  // RETASK_SCHED_RECLAIM_HPP

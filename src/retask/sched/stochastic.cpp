@@ -1,0 +1,334 @@
+#include "retask/sched/stochastic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "retask/common/error.hpp"
+#include "retask/common/math.hpp"
+#include "retask/sched/reclaim.hpp"
+
+namespace retask {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+double normal_pdf(double z) { return std::exp(-0.5 * z * z) / std::sqrt(2.0 * kPi); }
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double draw_ratio(const TrajectoryDistribution& dist, Rng& rng) {
+  switch (dist.kind) {
+    case CycleDistribution::kUniform:
+      return rng.uniform(dist.ratio_lo, dist.ratio_hi);
+    case CycleDistribution::kTruncNormal: {
+      if (dist.stddev == 0.0) return clamp(dist.mean, dist.ratio_lo, dist.ratio_hi);
+      // Rejection sampling with a deterministic draw budget: the clamp
+      // fallback keeps the function total when the support carries almost no
+      // normal mass, without ever looping unboundedly.
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const double draw = rng.normal(dist.mean, dist.stddev);
+        if (draw >= dist.ratio_lo && draw <= dist.ratio_hi) return draw;
+      }
+      return clamp(dist.mean, dist.ratio_lo, dist.ratio_hi);
+    }
+    case CycleDistribution::kBimodal: {
+      const double width = dist.mode_width * (dist.ratio_hi - dist.ratio_lo);
+      if (rng.uniform() < dist.low_weight) {
+        return rng.uniform(dist.ratio_lo, dist.ratio_lo + width);
+      }
+      return rng.uniform(dist.ratio_hi - width, dist.ratio_hi);
+    }
+  }
+  throw Error("draw_ratio: unknown CycleDistribution");
+}
+
+}  // namespace
+
+double TrajectoryDistribution::mean_ratio() const {
+  switch (kind) {
+    case CycleDistribution::kUniform:
+      return 0.5 * (ratio_lo + ratio_hi);
+    case CycleDistribution::kTruncNormal: {
+      if (stddev == 0.0) return clamp(mean, ratio_lo, ratio_hi);
+      const double a = (ratio_lo - mean) / stddev;
+      const double b = (ratio_hi - mean) / stddev;
+      const double mass = normal_cdf(b) - normal_cdf(a);
+      if (mass < 1e-12) return clamp(mean, ratio_lo, ratio_hi);
+      return mean + stddev * (normal_pdf(a) - normal_pdf(b)) / mass;
+    }
+    case CycleDistribution::kBimodal: {
+      const double width = mode_width * (ratio_hi - ratio_lo);
+      return low_weight * (ratio_lo + 0.5 * width) +
+             (1.0 - low_weight) * (ratio_hi - 0.5 * width);
+    }
+  }
+  throw Error("mean_ratio: unknown CycleDistribution");
+}
+
+void validate(const TrajectoryDistribution& dist) {
+  require(dist.ratio_lo > 0.0 && dist.ratio_lo <= dist.ratio_hi && dist.ratio_hi <= 1.0,
+          "TrajectoryDistribution: ratios must satisfy 0 < lo <= hi <= 1");
+  if (dist.kind == CycleDistribution::kTruncNormal) {
+    require(std::isfinite(dist.mean), "TrajectoryDistribution: mean must be finite");
+    require(dist.stddev >= 0.0 && std::isfinite(dist.stddev),
+            "TrajectoryDistribution: stddev must be finite and non-negative");
+  }
+  if (dist.kind == CycleDistribution::kBimodal) {
+    require(dist.low_weight >= 0.0 && dist.low_weight <= 1.0,
+            "TrajectoryDistribution: low_weight must be in [0, 1]");
+    require(dist.mode_width > 0.0 && dist.mode_width <= 1.0,
+            "TrajectoryDistribution: mode_width must be in (0, 1]");
+  }
+}
+
+const char* to_string(CycleDistribution kind) {
+  switch (kind) {
+    case CycleDistribution::kUniform: return "uniform";
+    case CycleDistribution::kTruncNormal: return "normal";
+    case CycleDistribution::kBimodal: return "bimodal";
+  }
+  return "?";
+}
+
+TrajectoryDistribution parse_distribution(const std::string& text) {
+  TrajectoryDistribution dist;
+  const std::size_t colon = text.find(':');
+  const std::string kind = text.substr(0, colon);
+  if (kind == "uniform") {
+    dist.kind = CycleDistribution::kUniform;
+  } else if (kind == "normal") {
+    dist.kind = CycleDistribution::kTruncNormal;
+  } else if (kind == "bimodal") {
+    dist.kind = CycleDistribution::kBimodal;
+  } else {
+    throw Error("parse_distribution: unknown kind '" + kind +
+                "' (expected uniform | normal | bimodal)");
+  }
+  if (colon != std::string::npos) {
+    const std::string range = text.substr(colon + 1);
+    const std::size_t comma = range.find(',');
+    require(comma != std::string::npos, "parse_distribution: expected KIND:LO,HI");
+    try {
+      dist.ratio_lo = std::stod(range.substr(0, comma));
+      dist.ratio_hi = std::stod(range.substr(comma + 1));
+    } catch (const std::exception&) {
+      throw Error("parse_distribution: bad ratio bounds in '" + text + "'");
+    }
+    // Re-center the shape defaults on the requested support.
+    dist.mean = 0.5 * (dist.ratio_lo + dist.ratio_hi);
+    dist.stddev = 0.25 * (dist.ratio_hi - dist.ratio_lo);
+  }
+  validate(dist);
+  return dist;
+}
+
+std::vector<Cycles> draw_trajectory(const std::vector<FrameTask>& accepted,
+                                    const TrajectoryDistribution& dist, Rng& rng) {
+  validate(dist);
+  std::vector<Cycles> actual(accepted.size());
+  for (std::size_t i = 0; i < accepted.size(); ++i) {
+    const double ratio = draw_ratio(dist, rng);
+    actual[i] = std::max<Cycles>(
+        1, static_cast<Cycles>(static_cast<double>(accepted[i].cycles) * ratio));
+  }
+  return actual;
+}
+
+const char* to_string(StochasticPolicy policy) {
+  switch (policy) {
+    case StochasticPolicy::kStatic: return "static";
+    case StochasticPolicy::kGreedy: return "greedy";
+    case StochasticPolicy::kCycleConserving: return "cc-edf";
+    case StochasticPolicy::kLookahead: return "la-edf";
+    case StochasticPolicy::kExpected: return "expected";
+    case StochasticPolicy::kClairvoyant: return "clairvoyant";
+  }
+  return "?";
+}
+
+std::vector<StochasticPolicy> all_stochastic_policies() {
+  return {StochasticPolicy::kStatic,         StochasticPolicy::kGreedy,
+          StochasticPolicy::kCycleConserving, StochasticPolicy::kLookahead,
+          StochasticPolicy::kExpected,        StochasticPolicy::kClairvoyant};
+}
+
+StochasticFrameResult simulate_frame_stochastic(const std::vector<FrameTask>& accepted,
+                                                const std::vector<Cycles>& actual_cycles,
+                                                double work_per_cycle, const EnergyCurve& curve,
+                                                const StochasticFrameConfig& config) {
+  require(curve.model().is_continuous(),
+          "simulate_frame_stochastic: continuous (ideal) power models only "
+          "(discreteness comes from the FreqLadder)");
+  require(accepted.size() == actual_cycles.size(),
+          "simulate_frame_stochastic: actual-cycle vector size mismatch");
+  require(work_per_cycle > 0.0, "simulate_frame_stochastic: work_per_cycle must be positive");
+  if (config.policy == StochasticPolicy::kExpected) {
+    require(config.expected_ratio > 0.0 && config.expected_ratio <= 1.0,
+            "simulate_frame_stochastic: expected_ratio must be in (0, 1]");
+  }
+
+  double wcet_work = 0.0;
+  double actual_work = 0.0;
+  for (std::size_t i = 0; i < accepted.size(); ++i) {
+    validate(accepted[i]);
+    require(actual_cycles[i] > 0 && actual_cycles[i] <= accepted[i].cycles,
+            "simulate_frame_stochastic: actual cycles must be in [1, WCET]");
+    wcet_work += work_per_cycle * static_cast<double>(accepted[i].cycles);
+    actual_work += work_per_cycle * static_cast<double>(actual_cycles[i]);
+  }
+  const double window = curve.window();
+  const FreqLadder* ladder = config.ladder;
+  const double top = ladder ? ladder->max_speed() : curve.model().max_speed();
+  if (ladder) {
+    require(leq_tol(wcet_work / window, top),
+            "simulate_frame_stochastic: WCET load infeasible at the ladder's top level");
+  } else {
+    require(curve.feasible(wcet_work), "simulate_frame_stochastic: WCET load infeasible");
+  }
+
+  StochasticFrameResult result;
+  double now = 0.0;
+  double energy = 0.0;
+
+  if (accepted.empty()) {
+    result.deadline_met = true;
+    result.energy = curve.idle_cost(window);
+    return result;
+  }
+
+  const std::size_t n = accepted.size();
+  result.task_speeds.assign(n, 0.0);
+
+  // Continuous constant-speed policies reproduce simulate_frame_reclaim bit
+  // for bit: one division for the whole frame, not a per-task loop.
+  if (ladder == nullptr && (config.policy == StochasticPolicy::kStatic ||
+                            config.policy == StochasticPolicy::kClairvoyant)) {
+    const double plan_work =
+        config.policy == StochasticPolicy::kStatic ? wcet_work : actual_work;
+    const double s = reclaim_speed_for(curve, plan_work, window);
+    result.initial_speed = s;
+    result.final_speed = s;
+    std::fill(result.task_speeds.begin(), result.task_speeds.end(), s);
+    now = actual_work / s;
+    energy = (actual_work / s) * curve.model().power(s);
+    result.completion = now;
+    result.deadline_met = leq_tol(now, window, 1e-6);
+    result.energy = energy + curve.idle_cost(std::max(0.0, window - now));
+    return result;
+  }
+
+  const double floor = reclaim_speed_floor(curve);
+  // reclaim_speed_for generalized to a ladder-capped top speed; with
+  // top == smax the arithmetic (and therefore every bit) is identical.
+  const auto capped_speed = [&](double work, double span) {
+    require(span > 0.0, "simulate_frame_stochastic: no time left in the window");
+    const double demanded = work / span;
+    require(leq_tol(demanded, top),
+            "simulate_frame_stochastic: remaining work no longer fits the window");
+    return clamp(std::max(demanded, floor), std::max(top * 1e-12, 1e-300), top);
+  };
+
+  // Static-plan speed: kStatic's constant pace and the denominator of
+  // kCycleConserving's virtual deadlines F_i = (static work through i) / s0.
+  double s0 = 0.0;
+  if (config.policy == StochasticPolicy::kStatic ||
+      config.policy == StochasticPolicy::kCycleConserving) {
+    s0 = capped_speed(wcet_work, window);
+  }
+  double s_clairvoyant = 0.0;
+  if (config.policy == StochasticPolicy::kClairvoyant) {
+    s_clairvoyant = capped_speed(actual_work, window);
+  }
+
+  double remaining_wcet = wcet_work;  // worst-case work from the current task on
+  double plan_wcet = 0.0;             // static-plan work through the current task
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w_i = work_per_cycle * static_cast<double>(accepted[i].cycles);
+    const double a_i = work_per_cycle * static_cast<double>(actual_cycles[i]);
+    const double rest_after = remaining_wcet - w_i;
+    plan_wcet += w_i;
+
+    double s = 0.0;        // desired average speed of this task
+    double planned = w_i;  // work the execution interval is sized for
+    switch (config.policy) {
+      case StochasticPolicy::kStatic:
+        s = s0;
+        break;
+      case StochasticPolicy::kGreedy:
+        s = ladder ? capped_speed(remaining_wcet, window - now)
+                   : reclaim_speed_for(curve, remaining_wcet, window - now);
+        break;
+      case StochasticPolicy::kCycleConserving:
+        // Accrued slack funds the current task, bounded by its static-plan
+        // finish time — the task never finishes later than the static plan,
+        // so feasibility is inherited.
+        s = capped_speed(w_i, plan_wcet / s0 - now);
+        break;
+      case StochasticPolicy::kLookahead:
+        // Stretch to the latest completion that still lets every later task
+        // run at top speed; worst-case arrivals force top speed later, early
+        // completions lock in today's savings.
+        s = capped_speed(w_i, (window - rest_after / top) - now);
+        break;
+      case StochasticPolicy::kExpected: {
+        // Pace for the expected fraction of the remaining worst-case work.
+        // The lookahead term is the feasibility safety net for pacing below
+        // the full reclaim rate; at expected_ratio == 1 the paced speed IS
+        // the greedy reclaimer's, and skipping the (mathematically
+        // non-binding) safety max keeps the path bit-identical to kGreedy.
+        require(window - now > 0.0, "simulate_frame_stochastic: no time left in the window");
+        double demanded = (config.expected_ratio * remaining_wcet) / (window - now);
+        if (config.expected_ratio < 1.0) {
+          const double horizon = (window - rest_after / top) - now;
+          require(horizon > 0.0, "simulate_frame_stochastic: no time left in the window");
+          demanded = std::max(demanded, w_i / horizon);
+        }
+        require(leq_tol(demanded, top),
+                "simulate_frame_stochastic: remaining work no longer fits the window");
+        s = clamp(std::max(demanded, floor), std::max(top * 1e-12, 1e-300), top);
+        break;
+      }
+      case StochasticPolicy::kClairvoyant:
+        s = s_clairvoyant;
+        planned = a_i;
+        break;
+    }
+
+    double dt = 0.0;
+    double drawn = 0.0;
+    double avg_speed = s;
+    if (ladder == nullptr) {
+      dt = a_i / s;
+      drawn = dt * curve.model().power(s);
+    } else {
+      // Realize `s` on the ladder over the planned interval, low level
+      // first: an early completion truncates the expensive high-speed share,
+      // a worst-case run finishes exactly on plan.
+      const FreqLadder::Split split = ladder->two_speed_split(s, planned / s);
+      const std::vector<LadderLevel>& levels = ladder->levels();
+      const double low_work = split.t_lo * levels[split.lo].speed;
+      if (a_i <= low_work) {
+        dt = a_i / levels[split.lo].speed;
+        drawn = dt * levels[split.lo].power;
+      } else {
+        const double high_time = (a_i - low_work) / levels[split.hi].speed;
+        dt = split.t_lo + high_time;
+        drawn = split.t_lo * levels[split.lo].power + high_time * levels[split.hi].power;
+      }
+      avg_speed = a_i / dt;
+    }
+
+    if (i == 0) result.initial_speed = avg_speed;
+    result.final_speed = avg_speed;
+    result.task_speeds[i] = avg_speed;
+    energy += drawn;
+    now += dt;
+    remaining_wcet = rest_after;
+  }
+
+  result.completion = now;
+  result.deadline_met = leq_tol(now, window, 1e-6);
+  result.energy = energy + curve.idle_cost(std::max(0.0, window - now));
+  return result;
+}
+
+}  // namespace retask

@@ -1,0 +1,147 @@
+// Stochastic execution-time engine for frame schedules.
+//
+// The offline rejection solvers size everything for worst-case cycles; at
+// run time jobs usually finish early. This engine models that gap: per-job
+// actual cycles are drawn from seeded distributions (replayable bit-for-bit
+// through the deterministic Rng), and the accepted set is executed under a
+// spectrum of speed-selection policies ordered by how aggressively they
+// defer work to harvest future slack:
+//
+//  * kStatic           — the precomputed WCET speed; slack only lengthens
+//                        the idle tail. Identical to reclaim's kStatic.
+//  * kGreedy           — re-spread the REMAINING worst-case work evenly over
+//                        the remaining window at every completion. Identical
+//                        to reclaim's kGreedy.
+//  * kCycleConserving  — CC-EDF style: realized slack funds the CURRENT task
+//                        only, bounded by the static plan's per-task virtual
+//                        deadlines F_i (the task must still finish by its
+//                        static finish time, so feasibility is inherited
+//                        from the static plan).
+//  * kLookahead        — LA-EDF style: maximal deferral. The current task is
+//                        stretched to the latest start that still lets every
+//                        later task run at top speed; worst-case demand later
+//                        forces top speed, early completions lock in the
+//                        savings.
+//  * kExpected         — stochastic speed selection: pace for the EXPECTED
+//                        remaining work (expected_ratio * remaining WCET)
+//                        instead of the worst case, floored at kLookahead's
+//                        speed so worst-case feasibility is never bet away.
+//                        expected_ratio == 1 reproduces kGreedy exactly.
+//  * kClairvoyant      — knows actual cycles upfront; the per-trajectory
+//                        lower bound wherever the reclaim floor is the true
+//                        optimum (dormant-disable, or dormant-enable with
+//                        zero switch overheads — a non-amortized sleep
+//                        switch makes idle power effectively positive and
+//                        the critical-speed floor no longer optimal).
+//
+// Speeds are either continuous (ideal model, matching sched/reclaim.hpp
+// bit for bit for the three shared policies) or realized on a discrete
+// FreqLadder by two-speed emulation: each task's planned interval splits
+// between the two levels adjacent to the desired speed, LOW LEVEL FIRST, so
+// an early completion truncates the expensive high-speed share while a
+// worst-case run still finishes exactly on plan (ladder execution can never
+// miss a deadline the continuous plan meets).
+#ifndef RETASK_SCHED_STOCHASTIC_HPP
+#define RETASK_SCHED_STOCHASTIC_HPP
+
+#include <string>
+#include <vector>
+
+#include "retask/common/rng.hpp"
+#include "retask/power/energy_curve.hpp"
+#include "retask/power/freq_ladder.hpp"
+#include "retask/task/task.hpp"
+
+namespace retask {
+
+/// Shape of the per-job actual-cycle distribution (as a fraction of WCET).
+enum class CycleDistribution {
+  kUniform,      ///< uniform on [ratio_lo, ratio_hi]
+  kTruncNormal,  ///< normal(mean, stddev) truncated to [ratio_lo, ratio_hi]
+  kBimodal,      ///< beta-like two-mode mix hugging both ends of the support
+};
+
+/// Distribution of actual cycles as a ratio of WCET, drawn per job.
+struct TrajectoryDistribution {
+  CycleDistribution kind = CycleDistribution::kUniform;
+  double ratio_lo = 0.25;   ///< support lower bound, in (0, 1]
+  double ratio_hi = 1.0;    ///< support upper bound, >= ratio_lo
+  double mean = 0.5;        ///< kTruncNormal: location before truncation
+  double stddev = 0.15;     ///< kTruncNormal: scale; 0 = point mass at mean
+  double low_weight = 0.6;  ///< kBimodal: probability of the low mode
+  double mode_width = 0.25; ///< kBimodal: mode width as a fraction of the support
+
+  /// Expected ACET/WCET ratio (exact for kUniform/kBimodal, the analytic
+  /// truncated-normal mean for kTruncNormal). Feed this to
+  /// StochasticFrameConfig::expected_ratio for the kExpected policy.
+  double mean_ratio() const;
+};
+
+/// Throws retask::Error when the distribution parameters are inconsistent.
+void validate(const TrajectoryDistribution& dist);
+
+/// Parses "KIND:LO,HI" (kind in {uniform, normal, bimodal}) into a
+/// distribution with default shape parameters — the CLI/fuzz wire format.
+TrajectoryDistribution parse_distribution(const std::string& text);
+const char* to_string(CycleDistribution kind);
+
+/// Draws one actual-cycle trajectory for `accepted` (one draw per task, in
+/// order, through `rng`): each entry is in [1, WCET cycles].
+std::vector<Cycles> draw_trajectory(const std::vector<FrameTask>& accepted,
+                                    const TrajectoryDistribution& dist, Rng& rng);
+
+/// Speed-selection policy of the stochastic engine (ordered by increasing
+/// deferral; see the file comment).
+enum class StochasticPolicy {
+  kStatic,
+  kGreedy,
+  kCycleConserving,
+  kLookahead,
+  kExpected,
+  kClairvoyant,
+};
+
+const char* to_string(StochasticPolicy policy);
+
+/// All six policies in deferral order (the bench/test lineup).
+std::vector<StochasticPolicy> all_stochastic_policies();
+
+/// How one frame is executed.
+struct StochasticFrameConfig {
+  StochasticPolicy policy = StochasticPolicy::kStatic;
+  /// Discrete execution ladder; null runs continuous (ideal) speeds. The
+  /// ladder's top level is the engine's top speed (deferral and feasibility
+  /// are computed against it), so a ladder slower than the model's smax
+  /// tightens the schedule honestly.
+  const FreqLadder* ladder = nullptr;
+  /// kExpected only: expected ACET/WCET ratio used to pace speeds
+  /// (typically TrajectoryDistribution::mean_ratio()); must be in (0, 1].
+  double expected_ratio = 1.0;
+};
+
+/// Outcome of one frame executed with actual (possibly < WCET) cycles.
+struct StochasticFrameResult {
+  bool deadline_met = false;
+  double completion = 0.0;  ///< when the last task finishes
+  double energy = 0.0;      ///< busy energy + idle tail under the curve
+  double initial_speed = 0.0;
+  double final_speed = 0.0;
+  /// Average execution speed of each task (desired speed on the continuous
+  /// path; actual work / actual time under ladder emulation).
+  std::vector<double> task_speeds;
+};
+
+/// Executes `accepted` tasks (in order) whose true demands are
+/// `actual_cycles[i] <= accepted[i].cycles` under `config`. Requires a
+/// continuous power model (the ladder supplies the discreteness), matching
+/// sizes, positive actual cycles, and a WCET load feasible at the engine's
+/// top speed. With config.ladder == nullptr the kStatic / kGreedy /
+/// kClairvoyant results reproduce simulate_frame_reclaim bit for bit.
+StochasticFrameResult simulate_frame_stochastic(const std::vector<FrameTask>& accepted,
+                                                const std::vector<Cycles>& actual_cycles,
+                                                double work_per_cycle, const EnergyCurve& curve,
+                                                const StochasticFrameConfig& config);
+
+}  // namespace retask
+
+#endif  // RETASK_SCHED_STOCHASTIC_HPP

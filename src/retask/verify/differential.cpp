@@ -15,6 +15,9 @@
 #include "retask/core/greedy.hpp"
 #include "retask/exp/workload.hpp"
 #include "retask/io/cli_options.hpp"
+#include "retask/power/freq_ladder.hpp"
+#include "retask/sched/reclaim.hpp"
+#include "retask/sched/stochastic.hpp"
 #include "retask/serve/delta_solver.hpp"
 #include "retask/simd/backend.hpp"
 
@@ -140,6 +143,13 @@ InstanceSpec draw_spec(Rng& rng, const FuzzOptions& options) {
     spec.switch_time = rng.uniform(0.0, 0.3 * spec.frame);
   }
   spec.seed = rng();
+  // Stochastic trajectory provenance, drawn after `seed` so existing checks
+  // see bit-identical instances whether or not --stochastic-diff is on.
+  const char* stoch_kinds[] = {"uniform", "normal", "bimodal"};
+  spec.stoch_kind = stoch_kinds[rng.uniform_int(0, 2)];
+  spec.stoch_lo = rng.uniform(0.05, 0.6);
+  spec.stoch_hi = spec.stoch_lo + rng.uniform(0.0, 1.0 - spec.stoch_lo);
+  spec.stoch_seed = rng();
   return spec;
 }
 
@@ -453,6 +463,151 @@ std::vector<PropertyViolation> check_delta_diff(const InstanceSpec& spec,
   return violations;
 }
 
+std::vector<PropertyViolation> check_stochastic_diff(const InstanceSpec& spec,
+                                                     const RejectionProblem& problem) {
+  std::vector<PropertyViolation> violations;
+  if (problem.processor_count() != 1) return violations;
+  if (!problem.curve().model().is_continuous()) return violations;
+  // Every detail carries the distribution and trajectory seed: together with
+  // the serialized spec they replay the exact failing trajectory.
+  const std::string provenance = " [stoch " + spec.stoch_kind + ":" + fmt(spec.stoch_lo) + "," +
+                                 fmt(spec.stoch_hi) + " seed " +
+                                 std::to_string(spec.stoch_seed) + "]";
+  const auto mismatch = [&](const std::string& policy, const std::string& detail) {
+    violations.push_back({"stochastic-diff", policy, detail + provenance});
+  };
+
+  try {
+    // Admit through the density-greedy solver: the accepted set is feasible
+    // by the solver contract, which is what the reclamation engine requires.
+    const RejectionSolution solution = DensityGreedySolver().solve(problem);
+    std::vector<FrameTask> accepted;
+    accepted.reserve(problem.size());
+    for (std::size_t i = 0; i < problem.size(); ++i) {
+      if (solution.accepted[i]) accepted.push_back(problem.tasks()[i]);
+    }
+    if (accepted.empty()) return violations;
+
+    const TrajectoryDistribution dist = parse_distribution(
+        spec.stoch_kind + ":" + fmt(spec.stoch_lo) + "," + fmt(spec.stoch_hi));
+    const EnergyCurve& curve = problem.curve();
+    const double kappa = problem.work_per_cycle();
+    const FreqLadder ladder5 = FreqLadder::from_model(curve.model(), 5);
+    const FreqLadder ladder2 = FreqLadder::from_model(curve.model(), 2);
+
+    std::vector<Cycles> worst(accepted.size());
+    for (std::size_t i = 0; i < accepted.size(); ++i) worst[i] = accepted[i].cycles;
+
+    // The clairvoyant bound is a theorem only where its floor is the true
+    // optimum: dormant-disable (the convex extra-cost per work is minimized
+    // at the slowest feasible speed) and overhead-free dormant-enable (idle
+    // is free, the critical speed minimizes P(s)/s). With dormant-enable
+    // switch overheads a short idle tail never amortizes the switch, the
+    // effective idle power turns positive, and a longer-busy run can
+    // legitimately undercut the critical-speed "optimum".
+    const bool bound_is_exact = spec.idle == IdleDiscipline::kDormantDisable ||
+                                (spec.switch_energy == 0.0 && spec.switch_time == 0.0);
+
+    Rng rng(spec.stoch_seed);
+    for (int t = 0; t < 4; ++t) {
+      // Trajectory 0 is the degenerate all-WCET run (where ladder-dominates-
+      // continuous is a theorem); the rest are seeded draws.
+      const bool degenerate = t == 0;
+      const std::vector<Cycles> actual =
+          degenerate ? worst : draw_trajectory(accepted, dist, rng);
+      const std::string tag = "trajectory " + std::to_string(t);
+
+      StochasticFrameConfig frame;
+      frame.policy = StochasticPolicy::kClairvoyant;
+      const double bound = simulate_frame_stochastic(accepted, actual, kappa, curve, frame).energy;
+
+      for (const StochasticPolicy policy : all_stochastic_policies()) {
+        frame.policy = policy;
+        frame.expected_ratio = dist.mean_ratio();
+        frame.ladder = nullptr;
+        const StochasticFrameResult continuous =
+            simulate_frame_stochastic(accepted, actual, kappa, curve, frame);
+        if (!continuous.deadline_met) {
+          mismatch(to_string(policy), tag + ": continuous deadline miss, completion " +
+                                          fmt(continuous.completion));
+        }
+        if (bound_is_exact && continuous.energy < bound - 1e-9) {
+          mismatch(to_string(policy), tag + ": continuous energy " + fmt(continuous.energy) +
+                                          " undercuts the clairvoyant bound " + fmt(bound));
+        }
+        for (const FreqLadder* ladder : {&ladder5, &ladder2}) {
+          frame.ladder = ladder;
+          const StochasticFrameResult quantized =
+              simulate_frame_stochastic(accepted, actual, kappa, curve, frame);
+          const std::string level_tag =
+              tag + ": " + std::to_string(ladder->size()) + "-level ladder";
+          if (!quantized.deadline_met) {
+            mismatch(to_string(policy),
+                     level_tag + " deadline miss, completion " + fmt(quantized.completion));
+          }
+          if (bound_is_exact && quantized.energy < bound - 1e-9) {
+            mismatch(to_string(policy), level_tag + " energy " + fmt(quantized.energy) +
+                                            " undercuts the clairvoyant bound " + fmt(bound));
+          }
+          // The chord argument only covers speeds within the ladder's range:
+          // below the bottom level the ladder clamps up, finishes the task
+          // early, and hands later tasks extra slack — legitimately cheaper.
+          bool within_range = true;
+          for (const double speed : continuous.task_speeds) {
+            within_range = within_range && speed >= ladder->min_speed() - 1e-12;
+          }
+          if (degenerate && within_range && quantized.energy < continuous.energy - 1e-9) {
+            mismatch(to_string(policy),
+                     level_tag + " all-WCET energy " + fmt(quantized.energy) +
+                         " undercuts the continuous run " + fmt(continuous.energy) +
+                         " (the chord never undercuts the curve)");
+          }
+        }
+      }
+
+      // The continuous engine paths promise bit-identity with sched/reclaim.
+      const struct {
+        StochasticPolicy mine;
+        ReclaimPolicy theirs;
+      } pairs[] = {
+          {StochasticPolicy::kStatic, ReclaimPolicy::kStatic},
+          {StochasticPolicy::kGreedy, ReclaimPolicy::kGreedy},
+          {StochasticPolicy::kClairvoyant, ReclaimPolicy::kClairvoyant},
+      };
+      frame.ladder = nullptr;
+      for (const auto& pair : pairs) {
+        frame.policy = pair.mine;
+        const StochasticFrameResult mine =
+            simulate_frame_stochastic(accepted, actual, kappa, curve, frame);
+        const ReclaimResult theirs =
+            simulate_frame_reclaim(accepted, actual, kappa, curve, pair.theirs);
+        if (mine.energy != theirs.energy || mine.completion != theirs.completion) {
+          mismatch(to_string(pair.mine),
+                   tag + ": engine energy " + fmt(mine.energy) + " / completion " +
+                       fmt(mine.completion) + " != reclaim " + fmt(theirs.energy) + " / " +
+                       fmt(theirs.completion) + " (bit-identity promised)");
+        }
+      }
+      frame.policy = StochasticPolicy::kExpected;
+      frame.expected_ratio = 1.0;
+      const StochasticFrameResult paced =
+          simulate_frame_stochastic(accepted, actual, kappa, curve, frame);
+      frame.policy = StochasticPolicy::kGreedy;
+      const StochasticFrameResult greedy =
+          simulate_frame_stochastic(accepted, actual, kappa, curve, frame);
+      if (paced.energy != greedy.energy || paced.completion != greedy.completion) {
+        mismatch("expected", tag + ": expected_ratio=1 energy " + fmt(paced.energy) +
+                                 " / completion " + fmt(paced.completion) + " != greedy " +
+                                 fmt(greedy.energy) + " / " + fmt(greedy.completion) +
+                                 " (bit-identity promised)");
+      }
+    }
+  } catch (const std::exception& error) {
+    mismatch("engine", std::string("stochastic diff threw: ") + error.what());
+  }
+  return violations;
+}
+
 FuzzReport run_differential_fuzz(const FuzzOptions& options, const SuiteFactory& factory) {
   require(options.rounds >= 0, "run_differential_fuzz: rounds must be non-negative");
   require(options.max_n >= 2, "run_differential_fuzz: max_n must be at least 2");
@@ -492,6 +647,11 @@ FuzzReport run_differential_fuzz(const FuzzOptions& options, const SuiteFactory&
           }
           if (options.delta_diff) {
             std::vector<PropertyViolation> extra = check_delta_diff(spec, problem);
+            found.insert(found.end(), std::make_move_iterator(extra.begin()),
+                         std::make_move_iterator(extra.end()));
+          }
+          if (options.stochastic_diff) {
+            std::vector<PropertyViolation> extra = check_stochastic_diff(spec, problem);
             found.insert(found.end(), std::make_move_iterator(extra.begin()),
                          std::make_move_iterator(extra.end()));
           }
@@ -543,6 +703,10 @@ CounterexampleFile to_counterexample_file(const FuzzCounterexample& counterexamp
       {"cycle-spread", fmt(spec.cycle_spread)},
       {"task-count", std::to_string(spec.task_count)},
       {"seed", std::to_string(spec.seed)},
+      {"stoch-kind", spec.stoch_kind},
+      {"stoch-lo", fmt(spec.stoch_lo)},
+      {"stoch-hi", fmt(spec.stoch_hi)},
+      {"stoch-seed", std::to_string(spec.stoch_seed)},
       {"round", std::to_string(counterexample.round)},
   };
   for (const PropertyViolation& violation : counterexample.violations) {
@@ -578,14 +742,28 @@ ReplayCase from_counterexample_file(const CounterexampleFile& file) {
   spec.task_count = static_cast<int>(meta_double(file, "task-count",
                                                  static_cast<double>(file.tasks.size())));
   spec.seed = meta_uint64(file, "seed", 1);
+  replay.stochastic = file.find("stoch-kind") != nullptr;
+  spec.stoch_kind = meta_string(file, "stoch-kind", spec.stoch_kind);
+  spec.stoch_lo = meta_double(file, "stoch-lo", spec.stoch_lo);
+  spec.stoch_hi = meta_double(file, "stoch-hi", spec.stoch_hi);
+  spec.stoch_seed = meta_uint64(file, "stoch-seed", spec.stoch_seed);
   replay.tasks = file.tasks;
   return replay;
 }
 
 std::vector<PropertyViolation> check_replay(const ReplayCase& replay,
                                             const SuiteFactory& factory) {
-  return check_instance(build_problem(replay.spec, replay.tasks),
-                        build_suite(factory, replay.spec.processor_count));
+  const RejectionProblem problem = build_problem(replay.spec, replay.tasks);
+  std::vector<PropertyViolation> violations =
+      check_instance(problem, build_suite(factory, replay.spec.processor_count));
+  // Dumps carrying trajectory metadata re-run the stochastic cross-check, so
+  // a --stochastic-diff counterexample keeps failing on replay.
+  if (replay.stochastic) {
+    std::vector<PropertyViolation> extra = check_stochastic_diff(replay.spec, problem);
+    violations.insert(violations.end(), std::make_move_iterator(extra.begin()),
+                      std::make_move_iterator(extra.end()));
+  }
+  return violations;
 }
 
 }  // namespace retask

@@ -43,6 +43,13 @@ struct InstanceSpec {
   double cycle_spread = 8.0;
   PenaltyModel penalty_model = PenaltyModel::kUniform;
   std::uint64_t seed = 1;  ///< task-generator seed
+  // Stochastic execution-time provenance (--stochastic-diff): the actual-cycle
+  // distribution and the trajectory stream seed, so a counterexample replays
+  // the exact same early-completion trajectories.
+  std::string stoch_kind = "uniform";  ///< uniform | normal | bimodal
+  double stoch_lo = 0.25;              ///< ACET/WCET ratio support, lower edge
+  double stoch_hi = 1.0;               ///< ACET/WCET ratio support, upper edge
+  std::uint64_t stoch_seed = 1;        ///< trajectory-draw seed
 };
 
 /// Draws the task set `spec` describes (generator reuse: the same
@@ -71,6 +78,7 @@ struct FuzzOptions {
   bool simd_diff = false;   ///< also check forced-scalar vs SIMD solve identity
   bool lockstep_diff = false; ///< also check batch-lockstep vs per-instance identity
   bool delta_diff = false;  ///< also check serve-mode delta-solve vs cold identity
+  bool stochastic_diff = false; ///< also cross-check ladder vs continuous reclamation
 };
 
 /// Warm-vs-cold sweep-cache check: solves a 3-point capacity sweep of
@@ -116,6 +124,26 @@ std::vector<PropertyViolation> check_lockstep_diff(const InstanceSpec& spec,
 std::vector<PropertyViolation> check_delta_diff(const InstanceSpec& spec,
                                                 const RejectionProblem& problem);
 
+/// Ladder-quantized vs continuous stochastic-reclamation check: admits the
+/// instance through the density-greedy solver, draws seeded early-completion
+/// trajectories from the spec's ACET/WCET distribution (plus the degenerate
+/// all-WCET trajectory), and runs every stochastic policy on the continuous
+/// backend and on 5- and 2-level frequency ladders. Violations
+/// ("stochastic-diff"): any deadline miss on either backend, any run below
+/// the continuous clairvoyant lower bound (checked only where that bound is
+/// exact: dormant-disable, or dormant-enable without switch overheads — a
+/// non-amortized sleep switch makes idle power effectively positive and the
+/// critical-speed floor no longer optimal), a degenerate-trajectory ladder
+/// run cheaper than its continuous twin (the chord never undercuts the
+/// curve), or a bitwise divergence between the engine's continuous
+/// static/greedy/clairvoyant paths and sched/reclaim (and between
+/// expected_ratio == 1 pacing and the greedy reclaimer). Counterexample
+/// details embed the distribution and trajectory seed, so dumps replay the
+/// exact trajectories. Single-processor continuous-model instances only
+/// (returns empty otherwise).
+std::vector<PropertyViolation> check_stochastic_diff(const InstanceSpec& spec,
+                                                     const RejectionProblem& problem);
+
 /// One failing, minimized instance.
 struct FuzzCounterexample {
   int round = 0;            ///< failing round (replay: --seed + round)
@@ -154,6 +182,8 @@ CounterexampleFile to_counterexample_file(const FuzzCounterexample& counterexamp
 struct ReplayCase {
   InstanceSpec spec;
   FrameTaskSet tasks;
+  bool stochastic = false;  ///< dump carried stoch-* metadata: re-run the
+                            ///< stochastic cross-check on replay
 };
 ReplayCase from_counterexample_file(const CounterexampleFile& file);
 

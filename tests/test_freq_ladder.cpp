@@ -1,0 +1,147 @@
+// Tests for the discrete frequency ladder: validation, two-speed split
+// identities, closed-form emulation energy, dense-ladder convergence to the
+// continuous model, and the single-level degenerate case against the
+// fixed-speed frame simulator.
+#include "retask/power/freq_ladder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "retask/common/error.hpp"
+#include "retask/power/polynomial_power.hpp"
+#include "retask/power/table_power.hpp"
+#include "retask/sched/frame_sim.hpp"
+#include "retask/sched/speed_schedule.hpp"
+#include "retask/sched/stochastic.hpp"
+
+namespace retask {
+namespace {
+
+TEST(FreqLadder, ValidatesLevels) {
+  EXPECT_THROW(FreqLadder({}), Error);
+  EXPECT_THROW(FreqLadder({{0.0, 1.0}}), Error);                  // zero speed
+  EXPECT_THROW(FreqLadder({{0.5, 0.0}}), Error);                  // zero power
+  EXPECT_THROW(FreqLadder({{0.5, 1.0}, {0.5, 2.0}}), Error);      // duplicate speed
+  EXPECT_THROW(FreqLadder({{0.5, 2.0}, {1.0, 1.0}}), Error);      // dominated level
+  EXPECT_NO_THROW(FreqLadder({{1.0, 2.0}, {0.5, 1.0}}));          // sorted on construction
+}
+
+TEST(FreqLadder, FromModelSamplesTheCurve) {
+  const PolynomialPowerModel model = PolynomialPowerModel::xscale();
+  const FreqLadder ladder = FreqLadder::from_model(model, 5);
+  ASSERT_EQ(ladder.size(), 5u);
+  EXPECT_DOUBLE_EQ(ladder.min_speed(), 0.2);
+  EXPECT_DOUBLE_EQ(ladder.max_speed(), 1.0);
+  for (const LadderLevel& level : ladder.levels()) {
+    EXPECT_DOUBLE_EQ(level.power, model.power(level.speed));
+  }
+  EXPECT_THROW(FreqLadder::from_model(model, 0), Error);
+  EXPECT_THROW(FreqLadder::from_model(TablePowerModel::xscale5(), 5), Error);
+}
+
+TEST(FreqLadder, TwoSpeedSplitIsExact) {
+  const FreqLadder ladder = FreqLadder::from_model(PolynomialPowerModel::xscale(), 4);
+  // Between levels: shares sum to the duration and realize the work exactly.
+  const double s = 0.6;  // between 0.5 and 0.75
+  const FreqLadder::Split split = ladder.two_speed_split(s, 2.0);
+  EXPECT_EQ(split.lo + 1, split.hi);
+  EXPECT_NEAR(split.t_lo + split.t_hi, 2.0, 1e-12);
+  const double work = split.t_lo * ladder.levels()[split.lo].speed +
+                      split.t_hi * ladder.levels()[split.hi].speed;
+  EXPECT_NEAR(work, s * 2.0, 1e-12);
+  // On a level: no time sharing.
+  const FreqLadder::Split exact = ladder.two_speed_split(0.75, 1.0);
+  EXPECT_EQ(exact.lo, exact.hi);
+  EXPECT_DOUBLE_EQ(exact.t_lo, 1.0);
+  EXPECT_DOUBLE_EQ(exact.t_hi, 0.0);
+  // Below the bottom level: clamped up (the ladder cannot run slower).
+  const FreqLadder::Split low = ladder.two_speed_split(0.01, 1.0);
+  EXPECT_EQ(low.lo, 0u);
+  EXPECT_EQ(low.hi, 0u);
+  EXPECT_DOUBLE_EQ(low.t_lo, 1.0);
+  // Above the top level: rejected.
+  EXPECT_THROW(ladder.two_speed_split(1.5, 1.0), Error);
+}
+
+TEST(FreqLadder, EmulationEnergyMatchesClosedForm) {
+  const FreqLadder ladder = FreqLadder::from_model(PolynomialPowerModel::xscale(), 4);
+  const double s = 0.6;
+  const double s_lo = 0.5;
+  const double s_hi = 0.75;
+  const double p_lo = PolynomialPowerModel::xscale().power(s_lo);
+  const double p_hi = PolynomialPowerModel::xscale().power(s_hi);
+  // Chord through the adjacent levels: P = ((s_hi - s) P_lo + (s - s_lo) P_hi) / (s_hi - s_lo).
+  const double chord = ((s_hi - s) * p_lo + (s - s_lo) * p_hi) / (s_hi - s_lo);
+  EXPECT_NEAR(ladder.emulation_power(s), chord, 1e-12);
+  EXPECT_NEAR(ladder.emulation_energy(s, 3.0), chord * 3.0, 1e-12);
+  // Convexity of the sampled curve: the chord never undercuts the model.
+  for (double speed = 0.26; speed < 1.0; speed += 0.05) {
+    EXPECT_GE(ladder.emulation_power(speed),
+              PolynomialPowerModel::xscale().power(speed) - 1e-12);
+  }
+}
+
+TEST(FreqLadder, DenseLadderConvergesToContinuousModel) {
+  const PolynomialPowerModel model = PolynomialPowerModel::xscale();
+  const FreqLadder dense = FreqLadder::from_model(model, 512);
+  for (double speed = 0.05; speed <= 1.0; speed += 0.01) {
+    // Chord error of a convex curve is O(h^2); 512 levels put it well
+    // below 1e-4 W on the normalized XScale curve.
+    EXPECT_NEAR(dense.emulation_power(speed), model.power(std::max(speed, dense.min_speed())),
+                1e-4)
+        << "speed " << speed;
+  }
+}
+
+TEST(FreqLadder, SingleLevelLadderDegeneratesToFixedSpeedFrameSim) {
+  const PolynomialPowerModel model = PolynomialPowerModel::xscale();
+  const EnergyCurve curve(model, 1.0, IdleDiscipline::kDormantEnable);
+  const FreqLadder single = FreqLadder::from_model(model, 1);  // one level: smax
+  ASSERT_EQ(single.size(), 1u);
+  ASSERT_DOUBLE_EQ(single.max_speed(), 1.0);
+
+  const std::vector<FrameTask> tasks{{0, 30, 1.0}, {1, 25, 1.0}, {2, 20, 1.0}};
+  const std::vector<Cycles> actual{30, 25, 20};  // ACET == WCET
+  const double kappa = 0.01;
+
+  StochasticFrameConfig config;
+  config.policy = StochasticPolicy::kStatic;
+  config.ladder = &single;
+  const StochasticFrameResult stochastic =
+      simulate_frame_stochastic(tasks, actual, kappa, curve, config);
+
+  // The same workload through the fixed-speed frame simulator at smax.
+  const double work = kappa * 75.0;
+  SpeedSchedule schedule;
+  schedule.append(1.0, work / 1.0);
+  schedule.append(0.0, 1.0 - work / 1.0);
+  const FrameSimResult fixed = simulate_frame(tasks, kappa, schedule, curve);
+
+  EXPECT_TRUE(stochastic.deadline_met);
+  EXPECT_TRUE(fixed.deadline_met);
+  EXPECT_NEAR(stochastic.completion, fixed.completion_time, 1e-9);
+  EXPECT_NEAR(stochastic.energy, fixed.energy, 1e-9);
+  for (double speed : stochastic.task_speeds) EXPECT_DOUBLE_EQ(speed, 1.0);
+}
+
+TEST(FreqLadder, TableRoundTrip) {
+  const TablePowerModel table = TablePowerModel::xscale5();
+  const FreqLadder ladder = FreqLadder::from_table(table);
+  ASSERT_EQ(ladder.size(), table.points().size());
+  const TablePowerModel back = ladder.as_table_model(table.static_power());
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.points()[i].speed, table.points()[i].speed);
+    EXPECT_DOUBLE_EQ(back.points()[i].power, table.points()[i].power);
+  }
+}
+
+TEST(FreqLadder, LevelAtOrAboveQuantizesUp) {
+  const FreqLadder ladder = FreqLadder::from_model(PolynomialPowerModel::xscale(), 4);
+  EXPECT_EQ(ladder.level_at_or_above(0.1), 0u);
+  EXPECT_EQ(ladder.level_at_or_above(0.25), 0u);
+  EXPECT_EQ(ladder.level_at_or_above(0.26), 1u);
+  EXPECT_EQ(ladder.level_at_or_above(1.0), 3u);
+  EXPECT_THROW(ladder.level_at_or_above(1.2), Error);
+}
+
+}  // namespace
+}  // namespace retask

@@ -36,6 +36,7 @@
 #include "retask/core/greedy.hpp"
 #include "retask/core/lower_bound.hpp"
 #include "retask/exp/harness.hpp"
+#include "retask/exp/stochastic_sweep.hpp"
 #include "retask/exp/workload.hpp"
 #include "retask/io/cli_options.hpp"
 #include "retask/obs/bench_compare.hpp"
@@ -631,6 +632,34 @@ std::vector<Workload> build_workloads(int jobs) {
         solve_budgeted_dp(local);
       }
     });
+  }
+
+  {
+    // Stochastic reclamation sweep: one R18-style point — greedy admission,
+    // then matched seeded trajectories through the full six-policy lineup on
+    // the continuous backend and a 5-level ladder. Covers the whole
+    // stochastic engine (draws, deferral policies, two-speed emulation) in
+    // one deterministic workload.
+    workloads.push_back({"stochastic_sweep_r18", [jobs](obs::Registry& metrics) {
+                           obs::ActiveScope scope(metrics);
+                           const std::unique_ptr<PowerModel> model = make_model_by_name("xscale");
+                           StochasticSweepConfig config;
+                           config.scenario.task_count = 16;
+                           config.scenario.load = 1.2;
+                           config.scenario.resolution = 2000.0;
+                           config.solver = "greedy";
+                           config.instances = 10;
+                           config.trajectories = 16;
+                           config.seed0 = 71;
+                           config.trajectory_seed = 72;
+                           config.distribution.kind = CycleDistribution::kUniform;
+                           config.distribution.ratio_lo = 0.3;
+                           config.distribution.ratio_hi = 0.9;
+                           for (const int ladder_levels : {0, 5}) {
+                             config.ladder_levels = ladder_levels;
+                             run_stochastic_sweep(config, *model, jobs);
+                           }
+                         }});
   }
 
   {

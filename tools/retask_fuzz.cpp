@@ -61,6 +61,13 @@ usage: retask_fuzz [options]
                      remove / reprice walk through the incremental
                      DeltaSolver, requiring bit-identical solutions to a
                      cold solve after every mutation
+  --stochastic-diff  also draw seeded early-completion trajectories and
+                     cross-check ladder-quantized vs continuous reclamation
+                     policies: zero deadline misses on both backends, the
+                     continuous clairvoyant lower bound, and bit-identity of
+                     the engine's continuous paths with sched/reclaim;
+                     counterexample dumps embed the trajectory seed and
+                     distribution for exact replay
   --replay FILE      re-run one dumped counterexample and report
   --inject-broken    add a deliberately wrong solver (exact DP against an
                      off-by-one capacity); the sweep must catch it
@@ -116,6 +123,8 @@ FuzzCliOptions parse(const std::vector<std::string>& args) {
       options.fuzz.lockstep_diff = true;
     } else if (arg == "--delta-diff") {
       options.fuzz.delta_diff = true;
+    } else if (arg == "--stochastic-diff") {
+      options.fuzz.stochastic_diff = true;
     } else if (arg == "--replay") {
       options.replay_path = value(i, arg);
     } else if (arg == "--inject-broken") {
