@@ -117,57 +117,63 @@ std::vector<RejectionSolution> lockstep_exact_dp(
   // of all lanes for one 64-row chunk fused into a single batched call. The
   // rows needed are predicted at chunk start; the prediction is a superset
   // of the true need (the best objective only improves within a chunk), and
-  // E is pure, so extra evaluations cannot change a bit.
+  // E is pure, so extra evaluations cannot change a bit. Both the predict
+  // scan and the replay's row walk run off one select_mask_f64 word per
+  // lane per chunk: bit w - w0 is set iff total - kept < snapshot, which
+  // folds the -inf reachability skip into the bound compare, and ascending
+  // bit iteration visits exactly the rows the scalar scan visited, in the
+  // same order (rows the mask over-predicts are re-pruned against the live
+  // best, exactly as the scalar replay re-checks them).
   std::vector<double> total(m);
   std::vector<double> best_obj(m, kPosInf);
   std::vector<double> snapshot(m, kPosInf);
   std::vector<std::size_t> best_w(m, 0);
   std::vector<char> done(m, 0);
+  std::vector<std::uint64_t> lane_mask(m, 0);
   for (std::size_t k = 0; k < m; ++k) total[k] = chunk[k]->tasks().total_penalty();
   std::vector<Cycles> need_cycles;
   std::vector<double> need_energy;
-  std::vector<char> needed(64, 0);
   std::vector<double> energy_at(64, 0.0);
   for (std::size_t w0 = 0; w0 < width; w0 += 64) {
     const std::size_t w1 = std::min(width, w0 + 64);
-    std::fill(needed.begin(), needed.begin() + (w1 - w0), 0);
+    std::uint64_t need_mask = 0;
     bool all_done = true;
     for (std::size_t k = 0; k < m; ++k) {
+      lane_mask[k] = 0;
       if (done[k]) continue;
       all_done = false;
       snapshot[k] = best_obj[k];
-      for (std::size_t w = w0; w < w1 && w <= cap[k]; ++w) {
-        const double kept = arena[k * stride + w];
-        if (kept == kNegInf) continue;
-        if (total[k] - kept >= snapshot[k]) continue;
-        needed[w - w0] = 1;
-      }
+      if (w0 > cap[k]) continue;
+      const std::size_t rows = std::min(w1, cap[k] + 1) - w0;
+      lane_mask[k] =
+          kernels.select_mask_f64(arena.data() + k * stride + w0, rows, total[k], snapshot[k]);
+      need_mask |= lane_mask[k];
     }
     if (all_done) break;
     need_cycles.clear();
-    for (std::size_t w = w0; w < w1; ++w) {
-      if (needed[w - w0]) need_cycles.push_back(static_cast<Cycles>(w));
+    for (std::uint64_t bits = need_mask; bits != 0; bits &= bits - 1) {
+      need_cycles.push_back(static_cast<Cycles>(w0 + static_cast<std::size_t>(__builtin_ctzll(bits))));
     }
     if (!need_cycles.empty()) {
       need_energy.resize(need_cycles.size());
       chunk[0]->energy_of_cycles_batch(need_cycles.data(), need_energy.data(),
                                        need_cycles.size());
       std::size_t p = 0;
-      for (std::size_t w = w0; w < w1; ++w) {
-        if (needed[w - w0]) energy_at[w - w0] = need_energy[p++];
+      for (std::uint64_t bits = need_mask; bits != 0; bits &= bits - 1) {
+        energy_at[static_cast<std::size_t>(__builtin_ctzll(bits))] = need_energy[p++];
       }
       RETASK_COUNT("batch.select_energy_evals", need_cycles.size());
     }
     for (std::size_t k = 0; k < m; ++k) {
       if (done[k]) continue;
-      for (std::size_t w = w0; w < w1; ++w) {
-        if (w > cap[k]) break;
+      for (std::uint64_t bits = lane_mask[k]; bits != 0; bits &= bits - 1) {
+        const auto bit = static_cast<std::size_t>(__builtin_ctzll(bits));
+        const std::size_t w = w0 + bit;
         const double kept = arena[k * stride + w];
-        if (kept == kNegInf) continue;
         const double penalty = total[k] - kept;
         if (penalty >= best_obj[k]) continue;
         // penalty < best_obj[k] <= snapshot[k], so this row was predicted.
-        const double energy = energy_at[w - w0];
+        const double energy = energy_at[bit];
         if (energy >= best_obj[k]) {
           done[k] = 1;  // E non-decreasing: the serial sweep's early break
           break;

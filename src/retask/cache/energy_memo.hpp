@@ -29,7 +29,9 @@
 #include <array>
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "retask/task/task.hpp"
 
@@ -44,6 +46,18 @@ class EnergyMemo {
   EnergyMemo(const EnergyMemo&) = delete;
   EnergyMemo& operator=(const EnergyMemo&) = delete;
 
+  /// Switches lookups for cycles in [0, max_cycles] to a dense per-shard
+  /// array (indexed load + validity bit) instead of the hash map. The exact
+  /// select sweeps evaluate E over nearly every load in that range, often
+  /// millions of times per solve — the mp-scale local search alone replays
+  /// tens of millions of rows — and at that density the hash probe IS the
+  /// cost. Pure speedup: the stored values are the same bits either way.
+  /// Call before heavy use (entries already in the hash map are not
+  /// migrated — a later dense lookup recomputes them, bit-identically).
+  /// Requests beyond kDenseLimit entries are ignored and the memo stays on
+  /// the hash path; the bound may grow monotonically across calls.
+  void reserve_dense(Cycles max_cycles);
+
   /// Returns the memoized energy for `cycles`, calling `compute(cycles)` on
   /// a miss and recording the result in the calling thread's shard. Safe to
   /// call concurrently from any number of threads; obs counters
@@ -52,6 +66,20 @@ class EnergyMemo {
   double get_or_compute(Cycles cycles, const Fn& compute) {
     Shard* shard = local_shard();
     if (shard == nullptr) return compute(cycles);  // shard slots exhausted
+    const std::size_t width = dense_width_.load(std::memory_order_relaxed);
+    if (width != 0 && cycles >= 0 && static_cast<std::size_t>(cycles) < width) {
+      ensure_dense(*shard, width);
+      const auto w = static_cast<std::size_t>(cycles);
+      if ((shard->dense_set[w >> 6] >> (w & 63)) & 1u) {
+        count_hit();
+        return shard->dense[w];
+      }
+      count_miss();
+      const double energy = compute(cycles);
+      shard->dense[w] = energy;
+      shard->dense_set[w >> 6] |= std::uint64_t{1} << (w & 63);
+      return energy;
+    }
     const auto it = shard->values.find(cycles);
     if (it != shard->values.end()) {
       count_hit();
@@ -85,17 +113,29 @@ class EnergyMemo {
  private:
   struct Shard {
     std::unordered_map<Cycles, double> values;
+    std::vector<double> dense;              ///< energies for cycles < dense_width_
+    std::vector<std::uint64_t> dense_set;   ///< validity bitmap for `dense`
   };
 
   /// Threads ever touching one memo beyond this count fall back to the cold
   /// path; far above the worker-pool sizes the harness uses.
   static constexpr std::size_t kMaxShards = 256;
 
+  /// Densest range reserve_dense accepts: 2^22 entries = 32 MiB of doubles
+  /// per shard. Larger requests keep the hash path.
+  static constexpr std::size_t kDenseLimit = std::size_t{1} << 22;
+
   Shard* local_shard();
+  /// Grows the calling thread's shard-local dense arrays to `width` (the
+  /// shard is thread-private, so the resize cannot race; existing entries
+  /// and bits are preserved).
+  static void ensure_dense(Shard& shard, std::size_t width);
   static void count_hit();
   static void count_miss();
 
   std::array<std::atomic<Shard*>, kMaxShards> shards_{};
+  /// Dense-range width (max_cycles + 1); 0 = hash-only. Monotonic.
+  std::atomic<std::size_t> dense_width_{0};
 };
 
 }  // namespace retask

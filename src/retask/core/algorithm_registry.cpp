@@ -9,6 +9,7 @@
 #include "retask/core/fptas.hpp"
 #include "retask/core/greedy.hpp"
 #include "retask/core/leakage_aware.hpp"
+#include "retask/core/mp_scale.hpp"
 #include "retask/core/multiproc.hpp"
 
 namespace retask {
@@ -25,6 +26,7 @@ std::unique_ptr<RejectionSolver> make_solver(const std::string& name) {
   if (name == "mp-greedy") return std::make_unique<MultiProcGreedySolver>();
   if (name == "mp-rand") return std::make_unique<MultiProcRandSolver>();
   if (name == "mp-opt-exh") return std::make_unique<MultiProcExhaustiveSolver>();
+  if (name == "mp-scale") return std::make_unique<MultiProcScaleSolver>();
   if (name.rfind("fptas:", 0) == 0) {
     const std::string arg = name.substr(6);
     char* end = nullptr;
@@ -37,8 +39,8 @@ std::unique_ptr<RejectionSolver> make_solver(const std::string& name) {
 }
 
 std::vector<std::string> known_solver_names() {
-  return {"opt-dp",   "opt-exh",   "fptas:0.1", "greedy",  "ls-greedy", "all-accept",
-          "rand",     "mp-ltf-dp", "la-ltf-ff", "mp-greedy", "mp-rand", "mp-opt-exh"};
+  return {"opt-dp",   "opt-exh",   "fptas:0.1", "greedy",   "ls-greedy", "all-accept", "rand",
+          "mp-ltf-dp", "la-ltf-ff", "mp-greedy", "mp-rand", "mp-opt-exh", "mp-scale"};
 }
 
 bool is_multiprocessor_solver(const std::string& name) {
@@ -59,6 +61,7 @@ std::vector<std::unique_ptr<RejectionSolver>> standard_uniproc_lineup() {
 std::vector<std::unique_ptr<RejectionSolver>> standard_multiproc_lineup() {
   std::vector<std::unique_ptr<RejectionSolver>> lineup;
   lineup.push_back(make_solver("mp-ltf-dp"));
+  lineup.push_back(make_solver("mp-scale"));
   lineup.push_back(make_solver("mp-greedy"));
   lineup.push_back(make_solver("mp-rand"));
   return lineup;

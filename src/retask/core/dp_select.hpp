@@ -30,6 +30,7 @@
 #include <limits>
 #include <vector>
 
+#include "retask/simd/kernels.hpp"
 #include "retask/task/task.hpp"
 
 namespace retask {
@@ -53,17 +54,22 @@ DpSelectResult select_best_row(const std::vector<double>& kept, std::size_t cap,
                                double total_penalty, BatchEnergyFn&& energy_batch,
                                std::vector<Cycles>& batch_cycles,
                                std::vector<double>& batch_energy) {
-  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
   constexpr std::size_t kChunk = 64;
+  const simd::KernelTable& kernels = simd::kernels();
   DpSelectResult result;
   bool done = false;
   for (std::size_t chunk = 0; chunk <= cap && !done; chunk += kChunk) {
     const std::size_t end = std::min(cap, chunk + kChunk - 1);
+    // One vector mask per chunk instead of a scalar row loop; the kernel's
+    // total - kept[w] < best predicate folds the -inf reachability skip in
+    // (total - (-inf) == +inf never beats the bound).
+    std::uint64_t mask =
+        kernels.select_mask_f64(kept.data() + chunk, end - chunk + 1, total_penalty,
+                                result.best_objective);
     batch_cycles.clear();
-    for (std::size_t w = chunk; w <= end; ++w) {
-      if (kept[w] == kNegInf) continue;
-      if (total_penalty - kept[w] >= result.best_objective) continue;
-      batch_cycles.push_back(static_cast<Cycles>(w));
+    for (; mask != 0; mask &= mask - 1) {
+      const auto bit = static_cast<std::size_t>(__builtin_ctzll(mask));
+      batch_cycles.push_back(static_cast<Cycles>(chunk + bit));
     }
     if (batch_cycles.empty()) continue;
     batch_energy.resize(batch_cycles.size());

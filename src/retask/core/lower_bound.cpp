@@ -8,15 +8,19 @@
 #include "retask/common/math.hpp"
 
 namespace retask {
+namespace {
 
-double fractional_lower_bound(const RejectionProblem& problem) {
-  const std::size_t n = problem.size();
+/// Minimum of M * E(W / M) + cheapest fractional rejection over the tasks in
+/// `candidates` (problem task indices, any order), with accepted work capped
+/// at `cap`. The shared body of both public bounds: fractional_lower_bound
+/// passes every index, the multiprocessor bound the non-oversized subset.
+double relaxed_objective_min(const RejectionProblem& problem,
+                             const std::vector<std::size_t>& candidates, double cap) {
+  const std::size_t n = candidates.size();
   const double m = static_cast<double>(problem.processor_count());
-  const double cap = std::min(problem.total_work(), m * problem.curve().max_workload());
 
   // Density order (keep the highest penalty-per-work first).
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<std::size_t> order = candidates;
   std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     const FrameTask& ta = problem.tasks()[a];
     const FrameTask& tb = problem.tasks()[b];
@@ -47,12 +51,58 @@ double fractional_lower_bound(const RejectionProblem& problem) {
     return suffix_penalty[k + 1] + problem.tasks()[order[k]].penalty * fraction_rejected;
   };
 
+  // Energy through the certified convex minorant: the Jensen step
+  // sum_p E(W_p) >= M * E(W / M) and the golden-section minimization below
+  // both require convexity, which energy() itself lacks under dormant-enable
+  // switch overheads (convex_floor falls back to the execution-only LP
+  // relaxation there and equals energy() everywhere else).
   const auto objective = [&](double w) {
-    return m * problem.curve().energy(w / m) + rejected_at(w);
+    return m * problem.curve().convex_floor(w / m) + rejected_at(w);
   };
 
   const double w_star = minimize_unimodal(objective, 0.0, cap, 1e-10 * std::max(cap, 1.0));
   return std::min({objective(w_star), objective(0.0), objective(cap)});
+}
+
+}  // namespace
+
+double fractional_lower_bound(const RejectionProblem& problem) {
+  const double m = static_cast<double>(problem.processor_count());
+  const double cap = std::min(problem.total_work(), m * problem.curve().max_workload());
+  std::vector<std::size_t> candidates(problem.size());
+  std::iota(candidates.begin(), candidates.end(), std::size_t{0});
+  return relaxed_objective_min(problem, candidates, cap);
+}
+
+MultiProcBound multiproc_lower_bound_detail(const RejectionProblem& problem) {
+  const double m = static_cast<double>(problem.processor_count());
+  const Cycles per_pe_capacity = problem.cycle_capacity();
+
+  // Placement constraint, dualized away: a task with more cycles than one
+  // processor's capacity is rejected in every partitioned solution (the same
+  // integral predicate the exact DP uses to prune it), so its penalty is a
+  // certain cost and it leaves the relaxation.
+  MultiProcBound bound;
+  std::vector<std::size_t> candidates;
+  candidates.reserve(problem.size());
+  double candidate_work = 0.0;
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    if (problem.tasks()[i].cycles > per_pe_capacity) {
+      bound.forced_penalty += problem.tasks()[i].penalty;
+      ++bound.forced_count;
+    } else {
+      candidates.push_back(i);
+      candidate_work += problem.work_of(i);
+    }
+  }
+
+  const double cap = std::min(candidate_work, m * problem.curve().max_workload());
+  bound.value = bound.forced_penalty + relaxed_objective_min(problem, candidates, cap);
+  return bound;
+}
+
+double multiproc_lower_bound(const RejectionProblem& problem) {
+  return multiproc_lower_bound_detail(problem).value;
 }
 
 }  // namespace retask

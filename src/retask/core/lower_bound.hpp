@@ -1,4 +1,4 @@
-// Fractional (continuous-relaxation) lower bound on the rejection objective.
+// Fractional (continuous-relaxation) lower bounds on the rejection objective.
 //
 // Allowing tasks to be accepted fractionally — and, for M > 1, allowing
 // accepted work to be split arbitrarily across the identical processors —
@@ -14,8 +14,37 @@
 // exceeds the density, with at most one fractional task. The bound is the
 // venue-standard normalizer for instances too large for exhaustive search
 // (the group's "relaxed relative ratio").
+//
+// Both the Jensen step and the one-dimensional minimization over W require
+// E to be convex, which fails under dormant-enable switch overheads (the
+// wake-up jump at W = 0+). The implementation therefore evaluates E through
+// EnergyCurve::convex_floor — energy() itself on convex curves, and the
+// execution-only LP relaxation (busy energy at the cheapest feasible
+// average speed, idle and switch costs dropped) otherwise — so the bound
+// stays valid for every idle discipline and overhead setting, merely a
+// little looser where the true curve is non-convex.
+//
+// The multiprocessor bound strengthens this for partitioned placement. The
+// plain relaxation only caps the total work at M * Wmax, so a task larger
+// than one processor's window can still be "accepted" by splitting it across
+// processors — something no partitioned solution can do. Dualizing the
+// per-task placement constraint (x_i > 0 requires w_i <= Wmax) is free: the
+// Lagrangian term lambda_i * x_i with lambda_i -> infinity forces x_i = 0
+// for every oversized task, its penalty becomes a constant of the dual, and
+// the remaining convex program is the relaxation above over the reduced set.
+// Because that program is convex in (x, W) the dual has no gap, so the bound
+// equals the LP/Lagrangian relaxation value:
+//
+//     MP-LB = sum_{w_i > Wmax} rho_i  +  min over the remaining tasks of
+//             M * E(W / M) + sum (1 - x_i) rho_i,  W <= M * Wmax.
+//
+// MP-LB >= the plain fractional bound (equal when no task is oversized) and
+// never exceeds the partitioned optimum; test_lower_bound pins both against
+// the exhaustive multiprocessor oracle.
 #ifndef RETASK_CORE_LOWER_BOUND_HPP
 #define RETASK_CORE_LOWER_BOUND_HPP
+
+#include <cstddef>
 
 #include "retask/core/problem.hpp"
 
@@ -24,6 +53,23 @@ namespace retask {
 /// Value of the fractional relaxation (a valid lower bound on the optimal
 /// objective of `problem`, for any processor count).
 double fractional_lower_bound(const RejectionProblem& problem);
+
+/// The multiprocessor (Lagrangian/LP) bound with its certificate pieces.
+struct MultiProcBound {
+  double value = 0.0;           ///< forced_penalty + relaxed remainder
+  double forced_penalty = 0.0;  ///< penalties of tasks no processor can hold
+  std::size_t forced_count = 0;
+};
+
+/// Strengthened lower bound for the partitioned multiprocessor objective:
+/// tasks whose cycle demand exceeds one processor's cycle capacity are
+/// rejected in every feasible partitioned solution, so their penalties are a
+/// certain cost; the fractional relaxation runs over the remaining tasks.
+/// Coincides bitwise with fractional_lower_bound when no task is oversized.
+MultiProcBound multiproc_lower_bound_detail(const RejectionProblem& problem);
+
+/// multiproc_lower_bound_detail(problem).value.
+double multiproc_lower_bound(const RejectionProblem& problem);
 
 }  // namespace retask
 

@@ -1,0 +1,85 @@
+// Many-core partitioned rejection solver (the scale path of ROADMAP item 2).
+//
+// The toy-scale composition (MultiProcLtfRejectSolver) re-sorts, linearly
+// scans m bins per task, and cold-solves every per-processor subproblem one
+// after another. This solver keeps the same three-phase structure — place,
+// solve each PE's rejection subproblem optimally, improve — but every phase
+// is built for m in the hundreds and n in the tens of thousands:
+//
+//  1. Placement is O(n log m): the heap-based least-loaded partitioner
+//     (sched/partition.hpp) for LTF, or FFD-with-rejection under the per-PE
+//     cycle capacity. Tasks no processor can ever hold (cycles > capacity)
+//     are pruned before placement — they are rejected in every feasible
+//     solution, so carrying their weight through the partition only skews
+//     the balance (the Lagrangian bound prices them the same way).
+//  2. The m independent per-PE exact-DP solves run through the lockstep
+//     batch solver (batch/lockstep.hpp): same-size subproblems share lanes
+//     (fused select energy evaluations), and the lane chunks are sharded
+//     across the parallel_for pool. Every PE's solution is bit-identical to
+//     a solo ExactDpSolver solve of its subproblem, so the phase is
+//     invariant to RETASK_JOBS, RETASK_BATCH, and the SIMD backend.
+//  3. A move/swap local search re-seats locally-rejected tasks on the
+//     least-loaded PE. Probes go through per-PE DeltaSolver instances
+//     (serve/delta_solver.hpp): one O(W) admit-relaxation per probe and a
+//     checkpointed-replay undo, instead of a cold O(n_p * W) re-solve. The
+//     solvers are built lazily (only PEs the search touches pay the table
+//     fill) and share one EnergyMemo — all PEs of one instance are the same
+//     platform, so their probe loads hit one cache.
+//
+// The search is serial and deterministic; all parallelism lives in phase 2,
+// whose lanes are bit-exact. Counters: the mp.* family (probes, moves,
+// swaps, delta solvers built, oversized/overflow rejections, bound gap).
+#ifndef RETASK_CORE_MP_SCALE_HPP
+#define RETASK_CORE_MP_SCALE_HPP
+
+#include "retask/core/solver.hpp"
+#include "retask/sched/partition.hpp"
+
+namespace retask {
+
+/// Knobs of the many-core solve. Defaults are the benchmarked configuration.
+struct MpScaleConfig {
+  /// Placement policy: kLargestFirst (balance-driven LTF, the paper's
+  /// pedigree) or kFirstFitDecreasing (feasibility-driven FFD with
+  /// rejection). Other policies are accepted but unusual.
+  PartitionPolicy partition = PartitionPolicy::kLargestFirst;
+  /// Move/swap local-search rounds; 0 disables the improvement phase.
+  int local_search_rounds = 2;
+  /// Per-round cap on move probes (the highest-penalty locally-rejected
+  /// tasks are probed first) and on the more expensive two-PE swap probes.
+  int max_move_probes = 4096;
+  int max_swap_probes = 256;
+  /// Per-round cap on escalated exact probes. A screened-out candidate can
+  /// still be admittable by rearranging the target PE — the relaxation sees
+  /// evictions the marginal screen cannot — but the first probe on a PE
+  /// pays a full DeltaSolver seed, so only the highest-penalty screen
+  /// failures get one.
+  int max_exact_probes = 16;
+  /// Lockstep lanes for the per-PE solves; -1 resolves RETASK_BATCH.
+  int lanes = -1;
+  /// parallel_for jobs for the per-PE solves; 0 resolves RETASK_JOBS.
+  int jobs = 0;
+  /// Also compute the multiprocessor Lagrangian bound and record the
+  /// relative gap as mp.bound_gap_permille (one extra O(n log n) pass).
+  bool record_bound_gap = false;
+};
+
+/// O(n log m) partition + lockstep per-PE exact rejection + delta-driven
+/// move/swap local search. Registry name "mp-scale".
+class MultiProcScaleSolver final : public RejectionSolver {
+ public:
+  MultiProcScaleSolver() = default;
+  explicit MultiProcScaleSolver(MpScaleConfig config) : config_(config) {}
+
+  RejectionSolution solve(const RejectionProblem& problem) const override;
+  std::string name() const override { return "MP-SCALE"; }
+
+  const MpScaleConfig& config() const { return config_; }
+
+ private:
+  MpScaleConfig config_;
+};
+
+}  // namespace retask
+
+#endif  // RETASK_CORE_MP_SCALE_HPP

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <numeric>
 #include <vector>
 
+#include "retask/cache/energy_memo.hpp"
 #include "retask/common/error.hpp"
 #include "retask/core/exact_dp.hpp"
+#include "retask/obs/metrics.hpp"
 #include "retask/sched/partition.hpp"
 
 namespace retask {
@@ -34,27 +37,31 @@ RejectionSolution MultiProcLtfRejectSolver::solve(const RejectionProblem& proble
   const Partition partition = partition_items(weights, problem.processor_count(),
                                               PartitionPolicy::kLargestFirst);
 
+  // Bucket the task indices by bin in one pass (index order preserved per
+  // bin, the order the per-bin scan used to produce).
+  std::vector<std::vector<std::size_t>> bin_tasks(m);
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    if (partition.bin_of[i] >= 0) {
+      bin_tasks[static_cast<std::size_t>(partition.bin_of[i])].push_back(i);
+    }
+  }
+
   // Optimal rejection per processor via the exact DP on the subproblem.
   std::vector<bool> accepted(problem.size(), false);
   std::vector<int> processor_of(problem.size(), -1);
   const ExactDpSolver dp;
   for (std::size_t p = 0; p < m; ++p) {
+    if (bin_tasks[p].empty()) continue;
     std::vector<FrameTask> local;
-    std::vector<std::size_t> local_index;
-    for (std::size_t i = 0; i < problem.size(); ++i) {
-      if (partition.bin_of[i] == static_cast<int>(p)) {
-        local.push_back(problem.tasks()[i]);
-        local_index.push_back(i);
-      }
-    }
-    if (local.empty()) continue;
+    local.reserve(bin_tasks[p].size());
+    for (const std::size_t i : bin_tasks[p]) local.push_back(problem.tasks()[i]);
     const RejectionProblem sub(FrameTaskSet(std::move(local)), problem.curve(),
                                problem.work_per_cycle(), 1);
     const RejectionSolution sub_solution = dp.solve(sub);
-    for (std::size_t k = 0; k < local_index.size(); ++k) {
+    for (std::size_t k = 0; k < bin_tasks[p].size(); ++k) {
       if (sub_solution.accepted[k]) {
-        accepted[local_index[k]] = true;
-        processor_of[local_index[k]] = static_cast<int>(p);
+        accepted[bin_tasks[p][k]] = true;
+        processor_of[bin_tasks[p][k]] = static_cast<int>(p);
       }
     }
   }
@@ -67,6 +74,21 @@ RejectionSolution MultiProcGreedySolver::solve(const RejectionProblem& problem) 
   std::vector<bool> accepted(problem.size(), false);
   std::vector<int> processor_of(problem.size(), -1);
 
+  // All probe energies go through one solver-local memo: the placement and
+  // improvement passes re-evaluate the same per-processor loads over and
+  // over (E(load_p) is probed for every task until load_p changes), and the
+  // memo replays the recorded bits, so caching cannot change a solution bit.
+  EnergyMemo memo;
+  std::uint64_t probe_evals = 0;
+  std::uint64_t probe_misses = 0;
+  const auto energy_at = [&](Cycles cycles) {
+    ++probe_evals;
+    return memo.get_or_compute(cycles, [&](Cycles c) {
+      ++probe_misses;
+      return problem.curve().energy(problem.work_per_cycle() * static_cast<double>(c));
+    });
+  };
+
   // Greedy placement in descending size: cheapest of {reject, best proc}.
   for (const std::size_t i : by_descending_cycles(problem)) {
     const FrameTask& task = problem.tasks()[i];
@@ -74,8 +96,7 @@ RejectionSolution MultiProcGreedySolver::solve(const RejectionProblem& problem) 
     int best_proc = -1;
     for (std::size_t p = 0; p < m; ++p) {
       if (loads[p] + task.cycles > problem.cycle_capacity()) continue;
-      const double delta = problem.energy_of_cycles(loads[p] + task.cycles) -
-                           problem.energy_of_cycles(loads[p]);
+      const double delta = energy_at(loads[p] + task.cycles) - energy_at(loads[p]);
       if (delta < best_cost) {
         best_cost = delta;
         best_proc = static_cast<int>(p);
@@ -89,6 +110,7 @@ RejectionSolution MultiProcGreedySolver::solve(const RejectionProblem& problem) 
   }
 
   // Improvement passes: re-place each task where it is cheapest now.
+  std::uint64_t moves_applied = 0;
   for (int pass = 0; pass < 3; ++pass) {
     bool changed = false;
     for (std::size_t i = 0; i < problem.size(); ++i) {
@@ -98,27 +120,31 @@ RejectionSolution MultiProcGreedySolver::solve(const RejectionProblem& problem) 
       if (accepted[i]) {
         const auto p = static_cast<std::size_t>(processor_of[i]);
         loads[p] -= task.cycles;
-        current_cost = problem.energy_of_cycles(loads[p] + task.cycles) -
-                       problem.energy_of_cycles(loads[p]);
+        current_cost = energy_at(loads[p] + task.cycles) - energy_at(loads[p]);
       }
       double best_cost = task.penalty;
       int best_proc = -1;
       for (std::size_t p = 0; p < m; ++p) {
         if (loads[p] + task.cycles > problem.cycle_capacity()) continue;
-        const double delta = problem.energy_of_cycles(loads[p] + task.cycles) -
-                             problem.energy_of_cycles(loads[p]);
+        const double delta = energy_at(loads[p] + task.cycles) - energy_at(loads[p]);
         if (delta < best_cost) {
           best_cost = delta;
           best_proc = static_cast<int>(p);
         }
       }
-      if (best_cost + 1e-12 < current_cost) changed = true;
+      if (best_cost + 1e-12 < current_cost) {
+        changed = true;
+        ++moves_applied;
+      }
       accepted[i] = best_proc >= 0;
       processor_of[i] = best_proc;
       if (best_proc >= 0) loads[static_cast<std::size_t>(best_proc)] += task.cycles;
     }
     if (!changed) break;
   }
+  RETASK_COUNT("mp.probe_evals", probe_evals);
+  RETASK_COUNT("mp.probe_misses", probe_misses);
+  RETASK_COUNT("mp.moves_applied", moves_applied);
   return make_solution(problem, std::move(accepted), std::move(processor_of));
 }
 

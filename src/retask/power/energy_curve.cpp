@@ -232,6 +232,38 @@ void EnergyCurve::energy_cycles_batch(double work_per_cycle, const std::int64_t*
   simd::kernels().energy_hull_cycles(hull_params(work_per_cycle), cycles, out, n);
 }
 
+bool EnergyCurve::convex() const {
+  return idle_ == IdleDiscipline::kDormantDisable || sleep_.free();
+}
+
+double EnergyCurve::convex_floor(double cycles) const {
+  if (convex()) return energy(cycles);
+  // Dormant-enable with switch overheads: E has a jump at 0+ and a branch
+  // crossover, so bound it by the execution-only LP relaxation instead. Any
+  // plan for `cycles` pays at least its busy energy, and the cheapest busy
+  // energy with total time <= window is attained either at a single hull
+  // speed s >= cycles / window (idle slack) or by time-sharing the hull at
+  // average speed cycles / window across the full window.
+  require(feasible(cycles), "EnergyCurve::convex_floor: workload exceeds smax * window");
+  if (cycles <= 0.0) return 0.0;  // stays dormant, like energy(0)
+  const double s_avg = cycles / window_;
+  if (model_->is_continuous()) {
+    const double smax = model_->max_speed();
+    const double lo =
+        clamp(std::max(model_->min_speed(), s_avg), std::max(smax * 1e-12, 1e-300), smax);
+    const auto per_cycle = [&](double s) { return model_->power(s) / s; };
+    const double s_star = lo >= smax ? smax : minimize_unimodal(per_cycle, lo, smax);
+    return cycles * std::min({per_cycle(s_star), per_cycle(lo), per_cycle(smax)});
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (const HullPoint& p : hull_) {
+    if (p.speed >= s_avg) best = std::min(best, cycles * p.power / p.speed);
+  }
+  if (s_avg >= hull_.front().speed) best = std::min(best, window_ * hull_power(s_avg));
+  RETASK_ASSERT(best < std::numeric_limits<double>::infinity());
+  return best;
+}
+
 double EnergyCurve::marginal(double cycles) const {
   require(feasible(cycles), "EnergyCurve::marginal: workload exceeds smax * window");
   const double h = std::max(max_workload_ * 1e-7, 1e-12);

@@ -27,7 +27,8 @@
 // so E stays increasing but is no longer convex — exactly the structural
 // change that motivates consolidation heuristics (see
 // core/leakage_aware.hpp). Algorithms that require convexity (the
-// fractional lower bound) document that requirement.
+// fractional and multiprocessor lower bounds) go through convex_floor(),
+// the certified convex minorant of E, instead of energy() directly.
 #ifndef RETASK_POWER_ENERGY_CURVE_HPP
 #define RETASK_POWER_ENERGY_CURVE_HPP
 
@@ -123,6 +124,24 @@ class EnergyCurve {
   /// domain boundary). Used by greedy thresholds and the fractional lower
   /// bound; with free sleep E is convex so the marginal is non-decreasing.
   double marginal(double cycles) const;
+
+  /// True when E is convex on [0, max_workload()]: dormant-disable (the
+  /// awake branch alone, linear busy cost per hull segment plus linear idle
+  /// leakage), or dormant-enable with free sleep (the critical-speed rule).
+  /// Positive switch overheads add a jump at W = 0+ and an awake/sleep
+  /// branch crossover, so E is then increasing but not convex.
+  bool convex() const;
+
+  /// A certified convex lower bound on energy(cycles): energy(cycles)
+  /// itself when convex(), otherwise the execution-only relaxation that
+  /// drops the (nonnegative) idle and switch costs and charges the busy
+  /// energy at the cheapest feasible average speed >= cycles / window. That
+  /// relaxation is the value function of a parametric LP over execution
+  /// plans with total time <= window, hence convex in `cycles`, and it
+  /// matches E exactly wherever the sleep branch wins with free overheads.
+  /// The Jensen step of the multiprocessor lower bound (core/lower_bound)
+  /// requires convexity, so it must call this instead of energy().
+  double convex_floor(double cycles) const;
 
   /// An execution plan achieving energy(cycles): at most two execution
   /// segments (one for continuous models) plus at most one idle segment.

@@ -25,6 +25,7 @@
 #include "retask/core/het_allocation.hpp"
 #include "retask/core/leakage_aware.hpp"
 #include "retask/core/lower_bound.hpp"
+#include "retask/core/mp_scale.hpp"
 #include "retask/core/multiproc.hpp"
 #include "retask/core/periodic.hpp"
 #include "retask/core/problem.hpp"
@@ -32,6 +33,7 @@
 #include "retask/core/solver.hpp"
 #include "retask/core/two_pe.hpp"
 #include "retask/exp/harness.hpp"
+#include "retask/exp/mp_scale_sweep.hpp"
 #include "retask/exp/stochastic_sweep.hpp"
 #include "retask/exp/workload.hpp"
 #include "retask/obs/bench_compare.hpp"

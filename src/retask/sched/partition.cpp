@@ -1,27 +1,23 @@
 #include "retask/sched/partition.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "retask/common/error.hpp"
 #include "retask/common/math.hpp"
 
 namespace retask {
+namespace {
 
-double Partition::max_load() const {
-  require(!loads.empty(), "Partition::max_load: no bins");
-  return *std::max_element(loads.begin(), loads.end());
-}
-
-Partition partition_items(const std::vector<double>& weights, int bin_count,
-                          PartitionPolicy policy, double capacity, Rng* rng) {
-  require(bin_count >= 1, "partition_items: bin_count must be at least 1");
-  for (const double w : weights) require(w >= 0.0, "partition_items: negative weight");
-
+/// Shared ordering step: identity, descending stable sort, or shuffle.
+std::vector<std::size_t> make_order(const std::vector<double>& weights, PartitionPolicy policy,
+                                    Rng* rng) {
   std::vector<std::size_t> order(weights.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   switch (policy) {
     case PartitionPolicy::kLargestFirst:
+    case PartitionPolicy::kFirstFitDecreasing:
       std::stable_sort(order.begin(), order.end(),
                        [&](std::size_t a, std::size_t b) { return weights[a] > weights[b]; });
       break;
@@ -34,18 +30,182 @@ Partition partition_items(const std::vector<double>& weights, int bin_count,
     case PartitionPolicy::kBestFit:
       break;
   }
+  return order;
+}
+
+constexpr bool uses_capacity(PartitionPolicy policy) {
+  return policy == PartitionPolicy::kFirstFit || policy == PartitionPolicy::kBestFit ||
+         policy == PartitionPolicy::kFirstFitDecreasing;
+}
+
+/// 4-ary min-heap over (load, bin) pairs, ordered lexicographically. The
+/// strict total order makes the root unique: the minimal load and, among
+/// equal loads, the lowest bin index — exactly the element a left-to-right
+/// std::min_element scan returns. Assignment order therefore matches the
+/// linear scan item for item, and each bin accumulates its load in the same
+/// sequence, so the resulting loads are bit-identical.
+class LeastLoadedHeap {
+ public:
+  explicit LeastLoadedHeap(std::size_t bins) : entries_(bins) {
+    // All loads zero with bins ascending by array index: every parent
+    // precedes its children in bin order, so the heap property holds.
+    for (std::size_t b = 0; b < bins; ++b) entries_[b] = Entry{0.0, static_cast<int>(b)};
+  }
+
+  /// Least-loaded bin (ties: lowest index); adds `w` to its load.
+  int assign(double w) {
+    Entry top = entries_[0];
+    const int bin = top.bin;
+    top.load += w;
+    sift_down(top);
+    return bin;
+  }
+
+ private:
+  struct Entry {
+    double load;
+    int bin;
+  };
+
+  static bool less(const Entry& a, const Entry& b) {
+    return a.load < b.load || (a.load == b.load && a.bin < b.bin);
+  }
+
+  /// Re-seats `e` starting from the root of the 4-ary heap.
+  void sift_down(Entry e) {
+    const std::size_t n = entries_.size();
+    std::size_t pos = 0;
+    for (;;) {
+      const std::size_t first = 4 * pos + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t last = std::min(first + 4, n);
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (less(entries_[c], entries_[best])) best = c;
+      }
+      if (!less(entries_[best], e)) break;
+      entries_[pos] = entries_[best];
+      pos = best;
+    }
+    entries_[pos] = e;
+  }
+
+  std::vector<Entry> entries_;
+};
+
+/// Tournament (segment) tree over bin loads for first-fit: each node holds
+/// the minimum load in its range, and `find_first` descends left-first to
+/// the leftmost bin whose load passes the same leq_tol predicate the linear
+/// scan applies. The predicate is downward closed in the load (a heavier bin
+/// never fits when a lighter one does not), so "some bin in this subtree
+/// fits" is equivalent to "the subtree's minimum load fits" and the descent
+/// lands exactly where the scan's first hit is.
+class FirstFitTree {
+ public:
+  explicit FirstFitTree(std::size_t bins) : bins_(bins) {
+    leaves_ = 1;
+    while (leaves_ < bins_) leaves_ *= 2;
+    min_.assign(2 * leaves_, std::numeric_limits<double>::infinity());
+    for (std::size_t b = 0; b < bins_; ++b) min_[leaves_ + b] = 0.0;
+    for (std::size_t i = leaves_; i-- > 1;) min_[i] = std::min(min_[2 * i], min_[2 * i + 1]);
+  }
+
+  /// Leftmost bin with leq_tol(load + w, capacity), or -1 when none fits
+  /// (padding leaves hold +inf and never qualify).
+  int find_first(double w, double capacity) const {
+    if (!fits(min_[1], w, capacity)) return -1;
+    std::size_t i = 1;
+    while (i < leaves_) {
+      i *= 2;
+      if (!fits(min_[i], w, capacity)) ++i;
+    }
+    return static_cast<int>(i - leaves_);
+  }
+
+  void add(std::size_t bin, double w) {
+    std::size_t i = leaves_ + bin;
+    min_[i] += w;
+    for (i /= 2; i >= 1; i /= 2) min_[i] = std::min(min_[2 * i], min_[2 * i + 1]);
+  }
+
+  double load(std::size_t bin) const { return min_[leaves_ + bin]; }
+
+ private:
+  static bool fits(double load, double w, double capacity) {
+    return leq_tol(load + w, capacity);
+  }
+
+  std::size_t bins_ = 0;
+  std::size_t leaves_ = 1;
+  std::vector<double> min_;
+};
+
+void validate_inputs(const std::vector<double>& weights, int bin_count, PartitionPolicy policy,
+                     double capacity) {
+  require(bin_count >= 1, "partition_items: bin_count must be at least 1");
+  for (const double w : weights) require(w >= 0.0, "partition_items: negative weight");
+  if (uses_capacity(policy)) {
+    require(capacity > 0.0, "partition_items: capacity-based policies require a positive capacity");
+  }
+}
+
+}  // namespace
+
+double Partition::max_load() const {
+  require(!loads.empty(), "Partition::max_load: no bins");
+  return *std::max_element(loads.begin(), loads.end());
+}
+
+Partition partition_items(const std::vector<double>& weights, int bin_count,
+                          PartitionPolicy policy, double capacity, Rng* rng) {
+  validate_inputs(weights, bin_count, policy, capacity);
+  if (policy == PartitionPolicy::kBestFit) {
+    // Best fit needs the tightest qualifying bin, which a min-load tree
+    // cannot answer; it stays on the linear reference scan.
+    return partition_items_reference(weights, bin_count, policy, capacity, rng);
+  }
+  const std::vector<std::size_t> order = make_order(weights, policy, rng);
 
   Partition result;
   result.bin_of.assign(weights.size(), -1);
   result.loads.assign(static_cast<std::size_t>(bin_count), 0.0);
 
-  if (policy == PartitionPolicy::kFirstFit || policy == PartitionPolicy::kBestFit) {
-    require(capacity > 0.0, "partition_items: capacity-based policies require a positive capacity");
+  if (uses_capacity(policy)) {
+    FirstFitTree tree(result.loads.size());
+    for (const std::size_t i : order) {
+      const int b = tree.find_first(weights[i], capacity);
+      if (b < 0) continue;  // fits nowhere: rejected (bin -1)
+      result.bin_of[i] = b;
+      tree.add(static_cast<std::size_t>(b), weights[i]);
+    }
+    for (std::size_t b = 0; b < result.loads.size(); ++b) result.loads[b] = tree.load(b);
+    return result;
+  }
+
+  LeastLoadedHeap heap(result.loads.size());
+  for (const std::size_t i : order) {
+    const int b = heap.assign(weights[i]);
+    result.bin_of[i] = b;
+    result.loads[static_cast<std::size_t>(b)] += weights[i];
+  }
+  return result;
+}
+
+Partition partition_items_reference(const std::vector<double>& weights, int bin_count,
+                                    PartitionPolicy policy, double capacity, Rng* rng) {
+  validate_inputs(weights, bin_count, policy, capacity);
+  const std::vector<std::size_t> order = make_order(weights, policy, rng);
+
+  Partition result;
+  result.bin_of.assign(weights.size(), -1);
+  result.loads.assign(static_cast<std::size_t>(bin_count), 0.0);
+
+  if (uses_capacity(policy)) {
     for (const std::size_t i : order) {
       std::size_t chosen = result.loads.size();
       for (std::size_t b = 0; b < result.loads.size(); ++b) {
         if (!leq_tol(result.loads[b] + weights[i], capacity)) continue;
-        if (policy == PartitionPolicy::kFirstFit) {
+        if (policy != PartitionPolicy::kBestFit) {
           chosen = b;
           break;
         }

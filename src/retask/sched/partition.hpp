@@ -5,7 +5,17 @@
 // by size descending, assign to the least-loaded processor) is the group's
 // flagship heuristic; RAND (same assignment rule without the sort) is their
 // standard baseline; first-fit with a capacity is the bin-packing step of
-// the leakage-aware and allocation-cost algorithms.
+// the leakage-aware and allocation-cost algorithms, and first-fit-decreasing
+// (FFD) with rejection is the feasibility-driven placement of the many-core
+// scale path.
+//
+// Placement is O(n log m): the least-loaded policies run on a 4-ary min-heap
+// keyed (load, bin) — the lexicographic tie-break reproduces exactly the bin
+// a left-to-right linear scan (std::min_element) would pick — and the
+// first-fit policies descend a tournament tree holding the minimum load per
+// bin range, which finds the leftmost bin passing the same leq_tol capacity
+// predicate the linear scan applies. `partition_items_reference` keeps the
+// O(n * m) linear scans; tests pin the two bit-identical.
 #ifndef RETASK_SCHED_PARTITION_HPP
 #define RETASK_SCHED_PARTITION_HPP
 
@@ -22,6 +32,7 @@ enum class PartitionPolicy {
   kShuffled,      ///< random order, least-loaded bin
   kFirstFit,      ///< input order, first bin whose load stays within capacity
   kBestFit,       ///< input order, tightest bin whose load stays within capacity
+  kFirstFitDecreasing,  ///< FFD with rejection: sort descending, first fitting bin
 };
 
 /// Result of a partition: `bin_of[i]` is the bin of item i; `loads[b]` the
@@ -36,11 +47,20 @@ struct Partition {
 
 /// Partitions `weights` into `bin_count` bins under `policy`.
 /// * Least-loaded policies always succeed (no capacity).
-/// * kFirstFit/kBestFit use `capacity`; items that fit nowhere get bin -1.
+/// * kFirstFit/kBestFit/kFirstFitDecreasing use `capacity`; items that fit
+///   nowhere get bin -1 (FFD's rejection).
 /// * `rng` is only used by kShuffled (may be null for the others).
 /// Requires bin_count >= 1 and non-negative weights.
 Partition partition_items(const std::vector<double>& weights, int bin_count,
                           PartitionPolicy policy, double capacity = 0.0, Rng* rng = nullptr);
+
+/// The O(n * m) linear-scan implementation the heap/tournament-tree paths
+/// replaced. Same semantics bit for bit (tests and retask_fuzz --mp-diff
+/// compare the two); kept as the normative reference, not for production
+/// use. kBestFit always runs through this path.
+Partition partition_items_reference(const std::vector<double>& weights, int bin_count,
+                                    PartitionPolicy policy, double capacity = 0.0,
+                                    Rng* rng = nullptr);
 
 }  // namespace retask
 

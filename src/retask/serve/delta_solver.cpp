@@ -38,7 +38,7 @@ DeltaSolver::DeltaSolver(EnergyCurve curve, double work_per_cycle, Config config
   table_.value.assign(width_, kNegInf);
   table_.value[0] = 0.0;
   table_.take.reset(0, width_);
-  memo_ = std::make_shared<EnergyMemo>();
+  memo_ = config_.shared_memo != nullptr ? config_.shared_memo : std::make_shared<EnergyMemo>();
   select();
 }
 
@@ -126,6 +126,23 @@ const RejectionSolution& DeltaSolver::admit(const FrameTask& task) {
   push_checkpoint_if_due(i + 1);
   ++delta_hits_;
   RETASK_COUNT("serve.delta_hits", 1);
+  select();
+  return solution_;
+}
+
+const RejectionSolution& DeltaSolver::admit_all(const std::vector<FrameTask>& tasks) {
+  for (const FrameTask& task : tasks) {
+    validate(task);
+    require(index_of(task.id) == kNone, "DeltaSolver::admit_all: task id already resident");
+    tasks_.push_back(task);  // visible to index_of: later duplicates rejected
+    total_cycles_ += task.cycles;
+    const std::size_t i = tasks_.size() - 1;
+    ensure_rows(i + 1);
+    relax_row(i);
+    push_checkpoint_if_due(i + 1);
+    ++delta_hits_;
+  }
+  RETASK_COUNT("serve.delta_hits", tasks.size());
   select();
   return solution_;
 }

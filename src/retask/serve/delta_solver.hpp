@@ -66,6 +66,12 @@ class DeltaSolver {
     /// the replay cost of a removal near the end of the set at the price of
     /// more retained rows; must be >= 1.
     int checkpoint_stride = 16;
+    /// Energy memo to share with other solvers of the SAME platform (curve +
+    /// work_per_cycle) — e.g. the per-PE solvers of one multiprocessor
+    /// instance, whose loads heavily overlap. Null: the solver creates its
+    /// own. Sharing is safe (the memoized value is a pure function of the
+    /// cycles) and cannot change a solution bit.
+    std::shared_ptr<EnergyMemo> shared_memo;
   };
 
   DeltaSolver(EnergyCurve curve, double work_per_cycle) : DeltaSolver(std::move(curve), work_per_cycle, Config()) {}
@@ -76,6 +82,13 @@ class DeltaSolver {
   /// is solution().accepted.back() — an admitted task may be rejected, and
   /// admitting one task may evict a previously accepted one.
   const RejectionSolution& admit(const FrameTask& task);
+
+  /// Bulk admission: appends every task (validated; ids must be new and
+  /// pairwise distinct) with ONE select at the end instead of one per task.
+  /// The resulting state — table, checkpoints, solution — is bit-identical
+  /// to admitting the tasks one at a time in order; only the intermediate
+  /// solutions are skipped. Seeding path of the multiprocessor local search.
+  const RejectionSolution& admit_all(const std::vector<FrameTask>& tasks);
 
   /// Removes the resident task with `id` (throws when unknown) and returns
   /// the new optimal solution.

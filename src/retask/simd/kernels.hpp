@@ -111,6 +111,16 @@ struct KernelTable {
   /// Requires lo >= shift and prev != cur.
   void (*relax_out_f64)(const double* prev, double* cur, std::uint64_t* take_row,
                         std::size_t shift, std::size_t lo, std::size_t hi, double add);
+
+  /// Select-sweep candidate mask over one <= 64-row window of DP kept-value
+  /// cells: bit i is set iff total - kept[i] < snapshot (exact double
+  /// compare). Unreachable cells hold kept[i] == -inf, so total - kept[i] is
+  /// +inf and the bit stays clear — including against snapshot == +inf
+  /// (inf < inf is false) — which folds the sweep's reachability skip and
+  /// its bound prune into one predicate. Inputs are never NaN (kept values
+  /// are penalty partial sums or -inf). Requires n <= 64.
+  std::uint64_t (*select_mask_f64)(const double* kept, std::size_t n, double total,
+                                   double snapshot);
 };
 
 /// Scalar reference evaluation of one positive-work hull energy; the single

@@ -203,6 +203,24 @@ void avx2_relax_desc_i64(std::int64_t* rej, double* payload, std::uint64_t* take
   }
 }
 
+std::uint64_t avx2_select_mask_f64(const double* kept, std::size_t n, double total,
+                                   double snapshot) {
+  // Elementwise: each lane performs exactly the scalar subtract + compare.
+  const __m256d total_v = _mm256_set1_pd(total);
+  const __m256d snap_v = _mm256_set1_pd(snapshot);
+  std::uint64_t mask = 0;
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256d penalty = _mm256_sub_pd(total_v, _mm256_loadu_pd(kept + i));
+    const int bits = _mm256_movemask_pd(_mm256_cmp_pd(penalty, snap_v, _CMP_LT_OQ));
+    mask |= static_cast<std::uint64_t>(static_cast<unsigned>(bits)) << i;
+  }
+  for (; i < n; ++i) {
+    if (total - kept[i] < snapshot) mask |= std::uint64_t{1} << i;
+  }
+  return mask;
+}
+
 std::size_t avx2_argmax_f64(const double* values, std::size_t n, double init) {
   if (n < 2 * kLanes) return scalar_argmax_f64(values, n, init);
   __m256d best_v = _mm256_set1_pd(-std::numeric_limits<double>::infinity());
@@ -388,7 +406,7 @@ const KernelTable* avx2_table() noexcept {
   static const KernelTable table{
       &avx2_relax_desc_f64,    &avx2_relax_desc_i64,      &avx2_argmax_f64,
       &avx2_argmin_strided_f64, &avx2_energy_hull_cycles,
-      &avx2_relax_desc_f64_lanes, &avx2_relax_out_f64,
+      &avx2_relax_desc_f64_lanes, &avx2_relax_out_f64,     &avx2_select_mask_f64,
   };
   return &table;
 }

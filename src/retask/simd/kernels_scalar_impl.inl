@@ -73,6 +73,17 @@ inline void scalar_relax_desc_i64(std::int64_t* rej, double* payload, std::uint6
   }
 }
 
+inline std::uint64_t scalar_select_mask_f64(const double* kept, std::size_t n, double total,
+                                            double snapshot) {
+  std::uint64_t mask = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // kept == -inf gives total - kept == +inf, never < snapshot: the
+    // reachability skip is folded into the bound compare.
+    if (total - kept[i] < snapshot) mask |= std::uint64_t{1} << i;
+  }
+  return mask;
+}
+
 inline std::size_t scalar_argmax_f64(const double* values, std::size_t n, double init) {
   double best = init;
   std::size_t best_index = ::retask::simd::kNpos;

@@ -73,6 +73,24 @@ void sse2_relax_desc_f64(double* row, std::uint64_t* take_row, std::size_t shift
   if (w > lo) scalar_relax_desc_f64(row, take_row, shift, lo, w - 1, add);
 }
 
+std::uint64_t sse2_select_mask_f64(const double* kept, std::size_t n, double total,
+                                   double snapshot) {
+  // Elementwise: each lane performs exactly the scalar subtract + compare.
+  const __m128d total_v = _mm_set1_pd(total);
+  const __m128d snap_v = _mm_set1_pd(snapshot);
+  std::uint64_t mask = 0;
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m128d penalty = _mm_sub_pd(total_v, _mm_loadu_pd(kept + i));
+    const int bits = _mm_movemask_pd(_mm_cmplt_pd(penalty, snap_v));
+    mask |= static_cast<std::uint64_t>(static_cast<unsigned>(bits)) << i;
+  }
+  for (; i < n; ++i) {
+    if (total - kept[i] < snapshot) mask |= std::uint64_t{1} << i;
+  }
+  return mask;
+}
+
 std::size_t sse2_argmax_f64(const double* values, std::size_t n, double init) {
   if (n < 2 * kLanes) return scalar_argmax_f64(values, n, init);
   __m128d best_v = _mm_set1_pd(-std::numeric_limits<double>::infinity());
@@ -150,7 +168,7 @@ const KernelTable* sse2_table() noexcept {
       &sse2_argmin_strided_f64, &scalar_energy_hull_cycles,
       // SSE2 has no masked 64-bit gather for the lane-interleaved loads;
       // the lane relaxation keeps the scalar body.
-      &scalar_relax_desc_f64_lanes, &sse2_relax_out_f64,
+      &scalar_relax_desc_f64_lanes, &sse2_relax_out_f64,     &sse2_select_mask_f64,
   };
   return &table;
 }

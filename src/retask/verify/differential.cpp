@@ -13,8 +13,12 @@
 #include "retask/core/exact_dp.hpp"
 #include "retask/core/fptas.hpp"
 #include "retask/core/greedy.hpp"
+#include "retask/core/lower_bound.hpp"
+#include "retask/core/mp_scale.hpp"
+#include "retask/core/multiproc.hpp"
 #include "retask/exp/workload.hpp"
 #include "retask/io/cli_options.hpp"
+#include "retask/sched/partition.hpp"
 #include "retask/power/freq_ladder.hpp"
 #include "retask/sched/reclaim.hpp"
 #include "retask/sched/stochastic.hpp"
@@ -608,6 +612,137 @@ std::vector<PropertyViolation> check_stochastic_diff(const InstanceSpec& spec,
   return violations;
 }
 
+std::vector<PropertyViolation> check_mp_diff(const InstanceSpec& spec,
+                                             const RejectionProblem& problem) {
+  std::vector<PropertyViolation> violations;
+  const auto mismatch = [&](const std::string& solver, const std::string& detail) {
+    violations.push_back({"mp-diff", solver, detail});
+  };
+
+  // 1) Heap / tournament-tree partitioners vs the linear-scan reference.
+  // Bin assignments AND loads must match bit for bit (loads accumulate in
+  // assignment order, so equal assignments imply equal load bits — checking
+  // both makes a divergence report pinpoint which side drifted).
+  std::vector<double> weights(problem.size());
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    weights[i] = static_cast<double>(problem.tasks()[i].cycles);
+  }
+  const auto capacity = static_cast<double>(problem.cycle_capacity());
+  const struct {
+    PartitionPolicy policy;
+    const char* name;
+  } policies[] = {
+      {PartitionPolicy::kLargestFirst, "ltf"},
+      {PartitionPolicy::kInOrder, "in-order"},
+      {PartitionPolicy::kFirstFit, "first-fit"},
+      {PartitionPolicy::kBestFit, "best-fit"},
+      {PartitionPolicy::kFirstFitDecreasing, "ffd"},
+  };
+  try {
+    for (const int bins : {1, 2, 3, 7, 64, 257}) {
+      for (const auto& entry : policies) {
+        const Partition fast = partition_items(weights, bins, entry.policy, capacity);
+        const Partition ref = partition_items_reference(weights, bins, entry.policy, capacity);
+        if (fast.bin_of != ref.bin_of || fast.loads != ref.loads) {
+          mismatch("partition", std::string(entry.name) + " bins=" + std::to_string(bins) +
+                                    ": heap/tree assignment differs from the linear reference");
+        }
+      }
+      // kShuffled consumes the rng; twin streams keep the orders identical.
+      Rng fast_rng(spec.seed ^ 0x5eedULL);
+      Rng ref_rng(spec.seed ^ 0x5eedULL);
+      const Partition fast =
+          partition_items(weights, bins, PartitionPolicy::kShuffled, 0.0, &fast_rng);
+      const Partition ref =
+          partition_items_reference(weights, bins, PartitionPolicy::kShuffled, 0.0, &ref_rng);
+      if (fast.bin_of != ref.bin_of || fast.loads != ref.loads) {
+        mismatch("partition", "shuffled bins=" + std::to_string(bins) +
+                                  ": heap assignment differs from the linear reference");
+      }
+    }
+  } catch (const std::exception& error) {
+    mismatch("partition", std::string("partition diff threw: ") + error.what());
+  }
+
+  if (problem.processor_count() < 2) return violations;
+
+  const auto same_solution = [](const RejectionSolution& a, const RejectionSolution& b) {
+    return a.accepted == b.accepted && a.processor_of == b.processor_of &&
+           a.energy == b.energy && a.penalty == b.penalty;
+  };
+
+  try {
+    // 2) mp-scale invariance: jobs, lockstep lanes, and SIMD backend must
+    // not change a bit (the solver's core contract — all parallelism lives
+    // in the bit-exact phase 2).
+    MpScaleConfig base_config;
+    base_config.jobs = 1;
+    base_config.lanes = 0;  // solo per-PE solves
+    const RejectionSolution base = MultiProcScaleSolver(base_config).solve(problem);
+    const struct {
+      int jobs;
+      int lanes;
+    } variants[] = {{0, 4}, {2, 8}, {4, 2}};
+    for (const auto& variant : variants) {
+      MpScaleConfig config;
+      config.jobs = variant.jobs;
+      config.lanes = variant.lanes;
+      const RejectionSolution other = MultiProcScaleSolver(config).solve(problem);
+      if (!same_solution(base, other)) {
+        mismatch("mp-scale", "jobs=" + std::to_string(variant.jobs) + " lanes=" +
+                                 std::to_string(variant.lanes) + " objective " +
+                                 fmt(other.objective()) + " != baseline " +
+                                 fmt(base.objective()) + " (or masks/bindings differ)");
+      }
+    }
+    for (const simd::Backend backend : simd::available_vector_backends()) {
+      RejectionSolution scalar;
+      {
+        simd::ScopedBackend forced(simd::Backend::kScalar);
+        scalar = MultiProcScaleSolver().solve(problem);
+      }
+      simd::ScopedBackend forced(backend);
+      const RejectionSolution vectored = MultiProcScaleSolver().solve(problem);
+      if (!same_solution(scalar, vectored)) {
+        mismatch("mp-scale", std::string(simd::to_string(backend)) + " objective " +
+                                 fmt(vectored.objective()) + " != scalar " +
+                                 fmt(scalar.objective()) + " (or masks/bindings differ)");
+      }
+    }
+
+    // 3a) Composition: local search off + LTF placement + no oversized task
+    // reduces mp-scale to exactly the mp-ltf-dp pipeline (same partition,
+    // lockstep-solved subproblems bit-identical to its solo DP solves).
+    bool oversized = false;
+    for (std::size_t i = 0; i < problem.size(); ++i) {
+      oversized = oversized || problem.tasks()[i].cycles > problem.cycle_capacity();
+    }
+    if (!oversized) {
+      MpScaleConfig ltf_config;
+      ltf_config.local_search_rounds = 0;
+      const RejectionSolution scale = MultiProcScaleSolver(ltf_config).solve(problem);
+      const RejectionSolution ltf = MultiProcLtfRejectSolver().solve(problem);
+      if (!same_solution(scale, ltf)) {
+        mismatch("mp-scale", "rounds=0 objective " + fmt(scale.objective()) +
+                                 " != mp-ltf-dp " + fmt(ltf.objective()) +
+                                 " (composition identity, no oversized tasks)");
+      }
+    }
+
+    // 3b) Bound soundness: no feasible solution may undercut the Lagrangian
+    // lower bound (checked on the local-search solution, the strongest one
+    // at hand).
+    const double bound = multiproc_lower_bound(problem);
+    if (base.objective() < bound - 1e-9 * std::max(1.0, bound)) {
+      mismatch("mp-lower-bound", "mp-scale objective " + fmt(base.objective()) +
+                                     " undercuts the Lagrangian bound " + fmt(bound));
+    }
+  } catch (const std::exception& error) {
+    mismatch("mp-scale", std::string("mp diff threw: ") + error.what());
+  }
+  return violations;
+}
+
 FuzzReport run_differential_fuzz(const FuzzOptions& options, const SuiteFactory& factory) {
   require(options.rounds >= 0, "run_differential_fuzz: rounds must be non-negative");
   require(options.max_n >= 2, "run_differential_fuzz: max_n must be at least 2");
@@ -652,6 +787,11 @@ FuzzReport run_differential_fuzz(const FuzzOptions& options, const SuiteFactory&
           }
           if (options.stochastic_diff) {
             std::vector<PropertyViolation> extra = check_stochastic_diff(spec, problem);
+            found.insert(found.end(), std::make_move_iterator(extra.begin()),
+                         std::make_move_iterator(extra.end()));
+          }
+          if (options.mp_diff) {
+            std::vector<PropertyViolation> extra = check_mp_diff(spec, problem);
             found.insert(found.end(), std::make_move_iterator(extra.begin()),
                          std::make_move_iterator(extra.end()));
           }

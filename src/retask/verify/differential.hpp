@@ -79,6 +79,7 @@ struct FuzzOptions {
   bool lockstep_diff = false; ///< also check batch-lockstep vs per-instance identity
   bool delta_diff = false;  ///< also check serve-mode delta-solve vs cold identity
   bool stochastic_diff = false; ///< also cross-check ladder vs continuous reclamation
+  bool mp_diff = false;     ///< also check heap-partition and mp-scale identities
 };
 
 /// Warm-vs-cold sweep-cache check: solves a 3-point capacity sweep of
@@ -143,6 +144,22 @@ std::vector<PropertyViolation> check_delta_diff(const InstanceSpec& spec,
 /// (returns empty otherwise).
 std::vector<PropertyViolation> check_stochastic_diff(const InstanceSpec& spec,
                                                      const RejectionProblem& problem);
+
+/// Multiprocessor-scale identity check. Three layers, all exact-equality:
+/// (1) the O(n log m) heap / tournament-tree partitioners against the
+/// O(n * m) linear-scan reference (`partition_items_reference`) over the
+/// instance's cycle weights, every policy, several bin counts — bin
+/// assignments and bin loads must match bit for bit; (2) the mp-scale
+/// solver's invariance contract — solutions at different jobs / lockstep
+/// lane counts and under every available SIMD backend must be bitwise
+/// identical; (3) composition identities — with local search off and no
+/// oversized task, mp-scale under LTF placement reproduces mp-ltf-dp
+/// bitwise, and every produced solution's objective stays at or above the
+/// multiprocessor Lagrangian lower bound (soundness of core/lower_bound).
+/// Violations are "mp-diff". Layers 2-3 need processor_count >= 2; layer 1
+/// runs on every instance.
+std::vector<PropertyViolation> check_mp_diff(const InstanceSpec& spec,
+                                             const RejectionProblem& problem);
 
 /// One failing, minimized instance.
 struct FuzzCounterexample {

@@ -149,6 +149,53 @@ TEST(DeltaSolver, RandomWalkStaysBitIdenticalToColdSolves) {
   EXPECT_GT(delta.delta_hits(), 0u);
 }
 
+TEST(DeltaSolver, AdmitAllMatchesOneAtATimeAdmitsBitwise) {
+  // The bulk seeding path of the multiprocessor local search: identical
+  // final state to sequential admits, only the intermediate selects skipped.
+  DeltaSolver::Config config;
+  config.checkpoint_stride = 4;
+  DeltaSolver bulk(xscale_curve(), kWpc, config);
+  DeltaSolver stepwise(xscale_curve(), kWpc, config);
+  bulk.admit_all(mixed_tasks());
+  for (const FrameTask& task : mixed_tasks()) stepwise.admit(task);
+  EXPECT_EQ(bulk.solution().accepted, stepwise.solution().accepted);
+  EXPECT_EQ(bulk.solution().energy, stepwise.solution().energy);
+  EXPECT_EQ(bulk.solution().penalty, stepwise.solution().penalty);
+  EXPECT_EQ(bulk.accepted_load(), stepwise.accepted_load());
+  expect_matches_cold(bulk, "admit_all");
+  // Later mutations replay through the same checkpoints either way.
+  bulk.remove(5);
+  stepwise.remove(5);
+  EXPECT_EQ(bulk.solution().accepted, stepwise.solution().accepted);
+  expect_matches_cold(bulk, "remove after admit_all");
+  EXPECT_THROW(bulk.admit_all({{20, 10, 0.1}, {20, 12, 0.2}}), Error);
+}
+
+TEST(DeltaSolver, SharedMemoCannotChangeSolutions) {
+  // Two solvers of the same platform sharing one memo (the per-PE setup of
+  // the multiprocessor local search) must produce exactly the solutions of
+  // two independent solvers.
+  const auto memo = std::make_shared<EnergyMemo>();
+  DeltaSolver::Config shared_config;
+  shared_config.shared_memo = memo;
+  DeltaSolver a_shared(xscale_curve(), kWpc, shared_config);
+  DeltaSolver b_shared(xscale_curve(), kWpc, shared_config);
+  DeltaSolver a_solo(xscale_curve(), kWpc);
+  DeltaSolver b_solo(xscale_curve(), kWpc);
+  const std::vector<FrameTask> tasks = mixed_tasks();
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    // Interleave so the second solver's loads mostly hit the first's memo.
+    const RejectionSolution& shared =
+        i % 2 == 0 ? a_shared.admit(tasks[i]) : b_shared.admit(tasks[i]);
+    const RejectionSolution& solo = i % 2 == 0 ? a_solo.admit(tasks[i]) : b_solo.admit(tasks[i]);
+    EXPECT_EQ(shared.accepted, solo.accepted) << "step " << i;
+    EXPECT_EQ(shared.energy, solo.energy) << "step " << i;
+    EXPECT_EQ(shared.penalty, solo.penalty) << "step " << i;
+  }
+  expect_matches_cold(a_shared, "shared memo a");
+  expect_matches_cold(b_shared, "shared memo b");
+}
+
 TEST(DeltaSolver, AssignedSpeedMatchesPlanAndLoad) {
   DeltaSolver delta(xscale_curve(), kWpc);
   delta.admit({1, 100, 5.0});

@@ -4,7 +4,9 @@
 #include "retask/power/energy_curve.hpp"
 
 #include <cmath>
+#include <limits>
 #include <memory>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -203,6 +205,34 @@ TEST_P(EnergyCurveProperty, ExecutionSpeedsStayInRange) {
       if (seg.speed > 0.0) {
         EXPECT_LE(seg.speed, c.model->max_speed() * (1.0 + 1e-9)) << c.label;
         EXPECT_GE(seg.speed, c.model->min_speed() - 1e-9) << c.label;
+      }
+    }
+  }
+}
+
+TEST_P(EnergyCurveProperty, ConvexFloorMinorizesEnergyAndIsConvex) {
+  const CurveCase& c = GetParam();
+  // Free sleep / dormant-disable: the curve is convex and the floor IS the
+  // curve, bit for bit. Switch overheads: the floor must stay below E
+  // everywhere and keep non-decreasing chord slopes (the convexity the
+  // multiprocessor lower bound's Jensen step relies on).
+  for (const SleepParams sleep : {SleepParams{}, SleepParams{0.12, 0.07}}) {
+    const EnergyCurve curve(*c.model, c.window, c.idle, sleep);
+    const int grid = 160;
+    std::vector<double> floor_at(grid + 1);
+    double prev_slope = -std::numeric_limits<double>::infinity();
+    for (int k = 0; k <= grid; ++k) {
+      const double w = curve.max_workload() * static_cast<double>(k) / grid;
+      floor_at[k] = curve.convex_floor(w);
+      EXPECT_LE(floor_at[k], curve.energy(w) + 1e-12) << c.label << " w " << w;
+      if (curve.convex()) {
+        EXPECT_EQ(floor_at[k], curve.energy(w)) << c.label << " w " << w;
+      }
+      if (k > 0) {
+        const double slope = floor_at[k] - floor_at[k - 1];
+        EXPECT_GE(slope, prev_slope - 1e-9 * std::max(1.0, std::fabs(slope)))
+            << c.label << " k " << k;
+        prev_slope = slope;
       }
     }
   }

@@ -60,6 +60,77 @@ TEST(LowerBound, CountsIdleEnergyOfAllProcessorsUnderDormantDisable) {
   EXPECT_GE(fractional_lower_bound(p), 4 * 0.08 - 1e-9);
 }
 
+TEST(LowerBound, MultiprocBoundNeverExceedsOptimal) {
+  // The Lagrangian MP bound against the exhaustive partitioned optimum,
+  // across idle disciplines. Free-sleep and dormant-disable curves are
+  // convex; the bound must hold on every one of them.
+  const MultiProcExhaustiveSolver opt;
+  for (const IdleDiscipline idle :
+       {IdleDiscipline::kDormantEnable, IdleDiscipline::kDormantDisable}) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      for (const int m : {2, 3}) {
+        const RejectionProblem p = test::small_instance(seed, 7, 1.7, 1.0, m, idle);
+        const double lb = multiproc_lower_bound(p);
+        const double o = opt.solve(p).objective();
+        EXPECT_LE(lb, o + 1e-6 * std::max(1.0, o)) << "seed " << seed << " m " << m;
+      }
+    }
+  }
+}
+
+TEST(LowerBound, MultiprocBoundSoundUnderSwitchOverheads) {
+  // Dormant-enable with positive switch overheads makes E non-convex (the
+  // wake-up jump), which is exactly where the naive Jensen step m * E(W/m)
+  // over-counts: concentrating the load on fewer PEs and keeping the rest
+  // dormant beats the balanced split. The bound must route through the
+  // convex floor and stay below the exhaustive optimum.
+  const MultiProcExhaustiveSolver opt;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    ScenarioConfig config;
+    config.task_count = 7;
+    config.load = 0.9;
+    config.resolution = 300.0;
+    config.penalty_scale = 0.6;
+    config.processor_count = 3;
+    config.seed = seed;
+    RejectionProblem base = make_scenario(config, PolynomialPowerModel::xscale());
+    EnergyCurve curve(base.curve().model(), base.curve().window(),
+                      IdleDiscipline::kDormantEnable, SleepParams{0.13, 0.065});
+    EXPECT_FALSE(curve.convex());
+    const RejectionProblem p(FrameTaskSet(base.tasks()), std::move(curve),
+                             base.work_per_cycle(), 3);
+    const double lb = multiproc_lower_bound(p);
+    const double o = opt.solve(p).objective();
+    EXPECT_LE(lb, o + 1e-6 * std::max(1.0, o)) << "seed " << seed;
+  }
+}
+
+TEST(LowerBound, MultiprocBoundPricesOversizedTasks) {
+  // A task larger than one processor's window is rejected in every
+  // partitioned solution; the MP bound charges its penalty up front and so
+  // strictly dominates the plain fractional bound here.
+  const FrameTaskSet tasks({{0, 900, 2.0}, {1, 120, 0.4}, {2, 150, 0.5}});
+  EnergyCurve curve(PolynomialPowerModel::xscale(), 1.0, IdleDiscipline::kDormantEnable);
+  const RejectionProblem p(tasks, std::move(curve), 1.0 / 400.0, 2);
+  const MultiProcBound bound = multiproc_lower_bound_detail(p);
+  EXPECT_EQ(bound.forced_count, 1u);
+  EXPECT_DOUBLE_EQ(bound.forced_penalty, 2.0);
+  EXPECT_GE(bound.value, fractional_lower_bound(p) - 1e-12);
+  EXPECT_GE(bound.value, 2.0);
+}
+
+TEST(LowerBound, MultiprocBoundMatchesFractionalWithoutOversizedTasks) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const RejectionProblem p = test::small_instance(seed, 9, 1.9, 1.0, 3);
+    bool oversized = false;
+    for (const FrameTask& task : p.tasks().tasks()) {
+      oversized = oversized || task.cycles > p.cycle_capacity();
+    }
+    if (oversized) continue;
+    EXPECT_EQ(multiproc_lower_bound(p), fractional_lower_bound(p)) << "seed " << seed;
+  }
+}
+
 TEST(LowerBound, IncreasesWithPenaltyScale) {
   const RejectionProblem cheap = test::small_instance(9, 10, 2.0, 0.3);
   const RejectionProblem dear = test::small_instance(9, 10, 2.0, 3.0);

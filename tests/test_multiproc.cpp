@@ -97,6 +97,46 @@ TEST(MultiProcLtf, CloseToOptimalOnSmallInstances) {
   EXPECT_LE(worst_ratio, 1.5);
 }
 
+TEST(MultiProcLtf, LargeProcessorCountStaysValidAndBalanced) {
+  // m = 48 exercises the heap-based least-loaded partitioner well past the
+  // linear-scan comfort zone; every solution must stay feasible and no PE
+  // may exceed its cycle capacity.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const RejectionProblem p = test::small_instance(seed, 60, 30.0, 1.0, 48);
+    const RejectionSolution s = MultiProcLtfRejectSolver().solve(p);
+    check_solution(p, s);
+    for (const Cycles load : processor_loads(p, s)) {
+      EXPECT_LE(load, p.cycle_capacity());
+    }
+  }
+}
+
+TEST(MultiProcLtf, MoreProcessorsThanTasksLeavesEmptyPes) {
+  // m > n: the heap hands each task its own bin and the surplus PEs stay
+  // empty — a dormant-enable platform accepts everything for free.
+  const RejectionProblem p = test::small_instance(2, 5, 0.8, 5.0, 16);
+  const RejectionSolution s = MultiProcLtfRejectSolver().solve(p);
+  check_solution(p, s);
+  EXPECT_EQ(s.accepted_count(), p.size());
+  const auto loads = processor_loads(p, s);
+  int empty = 0;
+  for (const Cycles load : loads) empty += load == 0 ? 1 : 0;
+  EXPECT_GE(empty, 11);
+}
+
+TEST(MultiProcGreedy, SharedMemoKeepsSolutionsIdentical) {
+  // The probe memo is an observability/speed change only: solutions must be
+  // byte-identical with what the solver produced before (pinned via a twin
+  // solve — the memo is per-solve state, so two runs must agree bitwise).
+  const RejectionProblem p = test::small_instance(7, 14, 2.8, 1.0, 3);
+  const RejectionSolution a = MultiProcGreedySolver().solve(p);
+  const RejectionSolution b = MultiProcGreedySolver().solve(p);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.processor_of, b.processor_of);
+  EXPECT_EQ(a.energy, b.energy);
+  EXPECT_EQ(a.penalty, b.penalty);
+}
+
 TEST(MultiProcExhaustive, GuardsHugeInstances) {
   const RejectionProblem p = test::small_instance(1, 20, 1.0, 1.0, 4);
   EXPECT_THROW(MultiProcExhaustiveSolver().solve(p), Error);

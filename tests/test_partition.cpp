@@ -133,6 +133,74 @@ TEST(Partition, BestFitNeverUsesMoreBinsThanFirstFitHere) {
   }
 }
 
+TEST(Partition, FastPathsMatchReferenceBitwise) {
+  // The heap / tournament-tree placement must reproduce the linear-scan
+  // reference bit for bit: same bins, same loads, every policy, bin counts
+  // straddling the d-ary heap arities and the tournament-tree leaf padding.
+  Rng rng(101);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<double> weights(static_cast<std::size_t>(rng.uniform(1.0, 40.0)));
+    for (double& w : weights) {
+      // Quantized weights so exact ties are common and the (load, bin)
+      // lexicographic tie-break is actually exercised.
+      w = 0.25 * static_cast<double>(1 + static_cast<int>(rng.uniform(0.0, 8.0)));
+    }
+    for (const int bins : {1, 2, 3, 7, 64, 257}) {
+      for (const PartitionPolicy policy :
+           {PartitionPolicy::kLargestFirst, PartitionPolicy::kInOrder,
+            PartitionPolicy::kFirstFit, PartitionPolicy::kBestFit,
+            PartitionPolicy::kFirstFitDecreasing}) {
+        const bool capped = policy == PartitionPolicy::kFirstFit ||
+                            policy == PartitionPolicy::kBestFit ||
+                            policy == PartitionPolicy::kFirstFitDecreasing;
+        const double capacity = capped ? 2.5 : 0.0;
+        const Partition fast = partition_items(weights, bins, policy, capacity);
+        const Partition ref = partition_items_reference(weights, bins, policy, capacity);
+        ASSERT_EQ(fast.bin_of, ref.bin_of) << "trial " << trial << " bins " << bins;
+        ASSERT_EQ(fast.loads.size(), ref.loads.size());
+        for (std::size_t b = 0; b < fast.loads.size(); ++b) {
+          EXPECT_DOUBLE_EQ(fast.loads[b], ref.loads[b]) << "trial " << trial;
+        }
+      }
+      // kShuffled consumes the rng; twin streams keep the orders identical.
+      Rng fast_rng(rng());
+      Rng ref_rng = fast_rng;
+      const Partition fast =
+          partition_items(weights, bins, PartitionPolicy::kShuffled, 0.0, &fast_rng);
+      const Partition ref = partition_items_reference(weights, bins, PartitionPolicy::kShuffled,
+                                                      0.0, &ref_rng);
+      ASSERT_EQ(fast.bin_of, ref.bin_of) << "trial " << trial << " bins " << bins;
+    }
+  }
+}
+
+TEST(Partition, LargeBinCountTiesGoRoundRobin) {
+  // Uniform weights on the heap path: every placement is an all-bins tie, so
+  // the lexicographic (load, bin) order must sweep the bins left to right,
+  // wave after wave — exactly what the linear scan does.
+  const std::vector<double> weights(130, 1.0);
+  const Partition p = partition_items(weights, 64, PartitionPolicy::kInOrder);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_EQ(p.bin_of[i], static_cast<int>(i % 64)) << "item " << i;
+  }
+}
+
+TEST(Partition, FfdRejectsOversizedAndPacksDecreasing) {
+  // FFD sorts descending: 0.9 opens bin 0, 0.8 bin 1, 0.3 backfills bin 0
+  // (1.2 <= 1.3), the two 0.2s no longer fit there and land in bin 1; the
+  // oversized 1.5 is rejected (bin -1).
+  const Partition p = partition_items({0.2, 1.5, 0.8, 0.9, 0.2, 0.3}, 2,
+                                      PartitionPolicy::kFirstFitDecreasing, 1.3);
+  EXPECT_EQ(p.bin_of[1], -1);
+  EXPECT_EQ(p.bin_of[3], 0);
+  EXPECT_EQ(p.bin_of[2], 1);
+  EXPECT_EQ(p.bin_of[5], 0);
+  EXPECT_EQ(p.bin_of[0], 1);
+  EXPECT_EQ(p.bin_of[4], 1);
+  EXPECT_DOUBLE_EQ(p.loads[0], 1.2);
+  EXPECT_DOUBLE_EQ(p.loads[1], 1.2);
+}
+
 TEST(Partition, RejectsBadArguments) {
   EXPECT_THROW(partition_items({1.0}, 0, PartitionPolicy::kInOrder), Error);
   EXPECT_THROW(partition_items({-1.0}, 1, PartitionPolicy::kInOrder), Error);

@@ -246,6 +246,37 @@ TEST(SimdKernels, ArgminStridedMatchesScalarIncludingInfSentinels) {
   }
 }
 
+TEST(SimdKernels, SelectMaskMatchesScalarAtEveryWidth) {
+  // The lockstep/select prediction scan: bit i set iff
+  // total - kept[i] < snapshot. -inf kept entries (unreachable rows) fold
+  // into the compare — total - (-inf) = +inf is never < snapshot, even when
+  // snapshot is +inf itself. Widths are capped at the kernel's 64-row
+  // contract.
+  const simd::KernelTable& scalar = *simd::scalar_table();
+  for (const simd::Backend backend : available_backends()) {
+    const simd::KernelTable& table = simd::kernels_for(backend);
+    for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{4},
+                                std::size_t{5}, std::size_t{7}, std::size_t{8}, std::size_t{9},
+                                std::size_t{31}, std::size_t{63}, std::size_t{64}}) {
+      Rng rng(0x5E1E ^ (n * 4u + static_cast<std::size_t>(backend)));
+      for (int rep = 0; rep < 12; ++rep) {
+        const std::vector<double> kept = random_f64_row(rng, n);
+        const double total = rng.uniform(0.0, 100.0);
+        for (const double snapshot : {kInf, total, rng.uniform(-50.0, 150.0), 0.0}) {
+          std::uint64_t expected = 0;
+          for (std::size_t i = 0; i < n; ++i) {
+            if (total - kept[i] < snapshot) expected |= std::uint64_t{1} << i;
+          }
+          ASSERT_EQ(scalar.select_mask_f64(kept.data(), n, total, snapshot), expected)
+              << "scalar n=" << n;
+          ASSERT_EQ(table.select_mask_f64(kept.data(), n, total, snapshot), expected)
+              << simd::to_string(backend) << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
 /// Curves covering both idle disciplines and a costly sleep transition on a
 /// discrete (hull) model — the kernel's entire domain.
 std::vector<EnergyCurve> hull_curves() {

@@ -68,6 +68,12 @@ usage: retask_fuzz [options]
                      the engine's continuous paths with sched/reclaim;
                      counterexample dumps embed the trajectory seed and
                      distribution for exact replay
+  --mp-diff          also check the multiprocessor scale path: the O(n log m)
+                     heap/tournament partitioners against the linear-scan
+                     reference, mp-scale bit-invariance across jobs /
+                     lockstep lanes / SIMD backends, the rounds=0 composition
+                     identity with mp-ltf-dp, and Lagrangian lower-bound
+                     soundness
   --replay FILE      re-run one dumped counterexample and report
   --inject-broken    add a deliberately wrong solver (exact DP against an
                      off-by-one capacity); the sweep must catch it
@@ -125,6 +131,8 @@ FuzzCliOptions parse(const std::vector<std::string>& args) {
       options.fuzz.delta_diff = true;
     } else if (arg == "--stochastic-diff") {
       options.fuzz.stochastic_diff = true;
+    } else if (arg == "--mp-diff") {
+      options.fuzz.mp_diff = true;
     } else if (arg == "--replay") {
       options.replay_path = value(i, arg);
     } else if (arg == "--inject-broken") {
