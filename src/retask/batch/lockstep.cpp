@@ -22,6 +22,7 @@ constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 constexpr double kPosInf = std::numeric_limits<double>::infinity();
 
 std::atomic<int> g_lanes{-1};  // -1: not yet resolved from the environment
+std::atomic<int> g_fused{-1};  // -1: not yet resolved from the environment
 
 int resolve_lanes() {
   const char* env = std::getenv("RETASK_BATCH");
@@ -36,6 +37,14 @@ int resolve_lanes() {
   return static_cast<int>(parsed);
 }
 
+int resolve_fused() {
+  const char* env = std::getenv("RETASK_FUSED_SWEEP");
+  const std::string name = env != nullptr ? std::string(env) : std::string();
+  if (name.empty() || name == "auto") return 1;
+  if (name == "off") return 0;
+  throw Error("RETASK_FUSED_SWEEP: unknown value '" + name + "' (expected off|auto)");
+}
+
 /// Per-lane fill capacity — the single-instance solver's fill_capacity.
 std::size_t lane_cap(const RejectionProblem& problem) {
   require(problem.processor_count() == 1, "lockstep: single-processor algorithm");
@@ -44,74 +53,142 @@ std::size_t lane_cap(const RejectionProblem& problem) {
   return static_cast<std::size_t>(cap);
 }
 
-/// Lockstep exact DP over one same-shape chunk: one lane-major arena (lane
-/// k's table at arena[k * stride], stride 64-aligned so every lane owns
-/// whole choice-bit words), each lane filled by the SAME contiguous
-/// relaxation kernel the single-instance solver uses, then a chunked select
-/// sweep whose energy evaluations are shared across lanes (the shape check
-/// guarantees identical curves). The fill is per lane on purpose: the
-/// descending relaxation is already 4-wide vectorized on contiguous cells,
-/// while a lane-interleaved traversal must gather strided cells — measured
-/// several times slower on AVX2 (the gather-based
+/// Byte budget of one lane's table export (value row + dense checkpoint
+/// rows + choice bits). Captures costlier than this are skipped and the
+/// consumer falls back to a cold seed. The gate is a pure function of the
+/// lane geometry, so gating can never change a solution bit.
+constexpr std::size_t kExportByteBudget = std::size_t{16} << 20;
+
+/// Lane-major fill state of one lockstep chunk: lane k's value row lives at
+/// arena[k * stride] (stride 64-aligned so every lane owns whole choice-bit
+/// words), its choice bits at word offset k * stride / 64 of every take
+/// row. Cells above a lane's own fill cap are never written or read, so
+/// lane k's span is its solo table at capacity cap[k].
+struct LaneTables {
+  std::size_t stride = 0;        ///< doubles per lane, 64-aligned
+  std::vector<std::size_t> cap;  ///< fill capacity per lane
+  std::vector<double> arena;     ///< lane k's value row at arena[k * stride]
+  BitMatrix take;                ///< n rows of stride * m choice bits
+};
+
+/// Fills every lane's knapsack table, each lane by the SAME contiguous
+/// relaxation kernel the single-instance solver uses, with per-lane
+/// reachability bounds and capacity pruning. The fill is per lane on
+/// purpose: the descending relaxation is already 4-wide vectorized on
+/// contiguous cells, while a lane-interleaved traversal must gather strided
+/// cells — measured several times slower on AVX2 (the gather-based
 /// kernels.relax_desc_f64_lanes stays available for layouts that are
-/// interleaved by necessity). The shared win of the batch is the select:
-/// one fused cycles->energy evaluation per needed row instead of one solo
-/// evaluation per lane per row. Every lane reproduces the single-instance
-/// ExactDpSolver bit for bit: its cells, its reachability prune, its
-/// penalty/energy sweep prunes and its choice-bit reconstruction are
-/// exactly the serial ones.
-std::vector<RejectionSolution> lockstep_exact_dp(
-    const std::vector<const RejectionProblem*>& chunk) {
+/// interleaved by necessity). When `exports` is non-null, lane k's finished
+/// table — value row, choice bits, dense value-row checkpoints at a stride
+/// targeting <= 4 rows — is captured into (*exports)[k] unless the capture
+/// exceeds kExportByteBudget; the captured state is bit-identical to what
+/// DeltaSolver::admit_all over the lane's task vector retains, which is
+/// exactly the DeltaSolver::adopt_table contract.
+void lockstep_fill(const std::vector<const RejectionProblem*>& chunk,
+                   const std::vector<std::size_t>& cap, LaneTables& tables,
+                   std::vector<DpTableExport>* exports) {
   const std::size_t m = chunk.size();
   const std::size_t n = chunk[0]->size();
-  std::vector<std::size_t> cap(m);
   std::size_t max_cap = 0;
-  for (std::size_t k = 0; k < m; ++k) {
-    cap[k] = lane_cap(*chunk[k]);
-    max_cap = std::max(max_cap, cap[k]);
-  }
+  for (std::size_t k = 0; k < m; ++k) max_cap = std::max(max_cap, cap[k]);
   const std::size_t width = max_cap + 1;
-  const std::size_t stride = (width + 63) / 64 * 64;  // whole take words per lane
-
-  // Cells above a lane's own cap are never written or read, so lane k's
-  // span is its solo table at capacity cap[k]; the tail lanes of a ragged
-  // chunk simply do not exist (m spans, not `lanes`).
-  std::vector<double> arena(stride * m, kNegInf);
-  BitMatrix take;
-  take.reset(n, stride * m);
+  tables.stride = (width + 63) / 64 * 64;  // whole take words per lane
+  tables.cap = cap;
+  tables.arena.assign(tables.stride * m, kNegInf);
+  tables.take.reset(n, tables.stride * m);
+  const std::size_t stride = tables.stride;
 
   const simd::KernelTable& kernels = simd::kernels();
   // The exact_dp.* counters mirror the serial fill lane by lane (each lane's
   // cell counts use its own cap[k]+1 width), so obs reports stay comparable
   // whether or not the harness batched the solves.
   RETASK_OBS_ONLY(std::uint64_t cells_touched = 0; std::uint64_t cells_skipped = 0;
-                  std::uint64_t tasks_pruned = 0;)
+                  std::uint64_t tasks_pruned = 0; std::uint64_t table_exports = 0;)
   for (std::size_t k = 0; k < m; ++k) {
-    double* lane = arena.data() + k * stride;
+    double* lane = tables.arena.data() + k * stride;
     lane[0] = 0.0;  // state w == 0
     const std::size_t word_offset = k * stride / 64;
+    const std::size_t lane_width = cap[k] + 1;
+    DpTableExport* exported = nullptr;
+    std::size_t export_stride = 0;
+    if (exports != nullptr && n > 0) {
+      // Dense checkpoints at a stride targeting <= 4 retained rows keep the
+      // export's replay cost bounded without retaining one row per task.
+      export_stride = std::max<std::size_t>(1, (n + 3) / 4);
+      const std::size_t bytes = (n / export_stride + 1) * lane_width * sizeof(double) +
+                                n * ((lane_width + 63) / 64) * sizeof(std::uint64_t);
+      if (bytes <= kExportByteBudget) {
+        exported = &(*exports)[k];
+        exported->checkpoint_stride = static_cast<int>(export_stride);
+        exported->cp_values.clear();
+        exported->cp_reach.clear();
+      }
+    }
     std::size_t reach = 0;
     for (std::size_t i = 0; i < n; ++i) {
       const FrameTask& task = chunk[k]->tasks()[i];
       const auto ci = static_cast<std::size_t>(task.cycles);
       if (ci > cap[k]) {  // the serial fill prunes this task
         RETASK_OBS_ONLY(++tasks_pruned; cells_skipped += cap[k] + 1;)
-        continue;
+      } else {
+        const std::size_t top = std::min(cap[k], reach + ci);
+        RETASK_OBS_ONLY(cells_touched += top + 1 - ci;
+                        cells_skipped += cap[k] + 1 - (top + 1 - ci);)
+        kernels.relax_desc_f64(lane, tables.take.row_words(i) + word_offset, ci, ci, top,
+                               task.penalty);
+        reach = top;
       }
-      const std::size_t top = std::min(cap[k], reach + ci);
-      RETASK_OBS_ONLY(cells_touched += top + 1 - ci;
-                      cells_skipped += cap[k] + 1 - (top + 1 - ci);)
-      kernels.relax_desc_f64(lane, take.row_words(i) + word_offset, ci, ci, top, task.penalty);
-      reach = top;
+      if (exported != nullptr && (i + 1) % export_stride == 0) {
+        exported->cp_values.emplace_back(lane, lane + lane_width);
+        exported->cp_reach.push_back(reach);
+      }
+    }
+    if (exported != nullptr) {
+      exported->value.assign(lane, lane + lane_width);
+      exported->reachable = reach;
+      exported->take.reset(n, lane_width);
+      for (std::size_t i = 0; i < n; ++i) {
+        std::copy_n(tables.take.row_words(i) + word_offset, exported->take.words_per_row(),
+                    exported->take.row_words(i));
+      }
+      RETASK_OBS_ONLY(++table_exports;)
     }
   }
   RETASK_COUNT("exact_dp.solves", m);
   RETASK_COUNT("exact_dp.cells_touched", cells_touched);
   RETASK_COUNT("exact_dp.cells_skipped", cells_skipped);
   RETASK_COUNT("exact_dp.tasks_pruned", tasks_pruned);
+  RETASK_COUNT("batch.table_exports", table_exports);
   RETASK_OBS_ONLY(for (std::size_t k = 0; k < m; ++k) {
     RETASK_RECORD("exact_dp.table_width", cap[k] + 1);
   })
+}
+
+/// Fused select over filled lane tables: sweeps rows [0, select_cap[k]] of
+/// every lane for the best objective and reconstructs each lane's accept
+/// set off the choice bits. `chunk[k]` supplies lane k's tasks and THIS
+/// point's platform — the fused-sweep caller runs one select per sweep
+/// point over a single fill, which the table's prefix property makes
+/// bit-identical to a dedicated fill at select_cap[k] (see
+/// core/exact_dp.cpp fill_table). Every lane reproduces the single-instance
+/// ExactDpSolver bit for bit: the penalty/energy sweep prunes and the
+/// choice-bit reconstruction are exactly the serial ones.
+std::vector<RejectionSolution> lockstep_select(const std::vector<const RejectionProblem*>& chunk,
+                                               const LaneTables& tables,
+                                               const std::vector<std::size_t>& select_cap) {
+  const std::size_t m = chunk.size();
+  const std::size_t n = chunk[0]->size();
+  const std::size_t stride = tables.stride;
+  const std::vector<double>& arena = tables.arena;
+  const BitMatrix& take = tables.take;
+  std::size_t width = 0;
+  for (std::size_t k = 0; k < m; ++k) width = std::max(width, select_cap[k] + 1);
+  const std::vector<std::size_t>& cap = select_cap;
+  const simd::KernelTable& kernels = simd::kernels();
+  // Select-scan attribution: retask_bench divides this by the enclosing
+  // batch timer to report the select's share of lockstep / fused-sweep
+  // time (timers never enter the gated bench metrics).
+  RETASK_SCOPED_TIMER("batch.select_scan_ns");
 
   // Chunked select: the serial sweep per lane, with the energy evaluations
   // of all lanes for one 64-row chunk fused into a single batched call. The
@@ -134,6 +211,7 @@ std::vector<RejectionSolution> lockstep_exact_dp(
   std::vector<Cycles> need_cycles;
   std::vector<double> need_energy;
   std::vector<double> energy_at(64, 0.0);
+  RETASK_OBS_ONLY(std::uint64_t scan_words = 0;)
   for (std::size_t w0 = 0; w0 < width; w0 += 64) {
     const std::size_t w1 = std::min(width, w0 + 64);
     std::uint64_t need_mask = 0;
@@ -164,28 +242,21 @@ std::vector<RejectionSolution> lockstep_exact_dp(
       }
       RETASK_COUNT("batch.select_energy_evals", need_cycles.size());
     }
+    // Kernelized replay of every live lane's decision walk over its masked
+    // rows (same prunes, same early-exit, same improvement order as the
+    // serial sweep; see select_scan_f64 in simd/kernels.hpp).
     for (std::size_t k = 0; k < m; ++k) {
-      if (done[k]) continue;
-      for (std::uint64_t bits = lane_mask[k]; bits != 0; bits &= bits - 1) {
-        const auto bit = static_cast<std::size_t>(__builtin_ctzll(bits));
-        const std::size_t w = w0 + bit;
-        const double kept = arena[k * stride + w];
-        const double penalty = total[k] - kept;
-        if (penalty >= best_obj[k]) continue;
-        // penalty < best_obj[k] <= snapshot[k], so this row was predicted.
-        const double energy = energy_at[bit];
-        if (energy >= best_obj[k]) {
-          done[k] = 1;  // E non-decreasing: the serial sweep's early break
-          break;
-        }
-        const double objective = energy + penalty;
-        if (objective < best_obj[k]) {
-          best_obj[k] = objective;
-          best_w[k] = w;
-        }
-      }
+      if (done[k] || lane_mask[k] == 0) continue;
+      RETASK_OBS_ONLY(++scan_words;)
+      const std::size_t rows = std::min(w1, cap[k] + 1) - w0;
+      done[k] = kernels.select_scan_f64(arena.data() + k * stride + w0, energy_at.data(), rows,
+                                        lane_mask[k], total[k], w0, &best_obj[k],
+                                        &best_w[k]) != 0
+                    ? 1
+                    : 0;
     }
   }
+  RETASK_COUNT("batch.select_scan_words", scan_words);
 
   std::vector<RejectionSolution> out;
   out.reserve(m);
@@ -201,6 +272,66 @@ std::vector<RejectionSolution> lockstep_exact_dp(
     }
     RETASK_ASSERT(w == 0);
     out.push_back(make_solution_on_one(*chunk[k], std::move(accepted)));
+  }
+  return out;
+}
+
+/// Lockstep exact DP over one same-shape chunk: one shared fill, one fused
+/// select, optionally capturing each lane's table for adoption. The shared
+/// win of the batch is the select — one fused cycles->energy evaluation per
+/// needed row instead of one solo evaluation per lane per row (the shape
+/// check guarantees identical curves).
+std::vector<RejectionSolution> lockstep_exact_dp(const std::vector<const RejectionProblem*>& chunk,
+                                                 std::vector<DpTableExport>* exports) {
+  const std::size_t m = chunk.size();
+  std::vector<std::size_t> cap(m);
+  for (std::size_t k = 0; k < m; ++k) cap[k] = lane_cap(*chunk[k]);
+  LaneTables tables;
+  lockstep_fill(chunk, cap, tables, exports);
+  return lockstep_select(chunk, tables, cap);
+}
+
+/// One fused-sweep chunk: grid[k] points at lane k's sweep points (one task
+/// set per lane, capacities/platforms varying by point; per point, all
+/// lanes share a shape). Each lane fills ONCE at its widest point — the
+/// warm start of ExactDpSolver::solve_sweep — and every point runs one
+/// fused cross-lane select over the shared prefixes, so the sweep gets the
+/// warm-start and the lockstep energy batching simultaneously. Returns
+/// out[k][p], bit-identical to per-lane warm sweeps (and so to per-point
+/// solo solves).
+std::vector<std::vector<RejectionSolution>> lockstep_fused_sweep(
+    const std::vector<const std::vector<const RejectionProblem*>*>& grid) {
+  const std::size_t m = grid.size();
+  const std::size_t points = grid[0]->size();
+  std::vector<std::vector<std::size_t>> cap(m, std::vector<std::size_t>(points));
+  std::vector<std::size_t> fill_cap(m, 0);
+  for (std::size_t k = 0; k < m; ++k) {
+    for (std::size_t p = 0; p < points; ++p) {
+      cap[k][p] = lane_cap(*(*grid[k])[p]);
+      fill_cap[k] = std::max(fill_cap[k], cap[k][p]);
+    }
+  }
+  // The fill depends only on the task vector (cycles + penalties), never on
+  // the platform, so one fill serves every point of a lane even though the
+  // points' curves differ; the per-point energies enter at the select, which
+  // reads them through that point's problems.
+  std::vector<const RejectionProblem*> lane(m);
+  for (std::size_t k = 0; k < m; ++k) lane[k] = (*grid[k])[0];
+  LaneTables tables;
+  lockstep_fill(lane, fill_cap, tables, nullptr);
+  RETASK_COUNT("dp.warm_starts", m * (points - 1));
+  RETASK_COUNT("batch.fused_sweep_points", m * points);
+
+  std::vector<std::vector<RejectionSolution>> out(m);
+  for (std::size_t k = 0; k < m; ++k) out[k].reserve(points);
+  std::vector<std::size_t> point_cap(m);
+  for (std::size_t p = 0; p < points; ++p) {
+    for (std::size_t k = 0; k < m; ++k) {
+      lane[k] = (*grid[k])[p];
+      point_cap[k] = cap[k][p];
+    }
+    std::vector<RejectionSolution> solved = lockstep_select(lane, tables, point_cap);
+    for (std::size_t k = 0; k < m; ++k) out[k].push_back(std::move(solved[k]));
   }
   return out;
 }
@@ -372,6 +503,19 @@ void set_lockstep_lanes(int lanes) {
   g_lanes.store(lanes, std::memory_order_release);
 }
 
+bool fused_sweep_enabled() {
+  int fused = g_fused.load(std::memory_order_acquire);
+  if (fused < 0) {
+    fused = resolve_fused();  // deterministic: a first-use race is benign
+    g_fused.store(fused, std::memory_order_release);
+  }
+  return fused != 0;
+}
+
+void set_fused_sweep_enabled(bool enabled) {
+  g_fused.store(enabled ? 1 : 0, std::memory_order_release);
+}
+
 bool same_shape(const RejectionProblem& a, const RejectionProblem& b) {
   // Platform equality (curve/work_per_cycle; see cache/sweep.hpp) plus the
   // lane-layout constraints: same task count and the single-processor form.
@@ -386,8 +530,17 @@ std::string BatchRejectionSolver::name() const { return base_->name() + "+LOCKST
 
 std::vector<RejectionSolution> BatchRejectionSolver::solve_batch(
     const std::vector<const RejectionProblem*>& problems) const {
+  return solve_batch(problems, nullptr);
+}
+
+std::vector<RejectionSolution> BatchRejectionSolver::solve_batch(
+    const std::vector<const RejectionProblem*>& problems, LockstepTables* tables) const {
   const std::size_t count = problems.size();
   std::vector<RejectionSolution> out(count);
+  if (tables != nullptr) {
+    tables->exports.clear();
+    tables->exports.resize(count);
+  }
   const int lanes_cfg = config_.lanes < 0 ? lockstep_lanes() : config_.lanes;
   const LockstepKind kind = kind_of(*base_);
   if (lanes_cfg < 2 || kind == LockstepKind::kNone || count < 2) {
@@ -427,9 +580,18 @@ std::vector<RejectionSolution> BatchRejectionSolver::solve_batch(
       chunk.assign(chunk_size, nullptr);
       for (std::size_t j = 0; j < chunk_size; ++j) chunk[j] = problems[group[pos + j]];
       std::vector<RejectionSolution> solved;
+      std::vector<DpTableExport> chunk_exports;
       switch (kind) {
         case LockstepKind::kExactDp:
-          solved = lockstep_exact_dp(chunk);
+          if (tables != nullptr) {
+            chunk_exports.resize(chunk_size);
+            solved = lockstep_exact_dp(chunk, &chunk_exports);
+            for (std::size_t j = 0; j < chunk_size; ++j) {
+              tables->exports[group[pos + j]] = std::move(chunk_exports[j]);
+            }
+          } else {
+            solved = lockstep_exact_dp(chunk, nullptr);
+          }
           break;
         case LockstepKind::kDensity:
           solved = lockstep_density(chunk);
@@ -447,6 +609,92 @@ std::vector<RejectionSolution> BatchRejectionSolver::solve_batch(
       RETASK_COUNT("batch.lanes_filled", chunk_size);
       RETASK_COUNT("batch.padding_waste", lanes - chunk_size);
     }
+  }
+  return out;
+}
+
+std::vector<std::vector<RejectionSolution>> BatchRejectionSolver::solve_sweep_batch(
+    const std::vector<std::vector<const RejectionProblem*>>& grids) const {
+  const std::size_t count = grids.size();
+  std::vector<std::vector<RejectionSolution>> out(count);
+  std::vector<char> solved(count, 0);
+  const auto fallback = [&](std::size_t i) {
+    out[i] = base_->solve_sweep(grids[i]);
+    solved[i] = 1;
+    RETASK_COUNT("batch.sweep_fallbacks", 1);
+  };
+
+  const int lanes_cfg = config_.lanes < 0 ? lockstep_lanes() : config_.lanes;
+  if (!fused_sweep_enabled() || lanes_cfg < 2 || count < 2 ||
+      kind_of(*base_) != LockstepKind::kExactDp) {
+    for (std::size_t i = 0; i < count; ++i) fallback(i);
+    return out;
+  }
+  const auto lanes = static_cast<std::size_t>(lanes_cfg);
+
+  // A lane must be a genuine warm sweep — single-processor points carrying
+  // one task set (the fill is a function of nothing else). Anything odd
+  // takes the base fallback, which degrades the same way internally.
+  std::vector<char> eligible(count, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::vector<const RejectionProblem*>& instance = grids[i];
+    bool ok = !instance.empty();
+    for (std::size_t p = 0; p < instance.size() && ok; ++p) {
+      ok = instance[p]->processor_count() == 1;
+    }
+    for (std::size_t p = 1; p < instance.size() && ok; ++p) {
+      ok = same_task_sets(instance[0]->tasks(), instance[p]->tasks());
+    }
+    eligible[i] = ok ? 1 : 0;
+  }
+
+  // First-fit grouping by per-point shape, as solve_batch groups instances:
+  // two lanes may share a chunk only when every sweep point pairs same-shape
+  // problems (the per-point fused select shares that point's energies).
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!eligible[i]) continue;
+    bool placed = false;
+    for (std::vector<std::size_t>& group : groups) {
+      const std::vector<const RejectionProblem*>& lead = grids[group[0]];
+      bool match = lead.size() == grids[i].size();
+      for (std::size_t p = 0; p < lead.size() && match; ++p) {
+        match = same_shape(*lead[p], *grids[i][p]);
+      }
+      if (match) {
+        group.push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) groups.push_back({i});
+  }
+
+  for (const std::vector<std::size_t>& group : groups) {
+    for (std::size_t pos = 0; pos < group.size(); pos += lanes) {
+      const std::size_t chunk_size = std::min(lanes, group.size() - pos);
+      if (chunk_size < 2) {
+        fallback(group[pos]);
+        continue;
+      }
+      std::vector<const std::vector<const RejectionProblem*>*> chunk(chunk_size);
+      for (std::size_t j = 0; j < chunk_size; ++j) chunk[j] = &grids[group[pos + j]];
+      std::vector<std::vector<RejectionSolution>> fused;
+      {
+        RETASK_SCOPED_TIMER("batch.fused_sweep_ns");
+        fused = lockstep_fused_sweep(chunk);
+      }
+      for (std::size_t j = 0; j < chunk_size; ++j) {
+        out[group[pos + j]] = std::move(fused[j]);
+        solved[group[pos + j]] = 1;
+      }
+      RETASK_COUNT("batch.lockstep_chunks", 1);
+      RETASK_COUNT("batch.lanes_filled", chunk_size);
+      RETASK_COUNT("batch.padding_waste", lanes - chunk_size);
+    }
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!solved[i]) fallback(i);
   }
   return out;
 }

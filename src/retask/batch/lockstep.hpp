@@ -19,6 +19,15 @@
 //  * Density / marginal greedy — per-lane decisions replayed position by
 //    position (density) or round by round (local search), with every
 //    energy probe of every live lane fused into one batched evaluation.
+//  * Fused sweeps (solve_sweep_batch) — a (point x instance) sweep grid is
+//    partitioned into same-shape lane groups; each lane fills ONCE at its
+//    widest point (the warm start of ExactDpSolver::solve_sweep) and every
+//    point runs one fused cross-instance select, so the sweep gets the
+//    warm-start and the lockstep energy batching simultaneously.
+//  * Table export (solve_batch + LockstepTables) — the exact-DP lanes'
+//    filled tables can be captured as DpTableExport views for
+//    DeltaSolver::adopt_table, sparing downstream incremental solvers the
+//    cold refill (core/mp_scale.cpp seeds its local search this way).
 //
 // Lane-by-lane bit-identity: each lane's cells, prunes, probes and flips
 // are exactly the single-instance solver's (the kernels touch disjoint
@@ -32,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "retask/cache/scratch.hpp"
 #include "retask/core/solver.hpp"
 
 namespace retask {
@@ -43,6 +53,26 @@ int lockstep_lanes();
 
 /// Overrides the lane count process-wide (0 disables lockstep batching).
 void set_lockstep_lanes(int lanes);
+
+/// The process-wide fused-sweep switch: the last set_fused_sweep_enabled()
+/// value, else the RETASK_FUSED_SWEEP environment variable (off -> false,
+/// auto or unset -> true). When off, solve_sweep_batch degrades to a
+/// per-instance solve_sweep loop (bit-identical results either way).
+bool fused_sweep_enabled();
+
+/// Overrides the fused-sweep switch process-wide.
+void set_fused_sweep_enabled(bool enabled);
+
+/// Per-instance DP tables captured by solve_batch's lockstep exact-DP path
+/// (one slot per input problem, input order). A slot with an empty `value`
+/// was not captured: the instance fell back to a per-instance solve, the
+/// base solver has no exportable table, or the capture exceeded the byte
+/// budget. Captured slots are bit-identical to what DeltaSolver::admit_all
+/// over the instance's task vector would have filled, so
+/// DeltaSolver::adopt_table can seed from them directly.
+struct LockstepTables {
+  std::vector<DpTableExport> exports;
+};
 
 /// Per-solver batching knobs.
 struct BatchConfig {
@@ -73,6 +103,26 @@ class BatchRejectionSolver {
   /// instance, in any grouping and at any lane count.
   std::vector<RejectionSolution> solve_batch(
       const std::vector<const RejectionProblem*>& problems) const;
+
+  /// solve_batch that additionally captures the lockstep exact-DP lanes'
+  /// filled tables into `tables` (resized to one slot per problem; see
+  /// LockstepTables for which slots stay empty). The solutions are the same
+  /// bits with or without capture.
+  std::vector<RejectionSolution> solve_batch(
+      const std::vector<const RejectionProblem*>& problems, LockstepTables* tables) const;
+
+  /// Fused cross-instance sweep: `grids[i]` is instance i's sweep points
+  /// (one task set per instance, capacities/platforms varying by point, as
+  /// RejectionSolver::solve_sweep receives them). Instances whose per-point
+  /// shapes match are grouped, cut into lane-sized chunks, and each chunk
+  /// shares ONE lane-major fill (per lane, at the lane's widest point) plus
+  /// one fused lockstep select per point — so a chunk gets the warm-start
+  /// AND the cross-instance energy batching at once. Results are
+  /// bit-identical to calling base.solve_sweep(grids[i]) per instance;
+  /// ineligible instances (mixed task sets, odd shapes, non-exact-DP base,
+  /// fused sweeps disabled) take exactly that fallback.
+  std::vector<std::vector<RejectionSolution>> solve_sweep_batch(
+      const std::vector<std::vector<const RejectionProblem*>>& grids) const;
 
   /// "<base name>+LOCKSTEP".
   std::string name() const;

@@ -53,6 +53,9 @@ class BitMatrix {
   /// Words allocated per row ((cols + 63) / 64).
   std::size_t words_per_row() const { return words_per_row_; }
 
+  /// Rows currently allocated (0 when the matrix has never been reset).
+  std::size_t rows() const { return words_per_row_ == 0 ? 0 : words_.size() / words_per_row_; }
+
  private:
   std::size_t words_per_row_ = 0;
   std::vector<std::uint64_t> words_;

@@ -57,39 +57,34 @@ DpSelectResult select_best_row(const std::vector<double>& kept, std::size_t cap,
   constexpr std::size_t kChunk = 64;
   const simd::KernelTable& kernels = simd::kernels();
   DpSelectResult result;
+  double energy_at[kChunk] = {0.0};  // dense per-chunk view; stale rows are never walked
   bool done = false;
   for (std::size_t chunk = 0; chunk <= cap && !done; chunk += kChunk) {
     const std::size_t end = std::min(cap, chunk + kChunk - 1);
     // One vector mask per chunk instead of a scalar row loop; the kernel's
     // total - kept[w] < best predicate folds the -inf reachability skip in
     // (total - (-inf) == +inf never beats the bound).
-    std::uint64_t mask =
+    const std::uint64_t mask =
         kernels.select_mask_f64(kept.data() + chunk, end - chunk + 1, total_penalty,
                                 result.best_objective);
     batch_cycles.clear();
-    for (; mask != 0; mask &= mask - 1) {
-      const auto bit = static_cast<std::size_t>(__builtin_ctzll(mask));
+    for (std::uint64_t bits = mask; bits != 0; bits &= bits - 1) {
+      const auto bit = static_cast<std::size_t>(__builtin_ctzll(bits));
       batch_cycles.push_back(static_cast<Cycles>(chunk + bit));
     }
     if (batch_cycles.empty()) continue;
     batch_energy.resize(batch_cycles.size());
     energy_batch(batch_cycles.data(), batch_energy.data(), batch_cycles.size());
     result.energy_evals += batch_cycles.size();
-    for (std::size_t j = 0; j < batch_cycles.size(); ++j) {
-      const auto w = static_cast<std::size_t>(batch_cycles[j]);
-      const double penalty = total_penalty - kept[w];
-      if (penalty >= result.best_objective) continue;
-      const double energy = batch_energy[j];
-      if (energy >= result.best_objective) {
-        done = true;
-        break;
-      }
-      const double objective = energy + penalty;
-      if (objective < result.best_objective) {
-        result.best_objective = objective;
-        result.best_w = w;
-      }
+    std::size_t j = 0;
+    for (std::uint64_t bits = mask; bits != 0; bits &= bits - 1) {
+      energy_at[static_cast<std::size_t>(__builtin_ctzll(bits))] = batch_energy[j++];
     }
+    // Kernelized replay of the serial sweep's decision walk over the masked
+    // rows (same prunes, same early-exit, same improvement order).
+    done = kernels.select_scan_f64(kept.data() + chunk, energy_at, end - chunk + 1, mask,
+                                   total_penalty, chunk, &result.best_objective,
+                                   &result.best_w) != 0;
   }
   return result;
 }

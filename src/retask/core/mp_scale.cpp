@@ -22,6 +22,16 @@
 namespace retask {
 namespace {
 
+/// A screened commit applied while the PE had no DeltaSolver yet. Replayed
+/// through the public admit/remove API after a table adoption, so the
+/// adopted solver reaches exactly the state a cold admit_all over the
+/// current member set would have reached.
+struct PendingOp {
+  bool admit = false;
+  int id = 0;
+  FrameTask task;  ///< only meaningful for admissions
+};
+
 /// Per-PE state of the local search. `member`/`accepted` mirror the PE's
 /// resident set in order; once `delta` exists it is the source of truth and
 /// refresh_from_delta re-derives both from it.
@@ -31,6 +41,7 @@ struct PeState {
   double objective = 0.0;           ///< E(load) + locally rejected penalties
   Cycles accepted_load = 0;
   std::unique_ptr<DeltaSolver> delta;
+  std::vector<PendingOp> ops;  ///< screened commits since phase 2 (export PEs only)
 };
 
 /// One lockstep chunk of the per-PE solve phase: PEs (by index) whose
@@ -138,6 +149,10 @@ RejectionSolution MultiProcScaleSolver::solve(const RejectionProblem& problem) c
   }
 
   std::vector<RejectionSolution> pe_solution(m);
+  // Phase-2 lockstep tables captured per PE for phase 3: a PE's first exact
+  // probe adopts its already-filled table instead of replaying the whole
+  // fill through admit_all. Slots stay empty for per-instance fallbacks.
+  std::vector<DpTableExport> pe_export(m);
   {
     RETASK_SCOPED_TIMER("mp.pe_solve_ns");
     const ExactDpSolver dp;
@@ -148,9 +163,11 @@ RejectionSolution MultiProcScaleSolver::solve(const RejectionProblem& problem) c
           std::vector<const RejectionProblem*> chunk_problems;
           chunk_problems.reserve(chunks[c].pes.size());
           for (const std::size_t p : chunks[c].pes) chunk_problems.push_back(sub[p].get());
-          std::vector<RejectionSolution> solved = batch.solve_batch(chunk_problems);
+          LockstepTables tables;
+          std::vector<RejectionSolution> solved = batch.solve_batch(chunk_problems, &tables);
           for (std::size_t j = 0; j < chunks[c].pes.size(); ++j) {
             pe_solution[chunks[c].pes[j]] = std::move(solved[j]);
+            pe_export[chunks[c].pes[j]] = std::move(tables.exports[j]);
           }
         },
         config_.jobs);
@@ -202,12 +219,34 @@ RejectionSolution MultiProcScaleSolver::solve(const RejectionProblem& problem) c
       if (state.delta == nullptr) {
         DeltaSolver::Config delta_config;
         delta_config.shared_memo = memo;
+        const bool adopt = !pe_export[p].value.empty();
+        if (adopt) delta_config.checkpoint_stride = pe_export[p].checkpoint_stride;
         state.delta = std::make_unique<DeltaSolver>(problem.curve(), problem.work_per_cycle(),
                                                     delta_config);
-        std::vector<FrameTask> resident;
-        resident.reserve(state.member.size());
-        for (const std::size_t i : state.member) resident.push_back(problem.tasks()[i]);
-        state.delta->admit_all(resident);
+        if (adopt) {
+          // Seed from the phase-2 lockstep table: adoption is bit-identical
+          // to admit_all over the phase-2 resident set, and the screened
+          // commits recorded since are replayed through the public API, so
+          // the solver reaches exactly the cold seed's state without
+          // refilling a single DP cell.
+          std::vector<FrameTask> resident;
+          resident.reserve(sub[p]->size());
+          for (std::size_t k = 0; k < sub[p]->size(); ++k) resident.push_back(sub[p]->tasks()[k]);
+          state.delta->adopt_table(resident, std::move(pe_export[p]));
+          for (const PendingOp& op : state.ops) {
+            if (op.admit) {
+              state.delta->admit(op.task);
+            } else {
+              state.delta->remove(op.id);
+            }
+          }
+          state.ops.clear();
+        } else {
+          std::vector<FrameTask> resident;
+          resident.reserve(state.member.size());
+          for (const std::size_t i : state.member) resident.push_back(problem.tasks()[i]);
+          state.delta->admit_all(resident);
+        }
         // For untouched PEs the seed replays the phase-2 fill exactly; after
         // direct screened commits the tracked assignment is feasible but
         // not necessarily optimal for the member set, so the seed's optimum
@@ -255,6 +294,7 @@ RejectionSolution MultiProcScaleSolver::solve(const RejectionProblem& problem) c
         state.delta->admit(t);
         refresh_from_delta(q);
       } else {
+        if (!pe_export[q].value.empty()) state.ops.push_back({true, t.id, t});
         state.member.push_back(gi);
         state.accepted.push_back(1);
         state.accepted_load += t.cycles;
@@ -268,6 +308,9 @@ RejectionSolution MultiProcScaleSolver::solve(const RejectionProblem& problem) c
         state.delta->remove(problem.tasks()[gi].id);
         refresh_from_delta(p);
       } else {
+        if (!pe_export[p].value.empty()) {
+          state.ops.push_back({false, problem.tasks()[gi].id, FrameTask{}});
+        }
         const auto it = std::find(state.member.begin(), state.member.end(), gi);
         RETASK_ASSERT(it != state.member.end());
         const auto k = static_cast<std::size_t>(it - state.member.begin());
@@ -286,6 +329,7 @@ RejectionSolution MultiProcScaleSolver::solve(const RejectionProblem& problem) c
         state.delta->remove(t.id);
         refresh_from_delta(q);
       } else {
+        if (!pe_export[q].value.empty()) state.ops.push_back({false, t.id, FrameTask{}});
         const auto it = std::find(state.member.begin(), state.member.end(), gj);
         RETASK_ASSERT(it != state.member.end());
         const auto k = static_cast<std::size_t>(it - state.member.begin());

@@ -79,6 +79,12 @@ void append_histogram_rows(std::vector<MetricRow>& rows, const std::string& name
                   std::to_string(histogram.count)});
   rows.push_back({name + ".min", kind, histogram.min, format_numeric(histogram.min)});
   rows.push_back({name + ".max", kind, histogram.max, format_numeric(histogram.max)});
+  if (kind == MetricKind::kTimer) {
+    // Totals make scoped timers attributable (e.g. the select scans' share
+    // of a lockstep batch), but float sums are merge-order sensitive, so
+    // the row exists only for timers — histogram reports stay bit-stable.
+    rows.push_back({name + ".sum", kind, histogram.sum, format_numeric(histogram.sum)});
+  }
 }
 
 }  // namespace
@@ -110,6 +116,7 @@ void Histogram::record(double value) {
     max = std::max(max, value);
   }
   ++count;
+  sum += value;
   // Bucket 0: value < 1 (including negatives/NaN-free zero); bucket b >= 1:
   // value in [2^(b-1), 2^b).
   std::size_t bucket = 0;
@@ -129,6 +136,7 @@ void Histogram::merge(const Histogram& other) {
   min = std::min(min, other.min);
   max = std::max(max, other.max);
   count += other.count;
+  sum += other.sum;
   for (std::size_t b = 0; b < buckets.size(); ++b) buckets[b] += other.buckets[b];
 }
 

@@ -73,6 +73,10 @@ struct Histogram {
   std::uint64_t count = 0;
   double min = 0.0;
   double max = 0.0;
+  /// Floating-point accumulation: merge order can perturb the last ulps, so
+  /// sum is reported only for timers (which every bit-identity guarantee
+  /// already excludes), never for histogram rows.
+  double sum = 0.0;
   std::array<std::uint64_t, 64> buckets{};
 
   void record(double value);

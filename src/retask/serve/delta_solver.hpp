@@ -90,6 +90,18 @@ class DeltaSolver {
   /// solutions are skipped. Seeding path of the multiprocessor local search.
   const RejectionSolution& admit_all(const std::vector<FrameTask>& tasks);
 
+  /// Adopts an already-filled DP table instead of replaying the fill: the
+  /// solver (which must still be empty) becomes bit-identical to
+  /// admit_all(tasks) without touching a single DP cell. `table` must be
+  /// the exact-DP fill over `tasks` in order at a capacity covering every
+  /// reachable row (rows above the exported width are unreachable and stay
+  /// -inf), with DENSE value-row checkpoints every `checkpoint_stride`
+  /// tasks — exactly what the lockstep lanes capture (batch/lockstep.hpp
+  /// LockstepTables). The solver's checkpoint stride is rebound to the
+  /// export's. Every later admit / remove / reprice replays through the
+  /// adopted rows and stays bit-identical to a cold-seeded solver.
+  const RejectionSolution& adopt_table(const std::vector<FrameTask>& tasks, DpTableExport table);
+
   /// Removes the resident task with `id` (throws when unknown) and returns
   /// the new optimal solution.
   const RejectionSolution& remove(int id);

@@ -127,6 +127,10 @@ const KernelTable* neon_table() noexcept {
       // No 2-lane win for the interleaved gather pattern; keep the scalar
       // body (bit-identity is then trivial).
       &scalar_relax_desc_f64_lanes, &neon_relax_out_f64,     &neon_select_mask_f64,
+      // The select-scan's decision walk is serial; at 2 lanes the branch-free
+      // precompute does not pay, so keep the scalar body (trivially
+      // bit-identical).
+      &scalar_select_scan_f64,
   };
   return &table;
 }

@@ -83,6 +83,7 @@ const KernelTable* scalar_table() noexcept {
       &scalar_relax_desc_f64,    &scalar_relax_desc_i64,      &scalar_argmax_f64,
       &scalar_argmin_strided_f64, &scalar_energy_hull_cycles,
       &scalar_relax_desc_f64_lanes, &scalar_relax_out_f64,     &scalar_select_mask_f64,
+      &scalar_select_scan_f64,
   };
   return &table;
 }

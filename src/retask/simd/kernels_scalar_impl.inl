@@ -84,6 +84,25 @@ inline std::uint64_t scalar_select_mask_f64(const double* kept, std::size_t n, d
   return mask;
 }
 
+inline std::uint32_t scalar_select_scan_f64(const double* kept, const double* energy_at,
+                                            std::size_t n, std::uint64_t mask, double total,
+                                            std::size_t w0, double* best, std::size_t* best_w) {
+  (void)n;  // bounds the vector bodies' pre-reads; every mask bit is < n
+  for (std::uint64_t bits = mask; bits != 0; bits &= bits - 1) {
+    const auto bit = static_cast<std::size_t>(__builtin_ctzll(bits));
+    const double penalty = total - kept[bit];
+    if (penalty >= *best) continue;
+    const double energy = energy_at[bit];
+    if (energy >= *best) return 1;  // E non-decreasing: the sweep is over
+    const double objective = energy + penalty;
+    if (objective < *best) {
+      *best = objective;
+      *best_w = w0 + bit;
+    }
+  }
+  return 0;
+}
+
 inline std::size_t scalar_argmax_f64(const double* values, std::size_t n, double init) {
   double best = init;
   std::size_t best_index = ::retask::simd::kNpos;
